@@ -1,0 +1,232 @@
+// Package cloudmap reproduces the measurement study "How Cloud Traffic Goes
+// Hiding: A Study of Amazon's Peering Fabric" (IMC 2019) end to end: it
+// simulates an Internet with a ground-truth cloud peering fabric, runs the
+// paper's cloud-centric traceroute campaigns against it, and applies the
+// paper's inference pipeline — border inference (§4), verification (§5),
+// pinning (§6), VPI detection and peering classification (§7), and the
+// bdrmap comparison (§8) — using only measurement data and public datasets.
+//
+// The package is the orchestration layer: each stage lives in its own
+// internal package and is reusable on its own. A full run is:
+//
+//	res, err := cloudmap.Run(cloudmap.SmallConfig())
+//
+// after which res holds every table and figure of the paper's evaluation.
+package cloudmap
+
+import (
+	"fmt"
+
+	"cloudmap/internal/bdrmap"
+	"cloudmap/internal/border"
+	"cloudmap/internal/midar"
+	"cloudmap/internal/model"
+	"cloudmap/internal/pinning"
+	"cloudmap/internal/probe"
+	"cloudmap/internal/registry"
+	"cloudmap/internal/route"
+	"cloudmap/internal/topo"
+	"cloudmap/internal/verify"
+)
+
+// Config selects the scale of the simulated Internet and tunes each
+// pipeline stage.
+type Config struct {
+	// Topology generation (world scale, peering mix, measurement
+	// behaviour).
+	Topology topo.Config
+	// Verify toggles the §5 heuristics.
+	Verify verify.Options
+	// Pinning tunes §6.
+	Pinning pinning.Options
+	// Midar tunes alias resolution.
+	Midar midar.Config
+
+	// IncludePrivateTargets probes 10/8 and 100.64/10 as the paper does.
+	IncludePrivateTargets bool
+	// SkipExpansion disables the §4.2 round (ablation).
+	SkipExpansion bool
+	// SkipAliasResolution disables MIDAR (ablation); verification then runs
+	// without alias sets.
+	SkipAliasResolution bool
+	// VPIClouds are the foreign clouds probed for §7.1 overlap detection.
+	VPIClouds []string
+	// CVFolds is the number of cross-validation folds for §6.2.
+	CVFolds int
+	// SkipBdrmap disables the §8 baseline comparison.
+	SkipBdrmap bool
+	// Bdrmap tunes the §8 baseline.
+	Bdrmap bdrmap.Config
+	// Workers parallelises the probing campaigns across goroutines
+	// (results stay byte-identical to a sequential run). <=1 means
+	// sequential.
+	Workers int
+	// RecordTraces, when non-nil, receives a copy of every Amazon-campaign
+	// traceroute (rounds 1 and 2) — wire it to a tracefile.Writer to
+	// archive the campaign for later replay.
+	RecordTraces probe.TraceSink
+}
+
+// DefaultConfig is the paper-comparable scale (minutes of CPU).
+func DefaultConfig() Config {
+	return Config{
+		Topology:              topo.DefaultConfig(),
+		Verify:                verify.DefaultOptions(),
+		Pinning:               pinning.DefaultOptions(),
+		Midar:                 midar.DefaultConfig(),
+		IncludePrivateTargets: true,
+		VPIClouds:             []string{"microsoft", "google", "ibm", "oracle"},
+		CVFolds:               10,
+		Bdrmap:                bdrmap.DefaultConfig(),
+	}
+}
+
+// SmallConfig is a test-sized configuration (seconds of CPU).
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Topology = topo.SmallConfig()
+	cfg.IncludePrivateTargets = false
+	return cfg
+}
+
+// MediumConfig sits between the two; benchmarks use it.
+func MediumConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Topology = topo.MediumConfig()
+	cfg.IncludePrivateTargets = false
+	return cfg
+}
+
+// System bundles the simulated world and its measurement plane.
+type System struct {
+	Topology  *model.Topology
+	Registry  *registry.Registry
+	Forwarder *route.Forwarder
+	Prober    *probe.Prober
+}
+
+// NewSystem generates the topology and builds datasets and probers.
+func NewSystem(cfg Config) (*System, error) {
+	t, err := topo.Generate(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("cloudmap: topology generation: %w", err)
+	}
+	reg := registry.Build(t, cfg.Topology.Seed)
+	fwd := route.NewForwarder(t)
+	return &System{
+		Topology:  t,
+		Registry:  reg,
+		Forwarder: fwd,
+		Prober:    probe.NewProber(t, fwd),
+	}, nil
+}
+
+// Result accumulates every pipeline output.
+type Result struct {
+	System *System
+	Config Config
+
+	// Border is the raw §4 inference (rounds 1 and 2).
+	Border *border.Inference
+	// Round1CBIs/ABIs snapshot Table 1's pre-expansion rows.
+	Round1ABIs, Round1CBIs border.MetaBreakdown
+	Round1PeerASes         int
+
+	// Aliases are the MIDAR alias sets (§5.2).
+	Aliases []midar.AliasSet
+	// Verified is the corrected border view (§5).
+	Verified *verify.Result
+	// Pinning is the §6 result; PinningCV its §6.2 cross-validation.
+	Pinning   *pinning.Result
+	PinningCV pinning.CVResult
+	// VPI is the §7.1 overlap detection result.
+	VPI *VPIResult
+	// Groups is the §7.2-7.3 classification.
+	Groups *GroupingResult
+	// Graph is the §7.4 interface connectivity graph analysis.
+	Graph *ICGResult
+	// BdrmapRuns and Bdrmap are the §8 baseline and its comparison.
+	BdrmapRuns []*bdrmap.RegionResult
+	Bdrmap     *bdrmap.Comparison
+}
+
+// Run executes the full pipeline.
+func Run(cfg Config) (*Result, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunOn(sys, cfg)
+}
+
+// RunOn executes the pipeline over an existing system (lets callers reuse
+// one simulated world across ablation runs).
+func RunOn(sys *System, cfg Config) (*Result, error) {
+	res := &Result{System: sys, Config: cfg}
+	if cfg.CVFolds <= 0 {
+		cfg.CVFolds = 10
+	}
+
+	// §3 + §4.1: round-1 campaign from all Amazon regions.
+	inf := border.New(sys.Registry, "amazon")
+	vms := sys.Prober.VMs("amazon")
+	sink := probe.TraceSink(inf.Consume)
+	if cfg.RecordTraces != nil {
+		record := cfg.RecordTraces
+		sink = func(tr probe.Trace) {
+			record(tr)
+			inf.Consume(tr)
+		}
+	}
+	targets := probe.Round1Targets(sys.Topology, probe.Round1Options{IncludePrivate: cfg.IncludePrivateTargets})
+	if err := sys.Prober.CampaignParallel(vms, targets, cfg.Workers, sink); err != nil {
+		return nil, fmt.Errorf("cloudmap: round 1: %w", err)
+	}
+	res.Round1ABIs = inf.BreakdownABIs()
+	res.Round1CBIs = inf.BreakdownCBIs()
+	res.Round1PeerASes = len(inf.PeerASNs())
+
+	// §4.2: expansion probing.
+	if !cfg.SkipExpansion {
+		inf.BeginRound2()
+		exp := probe.ExpansionTargets(inf.CandidateCBIs())
+		if err := sys.Prober.CampaignParallel(vms, exp, cfg.Workers, sink); err != nil {
+			return nil, fmt.Errorf("cloudmap: round 2: %w", err)
+		}
+	}
+	res.Border = inf
+
+	// §5.2 prerequisite: alias resolution over all candidate interfaces.
+	if !cfg.SkipAliasResolution {
+		aliasTargets := append(inf.CandidateABIs(), inf.CandidateCBIs()...)
+		res.Aliases = midar.Resolve(sys.Prober, vms, aliasTargets, cfg.Midar)
+	}
+
+	// §5: heuristics + alias corrections.
+	res.Verified = verify.Run(inf, sys.Registry, sys.Prober.ReachableFromVP, res.Aliases, cfg.Verify)
+
+	// §6: pinning + §6.2 cross-validation.
+	res.Pinning = pinning.Run(res.Verified, inf, sys.Registry, sys.Prober, res.Aliases, cfg.Pinning)
+	res.PinningCV = pinning.CrossValidate(res.Pinning, res.Aliases, cfg.CVFolds, 0.7, cfg.Topology.Seed)
+
+	// §7.1: VPI detection from foreign clouds.
+	res.VPI = detectVPIs(sys, res, cfg.VPIClouds)
+
+	// §7.2-7.3: peering classification.
+	res.Groups = classifyPeerings(sys, res)
+
+	// §7.4: interface connectivity graph.
+	res.Graph = buildICG(res)
+
+	// §8: bdrmap baseline.
+	if !cfg.SkipBdrmap {
+		runs, err := bdrmap.Run(sys.Prober, sys.Registry, "amazon", cfg.Bdrmap)
+		if err != nil {
+			return nil, fmt.Errorf("cloudmap: bdrmap: %w", err)
+		}
+		res.BdrmapRuns = runs
+		cmp := bdrmap.Compare(runs, res.Verified, sys.Registry)
+		res.Bdrmap = &cmp
+	}
+	return res, nil
+}

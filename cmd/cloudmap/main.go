@@ -1,0 +1,90 @@
+// Command cloudmap runs the full reproduction pipeline — topology
+// generation, traceroute campaigns, border inference, verification, pinning,
+// VPI detection, grouping, graph analysis, and the bdrmap baseline — and
+// prints every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	cloudmap [-scale small|medium|paper] [-seed N] [-skip-bdrmap] [-o report.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"cloudmap"
+	"cloudmap/internal/tracefile"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "topology scale: small, medium, or paper")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel probing workers (output is identical regardless)")
+	skipBdrmap := flag.Bool("skip-bdrmap", false, "skip the §8 bdrmap baseline")
+	out := flag.String("o", "", "also write the report to this file")
+	traces := flag.String("traces", "", "archive the Amazon campaign to this tracefile")
+	csvDir := flag.String("csv", "", "dump figure data as CSV files into this directory")
+	flag.Parse()
+
+	var cfg cloudmap.Config
+	switch *scale {
+	case "small":
+		cfg = cloudmap.SmallConfig()
+	case "medium":
+		cfg = cloudmap.MediumConfig()
+	case "paper":
+		cfg = cloudmap.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q (want small, medium, or paper)", *scale)
+	}
+	cfg.Topology.Seed = *seed
+	cfg.Workers = *workers
+	cfg.SkipBdrmap = *skipBdrmap
+
+	var traceWriter *tracefile.Writer
+	if *traces != "" {
+		f, err := os.Create(*traces)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w, err := tracefile.NewWriter(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceWriter = w
+		cfg.RecordTraces = w.Sink()
+	}
+
+	start := time.Now()
+	res, err := cloudmap.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("campaign archived to %s\n", *traces)
+	}
+	report := res.Report()
+	fmt.Print(report)
+	fmt.Printf("\ntotal runtime: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if *csvDir != "" {
+		if err := res.WriteFigureData(*csvDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("figure data written to %s\n", *csvDir)
+	}
+}

@@ -1,0 +1,89 @@
+// Command topogen generates a simulated Internet topology and prints its
+// ground-truth inventory: entity counts, the Amazon peering mix by kind and
+// visibility, and (optionally) a per-peering dump. It is the ground-truth
+// view that the inference pipeline never gets to see — useful for
+// understanding what a given scale and seed produce.
+//
+// Usage:
+//
+//	topogen [-scale small|medium|paper] [-seed N] [-dump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"cloudmap/internal/model"
+	"cloudmap/internal/topo"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "topology scale: small, medium, or paper")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	dump := flag.Bool("dump", false, "dump every Amazon peering")
+	flag.Parse()
+
+	var cfg topo.Config
+	switch *scale {
+	case "small":
+		cfg = topo.SmallConfig()
+	case "medium":
+		cfg = topo.MediumConfig()
+	case "paper":
+		cfg = topo.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	cfg.Seed = *seed
+
+	start := time.Now()
+	t, err := topo.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := t.Count()
+	fmt.Printf("generated in %v (seed %d, scale %.2f)\n", time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Scale)
+	fmt.Printf("orgs=%d ases=%d facilities=%d ixps=%d routers=%d ifaces=%d peerings=%d links=%d\n",
+		c.Orgs, c.ASes, c.Facilities, c.IXPs, c.Routers, c.Ifaces, c.Peerings, c.Links)
+	fmt.Printf("amazon peer ASes: %d\n\n", c.AmazonPeerASes)
+
+	amazon := t.Amazon()
+	kind := map[model.PeeringKind]int{}
+	remote, shared := 0, 0
+	links := 0
+	for i := range t.Peerings {
+		p := &t.Peerings[i]
+		if p.Cloud != amazon.ID {
+			continue
+		}
+		kind[p.Kind]++
+		links += len(p.Links)
+		if p.Remote {
+			remote++
+		}
+		if p.SharedPort {
+			shared++
+		}
+	}
+	fmt.Println("amazon peerings by kind (ground truth):")
+	for _, k := range []model.PeeringKind{model.PeeringPublicIXP, model.PeeringPrivatePhysical, model.PeeringVPI} {
+		fmt.Printf("  %-14s %6d\n", k, kind[k])
+	}
+	fmt.Printf("  remote: %d, shared-port (VPI): %d, links total: %d\n", remote, shared, links)
+
+	if *dump {
+		fmt.Println("\nper-peering dump:")
+		for i := range t.Peerings {
+			p := &t.Peerings[i]
+			if p.Cloud != amazon.ID {
+				continue
+			}
+			as := &t.ASes[p.Peer]
+			fac := &t.Facilities[p.Facility]
+			fmt.Printf("  AS%-6d %-20s %-13s at %-18s (%s) links=%d remote=%v\n",
+				as.ASN, as.Name, p.Kind, fac.Name, t.World.Metro(fac.Metro).Code, len(p.Links), p.Remote)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command tracedump issues a single traceroute in the simulated world and
+// prints the annotated hop list — the scamper-plus-annotation view the
+// paper's pipeline consumes. It is the debugging loupe for the forwarding
+// plane: where a probe exits Amazon, which segment would be inferred as the
+// interconnection, and how each hop resolves against the public datasets.
+//
+// Usage:
+//
+//	tracedump -dst 64.0.0.1 [-cloud amazon] [-region 0] [-scale small] [-seed N] [-save traces.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cloudmap"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/probe"
+	"cloudmap/internal/registry"
+	"cloudmap/internal/tracefile"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "topology scale: small, medium, or paper")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	cloud := flag.String("cloud", "amazon", "probing cloud")
+	region := flag.Int("region", 0, "probing region index")
+	dstFlag := flag.String("dst", "", "destination address (required)")
+	save := flag.String("save", "", "append the trace to this tracefile")
+	flag.Parse()
+
+	if *dstFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	dst, err := netblock.ParseIP(*dstFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var cfg cloudmap.Config
+	switch *scale {
+	case "small":
+		cfg = cloudmap.SmallConfig()
+	case "medium":
+		cfg = cloudmap.MediumConfig()
+	case "paper":
+		cfg = cloudmap.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	cfg.Topology.Seed = *seed
+
+	sys, err := cloudmap.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := sys.Prober.Traceroute(probe.VMRef{Cloud: *cloud, Region: *region}, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("traceroute from %s to %s (status %s)\n", tr.Src, tr.Dst, statusName(tr.Status))
+	seenBorder := false
+	for i, h := range tr.Hops {
+		if !h.Responsive() {
+			fmt.Printf("%3d  *\n", i+1)
+			continue
+		}
+		ann := sys.Registry.Annotate(h.Addr)
+		label := describe(sys.Registry, ann)
+		marker := ""
+		if !seenBorder && ann.ASN != 0 && !sys.Registry.IsAmazon(ann) {
+			marker = "  <-- CBI (candidate interconnection segment above)"
+			seenBorder = true
+		}
+		name := sys.Registry.DNS[h.Addr]
+		if name != "" {
+			name = "  " + name
+		}
+		fmt.Printf("%3d  %-15s %8.3f ms  %s%s%s\n", i+1, h.Addr, h.RTTms, label, name, marker)
+	}
+	if !seenBorder {
+		fmt.Println("(the probe never left the cloud)")
+	}
+
+	if *save != "" {
+		f, err := os.OpenFile(*save, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := tracefile.NewWriter(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.Write(tr)
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved to %s\n", *save)
+	}
+}
+
+func statusName(s probe.Status) string {
+	switch s {
+	case probe.StatusCompleted:
+		return "completed"
+	case probe.StatusGapLimit:
+		return "gap-limit"
+	case probe.StatusLoop:
+		return "loop"
+	}
+	return "unknown"
+}
+
+func describe(reg *registry.Registry, ann registry.Annotation) string {
+	switch {
+	case ann.IXP >= 0 && ann.ASN != 0:
+		return fmt.Sprintf("AS%-6d %-18s [IXP %s]", ann.ASN, ann.Org, reg.IXPs[ann.IXP].Name)
+	case ann.IXP >= 0:
+		return fmt.Sprintf("unknown member      [IXP %s]", reg.IXPs[ann.IXP].Name)
+	case ann.ASN == 0:
+		return "private/unknown"
+	case ann.Source == registry.SourceWhois:
+		return fmt.Sprintf("AS%-6d %-18s [whois-only]", ann.ASN, ann.Org)
+	default:
+		return fmt.Sprintf("AS%-6d %-18s", ann.ASN, ann.Org)
+	}
+}

@@ -1,0 +1,76 @@
+// Pinning: explore §6's geolocation machinery — which anchor families
+// contribute what, how far the co-presence rules propagate, how the §6.2
+// cross-validation scores, and (evaluation-only) how the pins compare with
+// ground truth. Finishes with an anchor-family ablation.
+//
+//	go run ./examples/pinning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudmap"
+	"cloudmap/internal/pinning"
+)
+
+func main() {
+	cfg := cloudmap.SmallConfig()
+	cfg.Topology.Seed = 11
+	cfg.SkipBdrmap = true
+
+	res, err := cloudmap.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := res.Pinning
+
+	fmt.Println("anchor families (exclusive contribution):")
+	for _, src := range []string{"dns", "ixp", "metro", "native"} {
+		fmt.Printf("  %-7s %5d anchors\n", src, p.Exclusive[src])
+	}
+	fmt.Println("co-presence propagation:")
+	fmt.Printf("  alias-set rule pinned  %5d interfaces\n", p.Exclusive["alias"])
+	fmt.Printf("  min-RTT rule pinned    %5d interfaces\n", p.Exclusive["min-rtt"])
+	fmt.Printf("  converged in %d rounds; %d conflicts skipped; %d inconsistent anchors removed\n",
+		p.Rounds, p.PropagationConflicts, p.ConflictingAnchors)
+	fmt.Printf("coverage: %.1f%% at metro level; +%d interfaces at region level (%.1f%% total)\n",
+		100*float64(len(p.Metro))/float64(p.TotalIfaces), p.RegionPinned,
+		100*float64(len(p.Metro)+p.RegionPinned)/float64(p.TotalIfaces))
+
+	cv := res.PinningCV
+	fmt.Printf("\n§6.2 cross-validation (%d folds, 70/30): precision %.2f%%, recall %.2f%%\n",
+		cv.Folds, 100*cv.Precision, 100*cv.Recall)
+
+	// Ground truth comparison — only possible in simulation.
+	tp := res.System.Topology
+	correct, wrong, unknown := p.Accuracy(func(addr cloudmap.IP) (cloudmap.MetroID, bool) {
+		ifc, ok := tp.IfaceAt(addr)
+		if !ok {
+			return 0, false
+		}
+		return tp.IfaceMetro(ifc), true
+	})
+	fmt.Printf("ground truth: %d pins correct, %d wrong, %d unknowable (%.2f%% accuracy)\n",
+		correct, wrong, unknown, 100*float64(correct)/float64(correct+wrong))
+
+	// Ablation: drop one anchor family at a time and measure coverage.
+	fmt.Println("\nanchor-family ablation (coverage without each family):")
+	sys := res.System
+	for _, tc := range []struct {
+		name    string
+		disable func(*pinning.Options)
+	}{
+		{"dns", func(o *pinning.Options) { o.DisableDNS = true }},
+		{"ixp", func(o *pinning.Options) { o.DisableIXP = true }},
+		{"metro", func(o *pinning.Options) { o.DisableMetro = true }},
+		{"native", func(o *pinning.Options) { o.DisableNative = true }},
+	} {
+		opts := pinning.DefaultOptions()
+		tc.disable(&opts)
+		ablated := pinning.Run(res.Verified, res.Border, sys.Registry, sys.Prober, res.Aliases, opts)
+		fmt.Printf("  without %-7s %.1f%% metro coverage (full: %.1f%%)\n",
+			tc.name, 100*float64(len(ablated.Metro))/float64(ablated.TotalIfaces),
+			100*float64(len(p.Metro))/float64(p.TotalIfaces))
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: run the complete reproduction pipeline on a test-sized world
+// and print the headline findings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudmap"
+)
+
+func main() {
+	// SmallConfig simulates a ~150-peer Amazon fabric; DefaultConfig is the
+	// paper-comparable ~3.5k-peer scale.
+	cfg := cloudmap.SmallConfig()
+	cfg.Topology.Seed = 42
+
+	res, err := cloudmap.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("How Cloud Traffic Goes Hiding — quickstart")
+	fmt.Println()
+
+	// The paper's central quantities, straight off the result.
+	abis := res.Border.BreakdownABIs()
+	cbis := res.Border.BreakdownCBIs()
+	fmt.Printf("inferred border interfaces: %d Amazon-side (ABIs), %d client-side (CBIs)\n", abis.Total, cbis.Total)
+	fmt.Printf("peer ASes discovered:       %d\n", res.Groups.PeerASes)
+	fmt.Printf("visible in public BGP:      %d (coverage of BGP view: %.0f%%)\n",
+		res.Groups.BGPReported, res.Groups.CoveragePct)
+	fmt.Printf("hidden peerings:            %.1f%% (virtual or invisible in BGP)\n", 100*res.Groups.HiddenShare)
+	fmt.Printf("VPIs detected by overlap:   %d CBIs (%.1f%% of non-IXP CBIs)\n",
+		len(res.VPI.VPICBIs), 100*float64(len(res.VPI.VPICBIs))/float64(res.VPI.AmazonNonIXPCBIs))
+	fmt.Printf("pinned to a metro:          %.1f%% of border interfaces\n",
+		100*float64(len(res.Pinning.Metro))/float64(res.Pinning.TotalIfaces))
+	fmt.Println()
+
+	// The full paper-style report (every table and figure) is one call:
+	fmt.Println("run res.Report() for the full set of tables and figures;")
+	fmt.Println("here is Table 5, the peering-type breakdown:")
+	fmt.Println()
+	for _, group := range []string{"Pb-nB", "Pb-B", "Pr-nB-V", "Pr-nB-nV", "Pr-B-nV", "Pr-B-V"} {
+		row := res.Groups.Rows[group]
+		fmt.Printf("  %-9s %4d ASes  %5d CBIs  %5d ABIs\n", group, row.ASes, row.CBIs, row.ABIs)
+	}
+}

@@ -1,0 +1,3 @@
+module cloudmap
+
+go 1.22

@@ -1,0 +1,126 @@
+package bdrmap_test
+
+import (
+	"sync"
+	"testing"
+
+	"cloudmap"
+	"cloudmap/internal/bdrmap"
+)
+
+var (
+	once sync.Once
+	res  *cloudmap.Result
+	runs []*bdrmap.RegionResult
+	cmp  bdrmap.Comparison
+	err  error
+)
+
+func setup(t *testing.T) {
+	t.Helper()
+	once.Do(func() {
+		res, err = cloudmap.Run(cloudmap.SmallConfig())
+		if err != nil {
+			return
+		}
+		runs = res.BdrmapRuns
+		cmp = *res.Bdrmap
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBdrmapProducesOutput(t *testing.T) {
+	setup(t)
+	if len(runs) != 15 {
+		t.Fatalf("expected 15 region runs, got %d", len(runs))
+	}
+	for _, rr := range runs {
+		if len(rr.CBIs) == 0 {
+			t.Fatalf("region %d found no CBIs", rr.Region)
+		}
+	}
+	if cmp.ABIs == 0 || cmp.CBIs == 0 || cmp.ASes == 0 {
+		t.Fatalf("empty aggregate: %+v", cmp)
+	}
+}
+
+func TestBdrmapInconsistencies(t *testing.T) {
+	setup(t)
+	// The §8 findings: AS0 owners, cross-region owner disagreement, and
+	// ABI/CBI flips concentrated in Amazon-advertised space.
+	if cmp.MultiOwnerCBIs == 0 {
+		t.Error("no multi-owner CBIs; §8 reports >500")
+	}
+	if cmp.Flipped == 0 {
+		t.Error("no ABI/CBI flips; §8 reports 872")
+	}
+	if cmp.Flipped > 0 && cmp.FlippedAmazonSpace == 0 {
+		t.Error("no flips in Amazon space; §8 reports 97% there")
+	}
+	if cmp.ThirdPartyCBIs == 0 {
+		t.Error("third-party heuristic never fired")
+	}
+}
+
+func TestBdrmapOverlapWithPipeline(t *testing.T) {
+	setup(t)
+	if cmp.CommonCBIs == 0 || cmp.CommonASes == 0 {
+		t.Fatalf("no overlap with the pipeline: %+v", cmp)
+	}
+	// bdrmap's AS inventory is inflated by third-party attributions (the
+	// paper dismisses most of its 0.65k exclusive ASes on this ground),
+	// but the pipeline's exclusive discoveries — the BGP-invisible fabric —
+	// must outnumber bdrmap's exclusives (paper: ~1.5k vs 0.65k).
+	ourASes := 0
+	seen := map[uint32]bool{}
+	for _, asn := range res.Verified.OwnerASN {
+		if asn != 0 && !seen[uint32(asn)] {
+			seen[uint32(asn)] = true
+			ourASes++
+		}
+	}
+	ourExclusive := ourASes - cmp.CommonASes
+	if ourExclusive < 0 {
+		t.Fatalf("common ASes (%d) exceed pipeline ASes (%d)", cmp.CommonASes, ourASes)
+	}
+	// Conflicting third-party attributions need unannounced transit
+	// infrastructure on probed paths; at the small test scale there may be
+	// none, so only fail when the heuristic fired at paper-like volume.
+	if cmp.ThirdPartyConflicts == 0 && cmp.ThirdPartyCBIs > 500 {
+		t.Error("third-party attributions never conflicted with the pipeline; §8 finds most do")
+	}
+}
+
+func TestBdrmapDeterministicPerRegion(t *testing.T) {
+	setup(t)
+	again, err := bdrmap.RunRegion(res.System.Prober, res.System.Registry, "amazon", 0, bdrmap.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.CBIs) != len(runs[0].CBIs) {
+		t.Fatalf("region 0 rerun differs: %d vs %d CBIs", len(again.CBIs), len(runs[0].CBIs))
+	}
+	for cbi, owner := range again.CBIs {
+		if runs[0].CBIs[cbi] != owner {
+			t.Fatalf("owner of %v differs across reruns", cbi)
+		}
+	}
+}
+
+func TestBdrmapRegionsDiffer(t *testing.T) {
+	setup(t)
+	// Independent per-region runs must not all agree exactly (their
+	// samples differ); §8's whole point is the inconsistency.
+	identical := true
+	for _, rr := range runs[1:] {
+		if len(rr.CBIs) != len(runs[0].CBIs) {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Error("all regions produced identical CBI counts; expected divergence")
+	}
+}

@@ -1,0 +1,357 @@
+// Package border implements the paper's basic inference strategy (§4.1): it
+// walks annotated traceroutes hop by hop from the cloud outward, identifies
+// the first hop owned by an organisation other than the cloud's (the
+// Customer Border Interface, CBI), and takes the hop before it as the cloud
+// Border Interface (ABI). The pair is a *candidate* interconnection segment:
+// address sharing on the interconnect subnet (Fig. 2) means the true segment
+// may be the immediately preceding one, which the verification stage
+// (internal/verify) resolves.
+//
+// The package consumes only measurement data (probe.Trace) and public
+// datasets (registry.Registry); it never sees ground truth.
+package border
+
+import (
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/probe"
+	"cloudmap/internal/registry"
+)
+
+// Segment is one candidate interconnection segment.
+type Segment struct {
+	ABI, CBI netblock.IP
+}
+
+// ABIInfo aggregates the evidence collected about one candidate ABI.
+type ABIInfo struct {
+	Addr netblock.IP
+	Ann  registry.Annotation
+	// NextOrgs are the organisations of the hops observed immediately after
+	// this interface; CloudNext records whether a cloud-organisation hop was
+	// ever next. Both feed the hybrid-interface heuristic (§5.1).
+	NextOrgs  map[string]struct{}
+	CloudNext bool
+	// CBIs are the customer border interfaces seen across this ABI.
+	CBIs map[netblock.IP]struct{}
+}
+
+// CBIInfo aggregates the evidence collected about one candidate CBI.
+type CBIInfo struct {
+	Addr netblock.IP
+	Ann  registry.Annotation
+	ABIs map[netblock.IP]struct{}
+	// Regions is a bitmask of probing regions that observed this CBI.
+	Regions uint32
+	// FoundInRound2 marks interfaces first discovered by expansion probing.
+	FoundInRound2 bool
+	// SampleDst is the destination of the first traceroute that revealed
+	// this CBI (part of the §7.1 VPI-detection target pool).
+	SampleDst netblock.IP
+}
+
+// SegInfo tracks one candidate segment and the hop preceding its ABI, which
+// becomes the corrected ABI if verification decides the segment must shift.
+type SegInfo struct {
+	Seg Segment
+	// PrevABI is the responsive hop before the ABI (zero when unknown).
+	PrevABI netblock.IP
+	Count   int
+}
+
+// Stats counts trace dispositions (§3's yield discussion and §4.1's
+// exclusion rules).
+type Stats struct {
+	Traces         int
+	Completed      int
+	LeftCloud      int
+	ExcludedLoop   int
+	ExcludedGap    int // unresponsive hop before the border
+	ExcludedDst    int // CBI was the traceroute destination
+	ExcludedDup    int // duplicate pre-border hop
+	ReenteredCloud int
+	NoBorder       int // never left the cloud
+}
+
+// Inference is the streaming state of border inference for one cloud.
+type Inference struct {
+	reg   *registry.Registry
+	cloud string
+	round int // 1 or 2 (expansion)
+
+	// asnGranularity disables ORG-level grouping: only the cloud's primary
+	// ASN counts as "inside". The paper's footnote 4 exists because Amazon
+	// announces from several ASNs; this switch (used by the ablation bench)
+	// shows what goes wrong without ORG grouping — borders detected inside
+	// the cloud.
+	asnGranularity bool
+	primaryASN     registry.ASN
+
+	ABIs     map[netblock.IP]*ABIInfo
+	CBIs     map[netblock.IP]*CBIInfo
+	Segments map[Segment]*SegInfo
+
+	// ReachableSlash24 maps peer ASN -> set of destination /24s probed
+	// through that peer's CBIs (Fig. 6's "reachable /24" feature).
+	ReachableSlash24 map[registry.ASN]map[netblock.IP]struct{}
+
+	Stats Stats
+}
+
+// New creates an inference sink for the named cloud ("amazon", ...).
+func New(reg *registry.Registry, cloud string) *Inference {
+	return &Inference{
+		reg:              reg,
+		cloud:            cloud,
+		round:            1,
+		ABIs:             make(map[netblock.IP]*ABIInfo),
+		CBIs:             make(map[netblock.IP]*CBIInfo),
+		Segments:         make(map[Segment]*SegInfo),
+		ReachableSlash24: make(map[registry.ASN]map[netblock.IP]struct{}),
+	}
+}
+
+// BeginRound2 switches bookkeeping to expansion-probing mode.
+func (inf *Inference) BeginRound2() { inf.round = 2 }
+
+// DisableOrgGrouping switches the border walk to single-ASN granularity
+// (ablation; see the asnGranularity field).
+func (inf *Inference) DisableOrgGrouping(primaryASN registry.ASN) {
+	inf.asnGranularity = true
+	inf.primaryASN = primaryASN
+}
+
+// isCloudHop reports whether a hop still belongs to the probing cloud: its
+// organisation matches, or it is in private/shared space (ASN 0), which
+// clouds use internally (§3). An address inside an IXP prefix is never a
+// cloud hop on an outbound trace — it always belongs to some IXP member
+// ([63], the basis of the IXP-client heuristic) — even when the exchange's
+// published member assignment has a gap and the ASN is unknown.
+func (inf *Inference) isCloudHop(ann registry.Annotation) bool {
+	if inf.asnGranularity {
+		if ann.IXP >= 0 {
+			return ann.ASN == inf.primaryASN
+		}
+		return ann.ASN == 0 || ann.ASN == inf.primaryASN
+	}
+	if ann.IXP >= 0 {
+		return ann.ASN != 0 && inf.reg.CloudASNs[inf.cloud][ann.ASN]
+	}
+	if ann.ASN == 0 {
+		return true
+	}
+	return inf.reg.CloudASNs[inf.cloud][ann.ASN]
+}
+
+// Consume processes one traceroute, applying §4.1's exclusion rules and
+// recording any candidate interconnection segment.
+func (inf *Inference) Consume(tr probe.Trace) {
+	inf.Stats.Traces++
+	if tr.Status == probe.StatusCompleted {
+		inf.Stats.Completed++
+	}
+	if tr.Status == probe.StatusLoop {
+		inf.Stats.ExcludedLoop++
+		return
+	}
+
+	// Find the customer border hop: the first responsive hop whose ORG is
+	// neither unknown-private (AS0) nor the cloud's.
+	cbiIdx := -1
+	var cbiAnn registry.Annotation
+	for i, h := range tr.Hops {
+		if !h.Responsive() {
+			continue
+		}
+		ann := inf.reg.Annotate(h.Addr)
+		if !inf.isCloudHop(ann) {
+			cbiIdx = i
+			cbiAnn = ann
+			break
+		}
+	}
+	if cbiIdx < 0 {
+		inf.Stats.NoBorder++
+		return
+	}
+	inf.Stats.LeftCloud++
+
+	// Exclusion: unresponsive or duplicate hops before the border.
+	seen := make(map[netblock.IP]struct{}, cbiIdx)
+	for i := 0; i < cbiIdx; i++ {
+		if !tr.Hops[i].Responsive() {
+			inf.Stats.ExcludedGap++
+			return
+		}
+		if _, dup := seen[tr.Hops[i].Addr]; dup {
+			inf.Stats.ExcludedDup++
+			return
+		}
+		seen[tr.Hops[i].Addr] = struct{}{}
+	}
+	if cbiIdx == 0 {
+		// No ABI observable; cannot form a segment.
+		inf.Stats.NoBorder++
+		return
+	}
+	cbi := tr.Hops[cbiIdx].Addr
+	// Exclusion: the CBI is the destination itself (likely a default
+	// response by the target, RFC 1812 behaviour; §4.1).
+	if cbi == tr.Dst && cbiIdx == len(tr.Hops)-1 {
+		inf.Stats.ExcludedDst++
+		return
+	}
+
+	// Sanity: the trace must not re-enter the cloud downstream.
+	for i := cbiIdx + 1; i < len(tr.Hops); i++ {
+		if !tr.Hops[i].Responsive() {
+			continue
+		}
+		ann := inf.reg.Annotate(tr.Hops[i].Addr)
+		if ann.ASN != 0 && inf.reg.CloudASNs[inf.cloud][ann.ASN] {
+			inf.Stats.ReenteredCloud++
+			return
+		}
+	}
+
+	abi := tr.Hops[cbiIdx-1].Addr
+	abiAnn := inf.reg.Annotate(abi)
+	var prev netblock.IP
+	if cbiIdx >= 2 {
+		prev = tr.Hops[cbiIdx-2].Addr
+	}
+	inf.record(tr, abi, abiAnn, cbi, cbiAnn, prev)
+}
+
+func (inf *Inference) record(tr probe.Trace, abi netblock.IP, abiAnn registry.Annotation, cbi netblock.IP, cbiAnn registry.Annotation, prev netblock.IP) {
+	ai := inf.ABIs[abi]
+	if ai == nil {
+		ai = &ABIInfo{Addr: abi, Ann: abiAnn, NextOrgs: map[string]struct{}{}, CBIs: map[netblock.IP]struct{}{}}
+		inf.ABIs[abi] = ai
+	}
+	ai.CBIs[cbi] = struct{}{}
+	if cbiAnn.Org != "" {
+		ai.NextOrgs[cbiAnn.Org] = struct{}{}
+	}
+
+	// The hop before the ABI has the ABI (cloud-annotated, here) as next
+	// hop: hybrid evidence for that earlier interface if it is ever itself
+	// inferred as an ABI.
+	if prev != netblock.Zero {
+		pi := inf.ABIs[prev]
+		if pi == nil {
+			// Record only if it is already a known ABI; otherwise keep a
+			// lightweight pending entry (it may become one later).
+			pi = &ABIInfo{Addr: prev, Ann: inf.reg.Annotate(prev), NextOrgs: map[string]struct{}{}, CBIs: map[netblock.IP]struct{}{}}
+			inf.ABIs[prev] = pi
+		}
+		pi.CloudNext = true
+	}
+
+	ci := inf.CBIs[cbi]
+	if ci == nil {
+		ci = &CBIInfo{Addr: cbi, Ann: cbiAnn, ABIs: map[netblock.IP]struct{}{}, FoundInRound2: inf.round == 2, SampleDst: tr.Dst}
+		inf.CBIs[cbi] = ci
+	}
+	ci.ABIs[abi] = struct{}{}
+	if tr.Src.Region < 32 {
+		ci.Regions |= 1 << uint(tr.Src.Region)
+	}
+
+	seg := Segment{ABI: abi, CBI: cbi}
+	si := inf.Segments[seg]
+	if si == nil {
+		si = &SegInfo{Seg: seg, PrevABI: prev}
+		inf.Segments[seg] = si
+	}
+	si.Count++
+	if si.PrevABI == netblock.Zero {
+		si.PrevABI = prev
+	}
+
+	// Reachability accounting for Fig. 6: the destination /24 was probed
+	// through this peer.
+	if cbiAnn.ASN != 0 {
+		set := inf.ReachableSlash24[cbiAnn.ASN]
+		if set == nil {
+			set = map[netblock.IP]struct{}{}
+			inf.ReachableSlash24[cbiAnn.ASN] = set
+		}
+		set[netblock.Slash24(tr.Dst).Addr] = struct{}{}
+	}
+}
+
+// pendingOnly reports whether an ABI entry exists only as hybrid-evidence
+// bookkeeping (it was seen before a cloud hop but never inferred as a
+// border).
+func (a *ABIInfo) pendingOnly() bool { return len(a.CBIs) == 0 }
+
+// CandidateABIs returns the addresses actually inferred as ABIs (excluding
+// pending hybrid-evidence entries).
+func (inf *Inference) CandidateABIs() []netblock.IP {
+	out := make([]netblock.IP, 0, len(inf.ABIs))
+	for addr, ai := range inf.ABIs {
+		if !ai.pendingOnly() {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// CandidateCBIs returns all inferred CBI addresses.
+func (inf *Inference) CandidateCBIs() []netblock.IP {
+	out := make([]netblock.IP, 0, len(inf.CBIs))
+	for addr := range inf.CBIs {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// MetaBreakdown summarises a set of interfaces by annotation source: the
+// BGP%/WHOIS%/IXP% columns of Table 1.
+type MetaBreakdown struct {
+	Total, BGP, Whois, IXP int
+}
+
+// BreakdownABIs computes Table 1's ABI row.
+func (inf *Inference) BreakdownABIs() MetaBreakdown {
+	var b MetaBreakdown
+	for _, ai := range inf.ABIs {
+		if ai.pendingOnly() {
+			continue
+		}
+		tally(&b, ai.Ann)
+	}
+	return b
+}
+
+// BreakdownCBIs computes Table 1's CBI row.
+func (inf *Inference) BreakdownCBIs() MetaBreakdown {
+	var b MetaBreakdown
+	for _, ci := range inf.CBIs {
+		tally(&b, ci.Ann)
+	}
+	return b
+}
+
+func tally(b *MetaBreakdown, ann registry.Annotation) {
+	b.Total++
+	switch {
+	case ann.IXP >= 0:
+		b.IXP++
+	case ann.Source == registry.SourceBGP:
+		b.BGP++
+	case ann.Source == registry.SourceWhois:
+		b.Whois++
+	}
+}
+
+// PeerASNs returns the distinct peer ASNs across all CBIs.
+func (inf *Inference) PeerASNs() map[registry.ASN]struct{} {
+	out := map[registry.ASN]struct{}{}
+	for _, ci := range inf.CBIs {
+		if ci.Ann.ASN != 0 {
+			out[ci.Ann.ASN] = struct{}{}
+		}
+	}
+	return out
+}

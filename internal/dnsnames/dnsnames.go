@@ -1,0 +1,182 @@
+// Package dnsnames synthesises reverse-DNS names for router interfaces in
+// the operator naming grammars found in the wild, and parses location hints
+// back out of them (a DRoP-style decoder, cf. §6.1).
+//
+// Synthesis is a ground-truth operation (it reads the topology); parsing is
+// a pure string operation available to the inference pipeline.
+package dnsnames
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/model"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/rng"
+)
+
+// Synthesize produces the reverse-DNS zone of the simulated Internet:
+// a map from interface address to DNS name. Amazon interfaces never carry
+// reverse DNS (the paper observed none, footnote 9). A small fraction of
+// names embed stale (wrong) locations, which the pinning stage must catch
+// with its RTT sanity check.
+func Synthesize(t *model.Topology, seed uint64) map[netblock.IP]string {
+	r := rng.New(seed ^ 0xd15ea5e)
+	out := make(map[netblock.IP]string)
+	world := t.World
+
+	amazonOrg := t.OrgOf(t.Amazon().PrimaryAS())
+
+	// Identify VPI exchange-port interfaces: candidates for Direct-Connect
+	// style names regardless of the operator's usual style.
+	dxIfaces := make(map[model.IfaceID]bool)
+	for i := range t.Peerings {
+		p := &t.Peerings[i]
+		if p.Kind != model.PeeringVPI {
+			continue
+		}
+		for _, l := range p.Links {
+			dxIfaces[t.Links[l].PeerIface] = true
+		}
+	}
+
+	for i := range t.Ifaces {
+		ifc := &t.Ifaces[i]
+		addr := ifc.Addr
+		if addr == netblock.Zero || addr.IsPrivate() || addr.IsShared() {
+			continue
+		}
+		router := &t.Routers[ifc.Router]
+		as := &t.ASes[router.AS]
+		if as.Type == model.ASCloud || t.OrgOf(router.AS) == amazonOrg {
+			continue // cloud infrastructure has no reverse DNS
+		}
+
+		// Direct-Connect style names on a few VPI ports, in the partner's
+		// zone: the dxvif/VLAN evidence of §7.3 (the paper found such names
+		// on only ~3% of Pr-nB CBIs).
+		if dxIfaces[ifc.ID] && r.Bool(0.08) {
+			kw := rng.Pick(r, []string{"dxvif", "dxcon", "awsdx", "aws-dx"})
+			out[addr] = fmt.Sprintf("%s-ffx%d.vl-%d.%s.example.net",
+				kw, 1000+r.Intn(9000), 100+r.Intn(900), strings.ToLower(as.Name))
+			continue
+		}
+
+		metro := world.Metro(router.Metro)
+		// Occasionally DNS lies: the name names a different metro (stale
+		// records after router moves).
+		if r.Bool(0.01) {
+			metro = world.Metro(geo.MetroID(r.Intn(len(world.Metros))))
+		}
+
+		switch as.DNSStyle {
+		case model.DNSAirport:
+			if !r.Bool(0.85) {
+				continue
+			}
+			// e.g. ae-4.amazon.atlus05.bb.transitco-12.example.net
+			peerTag := ""
+			if ifc.Kind == model.IfInterconnect && r.Bool(0.5) {
+				peerTag = "amazon."
+			}
+			out[addr] = fmt.Sprintf("ae-%d.%s%s%s%02d.%s.%s.example.net",
+				r.Intn(9), peerTag, metro.Code, strings.ToLower(metro.Country), r.Intn(20),
+				as.DNSDomain, strings.ToLower(as.Name))
+		case model.DNSCity:
+			if !r.Bool(0.6) {
+				continue
+			}
+			city := strings.ToLower(strings.ReplaceAll(metro.City, " ", ""))
+			out[addr] = fmt.Sprintf("xe-%d-%d.cr%d.%s%d.%s.example.net",
+				r.Intn(4), r.Intn(8), 1+r.Intn(4), city, 1+r.Intn(3), strings.ToLower(as.Name))
+		case model.DNSOpaque:
+			if !r.Bool(0.5) {
+				continue
+			}
+			out[addr] = fmt.Sprintf("host-%d-%d-%d-%d.%s.example.net",
+				addr>>24, addr>>16&0xff, addr>>8&0xff, addr&0xff, strings.ToLower(as.Name))
+		default:
+			// DNSNone: no reverse DNS.
+		}
+	}
+	return out
+}
+
+// Hint is the location evidence decoded from one DNS name.
+type Hint struct {
+	// MetroCode is the airport-style code decoded from the name ("" when
+	// the name carries no location).
+	MetroCode string
+	// DX reports Direct-Connect vocabulary (dxvif/dxcon/awsdx) — strong
+	// evidence of a virtual interconnection (§7.3).
+	DX bool
+	// VLAN reports an embedded VLAN tag (vl-NNN), evidence of a layer-2
+	// virtual circuit.
+	VLAN bool
+}
+
+// stopLabels are labels that must never be treated as location tokens.
+var stopLabels = map[string]bool{
+	"bb": true, "net": true, "com": true, "example": true, "cr": true,
+	"ae": true, "xe": true, "host": true, "amazon": true, "cdn": true,
+	"edu": true, "corp": true,
+}
+
+// Parse decodes location and interconnection evidence from a DNS name.
+// The decoder mirrors DRoP's approach: per-label matching of airport codes
+// and city names against a gazetteer (the geo world), plus keyword rules.
+func Parse(name string, world *geo.World) Hint {
+	var h Hint
+	if name == "" {
+		return h
+	}
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "dxvif") || strings.Contains(lower, "dxcon") ||
+		strings.Contains(lower, "awsdx") || strings.Contains(lower, "aws-dx") {
+		h.DX = true
+	}
+	for _, label := range strings.Split(lower, ".") {
+		if strings.HasPrefix(label, "vl-") {
+			h.VLAN = true
+		}
+		if h.MetroCode != "" || stopLabels[label] || len(label) < 3 {
+			continue
+		}
+		// Full city-name match (possibly suffixed with digits).
+		trimmed := strings.TrimRight(label, "0123456789")
+		if id, ok := world.ByCity(trimmed); ok {
+			h.MetroCode = world.Metro(id).Code
+			continue
+		}
+		// Airport-code prefix followed by country/sequence decoration
+		// ("atlus05"), but only when the remainder looks like decoration,
+		// not a word ("manchester" must not decode as "man").
+		code := label[:3]
+		if _, ok := world.ByCode(code); ok && looksLikeDecoration(label[3:]) {
+			h.MetroCode = code
+		}
+	}
+	return h
+}
+
+// looksLikeDecoration accepts short trailing tokens such as "us05", "nga3",
+// "" — but rejects long alphabetic remainders that indicate the match was a
+// coincidence inside a word.
+func looksLikeDecoration(rest string) bool {
+	if len(rest) > 5 {
+		return false
+	}
+	letters := 0
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'z':
+			letters++
+		default:
+			return false
+		}
+	}
+	return letters <= 3
+}

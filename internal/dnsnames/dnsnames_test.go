@@ -1,0 +1,156 @@
+package dnsnames
+
+import (
+	"testing"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/topo"
+)
+
+func TestParseAirportStyle(t *testing.T) {
+	w := geo.NewWorld()
+	h := Parse("ae-4.amazon.atlus05.bb.transitco-12.example.net", w)
+	if h.MetroCode != "atl" {
+		t.Errorf("got metro %q, want atl", h.MetroCode)
+	}
+	if h.DX || h.VLAN {
+		t.Error("spurious DX/VLAN evidence")
+	}
+}
+
+func TestParseCityStyle(t *testing.T) {
+	w := geo.NewWorld()
+	h := Parse("xe-0-1.cr2.frankfurt1.accessnet-9.example.net", w)
+	fra, _ := w.ByCode("fra")
+	if h.MetroCode != w.Metro(fra).Code {
+		t.Errorf("got metro %q, want fra", h.MetroCode)
+	}
+}
+
+func TestParseDXStyle(t *testing.T) {
+	w := geo.NewWorld()
+	h := Parse("dxvif-ffx1234.vl-302.corp-77.example.net", w)
+	if !h.DX {
+		t.Error("dxvif not detected")
+	}
+	if !h.VLAN {
+		t.Error("VLAN tag not detected")
+	}
+	if h.MetroCode != "" {
+		t.Errorf("DX name produced location %q", h.MetroCode)
+	}
+}
+
+func TestParseRejectsWordsContainingCodes(t *testing.T) {
+	w := geo.NewWorld()
+	// "manchester" starts with "man" (a valid code) but is a word, and
+	// should be matched as the CITY Manchester, not via the code heuristic
+	// producing a half-parsed token.
+	h := Parse("xe-1-1.cr1.manchester2.accessnet-3.example.net", w)
+	if h.MetroCode != "man" {
+		t.Errorf("manchester: got %q", h.MetroCode)
+	}
+	// "management" must not decode as Manchester.
+	h = Parse("management.example.net", w)
+	if h.MetroCode != "" {
+		t.Errorf("management decoded as %q", h.MetroCode)
+	}
+	// Opaque names carry no location.
+	h = Parse("host-96-0-1-5.corp-12.example.net", w)
+	if h.MetroCode != "" {
+		t.Errorf("opaque name decoded as %q", h.MetroCode)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	w := geo.NewWorld()
+	if h := Parse("", w); h.MetroCode != "" || h.DX || h.VLAN {
+		t.Error("empty name produced evidence")
+	}
+}
+
+func TestSynthesizeProperties(t *testing.T) {
+	tp, err := topo.Generate(topo.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := Synthesize(tp, 42)
+	if len(names) == 0 {
+		t.Fatal("no names synthesised")
+	}
+
+	amazonOrg := tp.OrgOf(tp.Amazon().PrimaryAS())
+	w := tp.World
+	parsed, correct, dx := 0, 0, 0
+	for addr, name := range names {
+		ifc, ok := tp.IfaceAt(addr)
+		if !ok {
+			t.Fatalf("name for unknown address %v", addr)
+		}
+		router := tp.IfaceRouter(ifc)
+		if tp.OrgOf(router.AS) == amazonOrg {
+			t.Fatalf("Amazon interface %v has reverse DNS %q (paper: none)", addr, name)
+		}
+		h := Parse(name, w)
+		if h.DX {
+			dx++
+		}
+		if h.MetroCode == "" {
+			continue
+		}
+		parsed++
+		id, ok := w.ByCode(h.MetroCode)
+		if !ok {
+			t.Fatalf("parsed unknown code %q from %q", h.MetroCode, name)
+		}
+		if id == router.Metro {
+			correct++
+		}
+	}
+	if parsed == 0 {
+		t.Fatal("no names carried decodable locations")
+	}
+	if dx == 0 {
+		t.Fatal("no Direct-Connect style names synthesised")
+	}
+	// Names are mostly truthful; only the deliberate ~1% staleness plus
+	// code collisions may mislead.
+	if float64(correct)/float64(parsed) < 0.9 {
+		t.Errorf("only %d/%d parsed names point at the true metro", correct, parsed)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	tp, err := topo.Generate(topo.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Synthesize(tp, 7)
+	b := Synthesize(tp, 7)
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("name for %v differs", k)
+		}
+	}
+}
+
+func TestVLANNamesExist(t *testing.T) {
+	tp, err := topo.Generate(topo.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := Synthesize(tp, 42)
+	w := tp.World
+	vlan := 0
+	for _, name := range names {
+		if Parse(name, w).VLAN {
+			vlan++
+		}
+	}
+	if vlan == 0 {
+		t.Error("no VLAN-tagged names (needed for the §7.3 evidence)")
+	}
+}

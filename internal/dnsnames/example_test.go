@@ -1,0 +1,36 @@
+package dnsnames_test
+
+import (
+	"fmt"
+
+	"cloudmap/internal/dnsnames"
+	"cloudmap/internal/geo"
+)
+
+// The decoder recognises the naming grammars the paper's DRoP-style pass
+// handles: airport codes with decoration, full city names, and the
+// Direct-Connect vocabulary that betrays virtual interconnections.
+func ExampleParse() {
+	world := geo.NewWorld()
+	for _, name := range []string{
+		"ae-4.amazon.atlus05.bb.transitco-12.example.net",
+		"xe-0-1.cr2.frankfurt1.accessnet-9.example.net",
+		"dxvif-ffx1234.vl-302.corp-77.example.net",
+		"host-96-0-1-5.corp-12.example.net",
+	} {
+		h := dnsnames.Parse(name, world)
+		fmt.Printf("metro=%-3s dx=%-5v vlan=%v\n", orDash(h.MetroCode), h.DX, h.VLAN)
+	}
+	// Output:
+	// metro=atl dx=false vlan=false
+	// metro=fra dx=false vlan=false
+	// metro=-   dx=true  vlan=true
+	// metro=-   dx=false vlan=false
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

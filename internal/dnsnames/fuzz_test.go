@@ -1,0 +1,28 @@
+package dnsnames
+
+import (
+	"testing"
+
+	"cloudmap/internal/geo"
+)
+
+// FuzzParse checks the DRoP-style decoder never panics and only emits codes
+// that exist in the gazetteer.
+func FuzzParse(f *testing.F) {
+	f.Add("ae-4.amazon.atlus05.bb.transitco-12.example.net")
+	f.Add("dxvif-ffx1234.vl-302.corp-77.example.net")
+	f.Add("xe-0-1.cr2.frankfurt1.accessnet-9.example.net")
+	f.Add("")
+	f.Add("....")
+	f.Add(".vl-.dxvif.")
+	world := geo.NewWorld()
+	f.Fuzz(func(t *testing.T, name string) {
+		h := Parse(name, world)
+		if h.MetroCode == "" {
+			return
+		}
+		if _, ok := world.ByCode(h.MetroCode); !ok {
+			t.Fatalf("decoded unknown metro code %q from %q", h.MetroCode, name)
+		}
+	})
+}

@@ -1,0 +1,226 @@
+// Package evaluate scores every inference stage against ground truth — the
+// evaluation the paper could not run (§9: "as third-party researchers, we
+// found it challenging to validate our Amazon-specific findings"). In the
+// simulator the ground truth is known exactly, so precision and recall of
+// border inference, owner attribution, VPI detection, and pinning are all
+// measurable.
+//
+// This package is evaluation-only: it reads internal/model freely, and
+// nothing in the inference pipeline depends on it.
+package evaluate
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudmap/internal/border"
+	"cloudmap/internal/geo"
+	"cloudmap/internal/model"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/pinning"
+	"cloudmap/internal/verify"
+	"cloudmap/internal/vpi"
+)
+
+// PR is a precision/recall pair with its raw counts.
+type PR struct {
+	TP, FP, FN int
+}
+
+// Precision returns TP/(TP+FP), 1 when nothing was claimed.
+func (p PR) Precision() float64 {
+	if p.TP+p.FP == 0 {
+		return 1
+	}
+	return float64(p.TP) / float64(p.TP+p.FP)
+}
+
+// Recall returns TP/(TP+FN), 1 when nothing was there to find.
+func (p PR) Recall() float64 {
+	if p.TP+p.FN == 0 {
+		return 1
+	}
+	return float64(p.TP) / float64(p.TP+p.FN)
+}
+
+// Report scores the pipeline stages.
+type Report struct {
+	// ABIs: inferred Amazon border interfaces vs interfaces on Amazon
+	// routers. FNs are not counted (the ABI universe is unbounded: any
+	// Amazon interface could be one).
+	ABIOnAmazonRouter, ABIElsewhere int
+
+	// CBIs: inferred customer border interfaces vs interfaces on client
+	// routers directly adjacent to Amazon. "Deep" CBIs sit on the right AS
+	// but one router past the border (the Fig. 2 shift's residue).
+	CBIOnBorderRouter, CBIDeep, CBIWrong int
+
+	// PeerASes: discovered peer ASNs vs ground-truth Amazon peer ASNs.
+	PeerAS PR
+
+	// Owner attribution: final CBI owner vs the owning AS of the router.
+	OwnerCorrect, OwnerWrong int
+
+	// VPI: detected VPI interfaces vs ground-truth multi-cloud exchange
+	// ports (single-cloud VPIs are uncatchable by design and counted
+	// separately).
+	VPI                  PR
+	VPISingleCloudMissed int
+
+	// Pinning: metro pins vs true interface metros.
+	PinCorrect, PinWrong int
+}
+
+// Evaluate scores the stages against the topology.
+func Evaluate(tp *model.Topology, inf *border.Inference, ver *verify.Result, vres *vpi.Result, pin *pinning.Result) *Report {
+	r := &Report{}
+	amazon := tp.Amazon()
+
+	// Routers adjacent to Amazon (terminating at least one Amazon link).
+	adjacent := map[model.RouterID]bool{}
+	truePeers := map[model.ASN]bool{}
+	multiCloudPorts := map[netblock.IP]bool{}
+	singleCloudPorts := map[netblock.IP]bool{}
+	portClouds := map[model.IfaceID]map[model.CloudID]bool{}
+	for i := range tp.Links {
+		l := &tp.Links[i]
+		p := &tp.Peerings[l.Peering]
+		if p.Cloud == amazon.ID {
+			adjacent[l.PeerRouter] = true
+			truePeers[tp.ASes[p.Peer].ASN] = true
+		}
+		if p.Kind == model.PeeringVPI {
+			if portClouds[l.PeerIface] == nil {
+				portClouds[l.PeerIface] = map[model.CloudID]bool{}
+			}
+			portClouds[l.PeerIface][p.Cloud] = true
+		}
+	}
+	for ifc, clouds := range portClouds {
+		if !clouds[amazon.ID] {
+			continue
+		}
+		addr := tp.Ifaces[ifc].Addr
+		if len(clouds) >= 2 {
+			multiCloudPorts[addr] = true
+		} else {
+			singleCloudPorts[addr] = true
+		}
+	}
+
+	// ABIs.
+	for abi := range ver.ABIs {
+		if ifc, ok := tp.IfaceAt(abi); ok && tp.IsCloudAS(amazon, tp.IfaceAS(ifc)) {
+			r.ABIOnAmazonRouter++
+		} else {
+			r.ABIElsewhere++
+		}
+	}
+
+	// CBIs and owner attribution.
+	for cbi := range ver.CBIs {
+		ifc, ok := tp.IfaceAt(cbi)
+		if !ok {
+			r.CBIWrong++
+			continue
+		}
+		router := tp.IfaceRouter(ifc)
+		switch {
+		case adjacent[router.ID]:
+			r.CBIOnBorderRouter++
+		case !tp.IsCloudAS(amazon, router.AS):
+			r.CBIDeep++
+		default:
+			r.CBIWrong++
+		}
+		if owner := ver.OwnerASN[cbi]; owner != 0 {
+			if tp.ASes[router.AS].ASN == owner {
+				r.OwnerCorrect++
+			} else {
+				r.OwnerWrong++
+			}
+		}
+	}
+
+	// Peer AS discovery.
+	found := map[model.ASN]bool{}
+	for _, asn := range ver.OwnerASN {
+		if asn != 0 {
+			found[asn] = true
+		}
+	}
+	for asn := range found {
+		if truePeers[asn] {
+			r.PeerAS.TP++
+		} else {
+			r.PeerAS.FP++
+		}
+	}
+	for asn := range truePeers {
+		if !found[asn] {
+			r.PeerAS.FN++
+		}
+	}
+
+	// VPI detection.
+	if vres != nil {
+		for addr := range vres.VPICBIs {
+			if multiCloudPorts[addr] || singleCloudPorts[addr] {
+				r.VPI.TP++
+			} else {
+				r.VPI.FP++
+			}
+		}
+		for addr := range multiCloudPorts {
+			if !vres.IsVPI(addr) {
+				r.VPI.FN++
+			}
+		}
+		for addr := range singleCloudPorts {
+			if !vres.IsVPI(addr) {
+				r.VPISingleCloudMissed++
+			}
+		}
+	}
+
+	// Pinning.
+	if pin != nil {
+		c, w, _ := pin.Accuracy(func(addr netblock.IP) (geo.MetroID, bool) {
+			ifc, ok := tp.IfaceAt(addr)
+			if !ok {
+				return 0, false
+			}
+			return tp.IfaceMetro(ifc), true
+		})
+		r.PinCorrect, r.PinWrong = c, w
+	}
+	return r
+}
+
+// String renders the scorecard.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("ground-truth evaluation (unavailable to the paper):\n")
+	fmt.Fprintf(&b, "  ABIs on Amazon routers:      %d/%d (%.1f%%)\n",
+		r.ABIOnAmazonRouter, r.ABIOnAmazonRouter+r.ABIElsewhere,
+		100*frac(r.ABIOnAmazonRouter, r.ABIOnAmazonRouter+r.ABIElsewhere))
+	totalCBI := r.CBIOnBorderRouter + r.CBIDeep + r.CBIWrong
+	fmt.Fprintf(&b, "  CBIs on true border routers: %d/%d (%.1f%%); one hop deep: %d; wrong: %d\n",
+		r.CBIOnBorderRouter, totalCBI, 100*frac(r.CBIOnBorderRouter, totalCBI), r.CBIDeep, r.CBIWrong)
+	fmt.Fprintf(&b, "  peer-AS discovery:           precision %.1f%%, recall %.1f%% (TP %d, FP %d, FN %d)\n",
+		100*r.PeerAS.Precision(), 100*r.PeerAS.Recall(), r.PeerAS.TP, r.PeerAS.FP, r.PeerAS.FN)
+	fmt.Fprintf(&b, "  CBI owner attribution:       %.1f%% correct (%d of %d)\n",
+		100*frac(r.OwnerCorrect, r.OwnerCorrect+r.OwnerWrong), r.OwnerCorrect, r.OwnerCorrect+r.OwnerWrong)
+	fmt.Fprintf(&b, "  VPI detection:               precision %.1f%%, recall (multi-cloud) %.1f%%; single-cloud missed by design: %d\n",
+		100*r.VPI.Precision(), 100*r.VPI.Recall(), r.VPISingleCloudMissed)
+	fmt.Fprintf(&b, "  pinning:                     %.1f%% of metro pins correct (%d of %d)\n",
+		100*frac(r.PinCorrect, r.PinCorrect+r.PinWrong), r.PinCorrect, r.PinCorrect+r.PinWrong)
+	return b.String()
+}
+
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 1
+	}
+	return float64(n) / float64(d)
+}

@@ -1,0 +1,107 @@
+package evaluate_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"cloudmap"
+	"cloudmap/internal/evaluate"
+)
+
+var (
+	once sync.Once
+	res  *cloudmap.Result
+	rep  *evaluate.Report
+	err  error
+)
+
+func setup(t *testing.T) (*cloudmap.Result, *evaluate.Report) {
+	t.Helper()
+	once.Do(func() {
+		cfg := cloudmap.SmallConfig()
+		cfg.SkipBdrmap = true
+		res, err = cloudmap.Run(cfg)
+		if err != nil {
+			return
+		}
+		rep = evaluate.Evaluate(res.System.Topology, res.Border, res.Verified, res.VPI, res.Pinning)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rep
+}
+
+func TestScorecardSanity(t *testing.T) {
+	_, r := setup(t)
+	// ABIs overwhelmingly on Amazon routers after verification.
+	if fr := float64(r.ABIOnAmazonRouter) / float64(r.ABIOnAmazonRouter+r.ABIElsewhere); fr < 0.85 {
+		t.Errorf("only %.1f%% of ABIs on Amazon routers", 100*fr)
+	}
+	// CBIs overwhelmingly on true border routers; no outright wrong ones.
+	total := r.CBIOnBorderRouter + r.CBIDeep + r.CBIWrong
+	if fr := float64(r.CBIOnBorderRouter) / float64(total); fr < 0.8 {
+		t.Errorf("only %.1f%% of CBIs on border routers", 100*fr)
+	}
+	if r.CBIWrong > total/20 {
+		t.Errorf("%d outright-wrong CBIs of %d", r.CBIWrong, total)
+	}
+}
+
+func TestPeerDiscoveryScores(t *testing.T) {
+	_, r := setup(t)
+	if r.PeerAS.Precision() < 0.9 {
+		t.Errorf("peer-AS precision %.2f", r.PeerAS.Precision())
+	}
+	if r.PeerAS.Recall() < 0.5 {
+		t.Errorf("peer-AS recall %.2f", r.PeerAS.Recall())
+	}
+}
+
+func TestOwnerAttribution(t *testing.T) {
+	_, r := setup(t)
+	if fr := float64(r.OwnerCorrect) / float64(r.OwnerCorrect+r.OwnerWrong); fr < 0.85 {
+		t.Errorf("owner attribution only %.1f%% correct", 100*fr)
+	}
+}
+
+func TestVPIScores(t *testing.T) {
+	_, r := setup(t)
+	if r.VPI.Precision() < 0.85 {
+		t.Errorf("VPI precision %.2f", r.VPI.Precision())
+	}
+	if r.VPI.Recall() < 0.4 {
+		t.Errorf("VPI recall (multi-cloud) %.2f", r.VPI.Recall())
+	}
+	if r.VPISingleCloudMissed == 0 {
+		t.Error("no single-cloud VPIs missed; the lower-bound property is untested")
+	}
+}
+
+func TestRendering(t *testing.T) {
+	_, r := setup(t)
+	out := r.String()
+	for _, want := range []string{"ABIs", "CBIs", "peer-AS", "VPI", "pinning"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scorecard missing %q", want)
+		}
+	}
+	if strings.Contains(out, "%!") {
+		t.Error("formatting error in scorecard")
+	}
+}
+
+func TestPRDegenerate(t *testing.T) {
+	var p evaluate.PR
+	if p.Precision() != 1 || p.Recall() != 1 {
+		t.Error("empty PR should be vacuously perfect")
+	}
+	p = evaluate.PR{TP: 3, FP: 1, FN: 2}
+	if p.Precision() != 0.75 {
+		t.Errorf("precision %v", p.Precision())
+	}
+	if p.Recall() != 0.6 {
+		t.Errorf("recall %v", p.Recall())
+	}
+}

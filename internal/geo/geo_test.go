@@ -1,0 +1,185 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorldLookup(t *testing.T) {
+	w := NewWorld()
+	id, ok := w.ByCode("iad")
+	if !ok {
+		t.Fatal("iad not found")
+	}
+	m := w.Metro(id)
+	if m.City != "Ashburn" || m.Country != "US" {
+		t.Fatalf("iad resolved to %+v", m)
+	}
+	if _, ok := w.ByCode("zzz"); ok {
+		t.Fatal("unknown code resolved")
+	}
+}
+
+func TestByCityNormalization(t *testing.T) {
+	w := NewWorld()
+	for _, name := range []string{"Sao Paulo", "sao paulo", "SAOPAULO", "sao-paulo"} {
+		if _, ok := w.ByCity(name); !ok {
+			t.Errorf("ByCity(%q) failed", name)
+		}
+	}
+	a, _ := w.ByCity("New York")
+	b, _ := w.ByCode("nyc")
+	if a != b {
+		t.Errorf("city and code lookups disagree: %d vs %d", a, b)
+	}
+}
+
+func TestUniqueCodes(t *testing.T) {
+	w := NewWorld()
+	seen := map[string]bool{}
+	for _, m := range w.Metros {
+		if seen[m.Code] {
+			t.Fatalf("duplicate metro code %q", m.Code)
+		}
+		seen[m.Code] = true
+	}
+}
+
+func TestDistanceKnownPairs(t *testing.T) {
+	w := NewWorld()
+	iad, _ := w.ByCode("iad")
+	sfo, _ := w.ByCode("sfo")
+	lhr, _ := w.ByCode("lhr")
+	// Washington DC area to San Francisco is ~3900 km; to London ~5900 km.
+	if d := w.DistanceKm(iad, sfo); d < 3600 || d > 4200 {
+		t.Errorf("iad-sfo distance = %v km", d)
+	}
+	if d := w.DistanceKm(iad, lhr); d < 5500 || d > 6300 {
+		t.Errorf("iad-lhr distance = %v km", d)
+	}
+	if d := w.DistanceKm(iad, iad); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	w := NewWorld()
+	n := len(w.Metros)
+	symm := func(a, b uint16) bool {
+		ma, mb := MetroID(int(a)%n), MetroID(int(b)%n)
+		d1, d2 := w.DistanceKm(ma, mb), w.DistanceKm(mb, ma)
+		return math.Abs(d1-d2) < 1e-9 && d1 >= 0
+	}
+	if err := quick.Check(symm, nil); err != nil {
+		t.Fatal("distance not symmetric/non-negative:", err)
+	}
+	tri := func(a, b, c uint16) bool {
+		ma, mb, mc := MetroID(int(a)%n), MetroID(int(b)%n), MetroID(int(c)%n)
+		// Great-circle distances satisfy the triangle inequality.
+		return w.DistanceKm(ma, mc) <= w.DistanceKm(ma, mb)+w.DistanceKm(mb, mc)+1e-6
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Fatal("triangle inequality violated:", err)
+	}
+}
+
+func TestPropagationRTT(t *testing.T) {
+	w := NewWorld()
+	iad, _ := w.ByCode("iad")
+	sfo, _ := w.ByCode("sfo")
+	// Cross-US RTT should be tens of ms, not sub-ms and not seconds.
+	rtt := w.PropagationRTTms(iad, sfo)
+	if rtt < 30 || rtt > 90 {
+		t.Errorf("iad-sfo propagation RTT = %v ms", rtt)
+	}
+	if w.PropagationRTTms(iad, iad) != 0 {
+		t.Error("self RTT not zero")
+	}
+}
+
+func TestRTTOverKm(t *testing.T) {
+	if got := RTTOverKm(0); got != 0 {
+		t.Errorf("RTTOverKm(0) = %v", got)
+	}
+	// 1000 km one-way with 1.5x inflation at 200 km/ms => 15 ms RTT.
+	if got := RTTOverKm(1000); math.Abs(got-15) > 1e-9 {
+		t.Errorf("RTTOverKm(1000) = %v, want 15", got)
+	}
+}
+
+func TestClosestMetro(t *testing.T) {
+	w := NewWorld()
+	iad, _ := w.ByCode("iad")
+	nyc, _ := w.ByCode("nyc")
+	nrt, _ := w.ByCode("nrt")
+	got := w.ClosestMetro(iad, []MetroID{nrt, nyc})
+	if got != nyc {
+		t.Errorf("ClosestMetro(iad) = %v, want nyc", w.Metro(got).Code)
+	}
+}
+
+func TestSortByDistance(t *testing.T) {
+	w := NewWorld()
+	iad, _ := w.ByCode("iad")
+	var all []MetroID
+	for _, m := range w.Metros {
+		all = append(all, m.ID)
+	}
+	w.SortByDistance(iad, all)
+	if all[0] != iad {
+		t.Errorf("closest metro to iad is %v, want iad itself", w.Metro(all[0]).Code)
+	}
+	for i := 1; i < len(all); i++ {
+		if w.DistanceKm(iad, all[i-1]) > w.DistanceKm(iad, all[i]) {
+			t.Fatalf("not sorted at index %d", i)
+		}
+	}
+}
+
+func TestAmazonRegions(t *testing.T) {
+	w := NewWorld()
+	regions := AmazonRegions(w)
+	if len(regions) != 15 {
+		t.Fatalf("got %d Amazon regions, want 15 (paper probes 15)", len(regions))
+	}
+	seen := map[string]bool{}
+	for _, r := range regions {
+		if seen[r.Name] {
+			t.Errorf("duplicate region %s", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Metro < 0 || int(r.Metro) >= len(w.Metros) {
+			t.Errorf("region %s has invalid metro", r.Name)
+		}
+	}
+	if !seen["us-east-1"] || !seen["eu-west-1"] {
+		t.Error("expected canonical regions missing")
+	}
+}
+
+func TestCloudRegions(t *testing.T) {
+	w := NewWorld()
+	for _, p := range []string{"microsoft", "google", "ibm", "oracle"} {
+		rs := CloudRegions(w, p)
+		if len(rs) == 0 {
+			t.Errorf("no regions for %s", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown provider did not panic")
+		}
+	}()
+	CloudRegions(w, "nosuch")
+}
+
+func TestInvalidMetroPanics(t *testing.T) {
+	w := NewWorld()
+	defer func() {
+		if recover() == nil {
+			t.Error("Metro(-5) did not panic")
+		}
+	}()
+	w.Metro(-5)
+}

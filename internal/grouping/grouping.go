@@ -1,0 +1,345 @@
+// Package grouping classifies Amazon's inferred peerings along the paper's
+// three axes (§7.2): public vs private, visible vs invisible in BGP, and
+// virtual vs non-virtual. It produces Table 5's six-group breakdown, Table
+// 6's hybrid-peering combinations, Fig. 6's per-group features, the hidden
+// -peering share, and the §7.3 BGP-coverage and Direct-Connect-DNS evidence.
+package grouping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudmap/internal/border"
+	"cloudmap/internal/dnsnames"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/pinning"
+	"cloudmap/internal/registry"
+	"cloudmap/internal/stats"
+	"cloudmap/internal/verify"
+	"cloudmap/internal/vpi"
+)
+
+// The six peering groups in the paper's presentation order, plus the three
+// aggregate rows (Table 5's italic rows).
+var (
+	GroupOrder     = []string{"Pb-nB", "Pb-B", "Pr-nB-V", "Pr-nB-nV", "Pr-B-nV", "Pr-B-V"}
+	AggregateOrder = []string{"Pb", "Pr-nB", "Pr-B"}
+)
+
+// Row is one Table 5 line.
+type Row struct {
+	ASes, CBIs, ABIs int
+}
+
+// ComboCount is one Table 6 line: a hybrid-peering combination and the
+// number of ASes maintaining exactly that combination.
+type ComboCount struct {
+	Combo string // "Pr-nB-nV;Pb-nB"
+	ASNs  int
+}
+
+// FeatureNames are Fig. 6's rows, top to bottom.
+var FeatureNames = []string{"bgp24", "reach24", "abis", "cbis", "rttdiff", "metros"}
+
+// Result is the §7.2-7.3 output.
+type Result struct {
+	Rows       map[string]Row
+	Aggregates map[string]Row
+	Combos     []ComboCount
+
+	// Fig6 maps group -> feature -> distribution summary over the group's
+	// peer ASes.
+	Fig6 map[string]map[string]stats.Boxplot
+
+	// Hidden peerings (§7.2): virtual or private-invisible (AS, group)
+	// pairs.
+	HiddenPeerings, TotalPeerings int
+	HiddenShare                   float64
+
+	// §7.3 coverage against BGP: peerings reported in public BGP data, how
+	// many our inference found (directly or through a sibling ASN), and
+	// peerings we found beyond BGP.
+	BGPReported, BGPFound, BGPSiblings int
+	CoveragePct                        float64
+	BeyondBGP                          int
+
+	// §7.3 DNS evidence: Direct-Connect vocabulary and VLAN tags on Pr-nB
+	// CBIs.
+	DXNames, VLANNames int
+
+	// Examples names the largest members of each group (§7.3 lists example
+	// networks per group: Akamai, NTT, Comcast, ...). Keyed by group,
+	// ordered by CBI count.
+	Examples map[string][]string
+
+	PeerASes int
+}
+
+// Classify runs the grouping analysis.
+func Classify(ver *verify.Result, inf *border.Inference, reg *registry.Registry, vres *vpi.Result, pin *pinning.Result) *Result {
+	res := &Result{
+		Rows:       map[string]Row{},
+		Aggregates: map[string]Row{},
+		Fig6:       map[string]map[string]stats.Boxplot{},
+	}
+	inBGP := reg.AmazonLinksInBGP()
+
+	// Per-CBI group label.
+	type asGroup struct {
+		asn   registry.ASN
+		group string
+	}
+	cbisBy := map[asGroup]map[netblock.IP]struct{}{}
+	abisBy := map[asGroup]map[netblock.IP]struct{}{}
+	groupsOf := map[registry.ASN]map[string]struct{}{}
+
+	// ABIs per CBI come from the corrected segments.
+	abisOfCBI := map[netblock.IP][]netblock.IP{}
+	for _, seg := range ver.Segments {
+		abisOfCBI[seg.CBI] = append(abisOfCBI[seg.CBI], seg.ABI)
+	}
+
+	for cbi, ann := range ver.CBIs {
+		owner := ver.OwnerASN[cbi]
+		if owner == 0 {
+			continue
+		}
+		var group string
+		if ann.IXP >= 0 {
+			if inBGP[owner] {
+				group = "Pb-B"
+			} else {
+				group = "Pb-nB"
+			}
+		} else {
+			virtual := vres != nil && vres.IsVPI(cbi)
+			switch {
+			case inBGP[owner] && virtual:
+				group = "Pr-B-V"
+			case inBGP[owner]:
+				group = "Pr-B-nV"
+			case virtual:
+				group = "Pr-nB-V"
+			default:
+				group = "Pr-nB-nV"
+			}
+		}
+		key := asGroup{owner, group}
+		if cbisBy[key] == nil {
+			cbisBy[key] = map[netblock.IP]struct{}{}
+			abisBy[key] = map[netblock.IP]struct{}{}
+		}
+		cbisBy[key][cbi] = struct{}{}
+		for _, abi := range abisOfCBI[cbi] {
+			abisBy[key][abi] = struct{}{}
+		}
+		if groupsOf[owner] == nil {
+			groupsOf[owner] = map[string]struct{}{}
+		}
+		groupsOf[owner][group] = struct{}{}
+	}
+	res.PeerASes = len(groupsOf)
+
+	// Table 5 rows.
+	type agg struct {
+		ases map[registry.ASN]struct{}
+		cbis map[netblock.IP]struct{}
+		abis map[netblock.IP]struct{}
+	}
+	newAgg := func() *agg {
+		return &agg{ases: map[registry.ASN]struct{}{}, cbis: map[netblock.IP]struct{}{}, abis: map[netblock.IP]struct{}{}}
+	}
+	groupAgg := map[string]*agg{}
+	for _, g := range GroupOrder {
+		groupAgg[g] = newAgg()
+	}
+	for _, g := range AggregateOrder {
+		groupAgg[g] = newAgg()
+	}
+	aggOf := func(group string) string {
+		switch {
+		case strings.HasPrefix(group, "Pb"):
+			return "Pb"
+		case strings.HasPrefix(group, "Pr-nB"):
+			return "Pr-nB"
+		default:
+			return "Pr-B"
+		}
+	}
+	for key, cbis := range cbisBy {
+		for _, g := range []string{key.group, aggOf(key.group)} {
+			a := groupAgg[g]
+			a.ases[key.asn] = struct{}{}
+			for c := range cbis {
+				a.cbis[c] = struct{}{}
+			}
+			for b := range abisBy[key] {
+				a.abis[b] = struct{}{}
+			}
+		}
+	}
+	for g, a := range groupAgg {
+		row := Row{ASes: len(a.ases), CBIs: len(a.cbis), ABIs: len(a.abis)}
+		if contains(GroupOrder, g) {
+			res.Rows[g] = row
+		} else {
+			res.Aggregates[g] = row
+		}
+	}
+
+	// Hidden share (§7.2): (AS, group) peerings that are virtual or
+	// private-invisible.
+	for key := range cbisBy {
+		res.TotalPeerings++
+		switch key.group {
+		case "Pr-nB-V", "Pr-nB-nV", "Pr-B-V":
+			res.HiddenPeerings++
+		}
+	}
+	if res.TotalPeerings > 0 {
+		res.HiddenShare = float64(res.HiddenPeerings) / float64(res.TotalPeerings)
+	}
+
+	// Table 6 combos.
+	comboCounts := map[string]int{}
+	for _, groups := range groupsOf {
+		var labels []string
+		for g := range groups {
+			labels = append(labels, g)
+		}
+		sort.Strings(labels)
+		comboCounts[strings.Join(labels, ";")]++
+	}
+	for combo, n := range comboCounts {
+		res.Combos = append(res.Combos, ComboCount{Combo: combo, ASNs: n})
+	}
+	sort.Slice(res.Combos, func(i, j int) bool {
+		if res.Combos[i].ASNs != res.Combos[j].ASNs {
+			return res.Combos[i].ASNs > res.Combos[j].ASNs
+		}
+		return res.Combos[i].Combo < res.Combos[j].Combo
+	})
+
+	// Fig. 6 features.
+	feat := map[string]map[string][]float64{}
+	for _, g := range GroupOrder {
+		feat[g] = map[string][]float64{}
+	}
+	for key, cbis := range cbisBy {
+		f := feat[key.group]
+		f["bgp24"] = append(f["bgp24"], float64(reg.ConeSlash24[key.asn]))
+		f["reach24"] = append(f["reach24"], float64(len(inf.ReachableSlash24[key.asn])))
+		f["abis"] = append(f["abis"], float64(len(abisBy[key])))
+		f["cbis"] = append(f["cbis"], float64(len(cbis)))
+		if pin != nil {
+			var diffs []float64
+			metros := map[int32]struct{}{}
+			for c := range cbis {
+				for _, abi := range abisOfCBI[c] {
+					if d, ok := pin.SegmentDiff(border.Segment{ABI: abi, CBI: c}); ok {
+						diffs = append(diffs, d)
+					}
+				}
+				if m, ok := pin.Metro[c]; ok {
+					metros[int32(m)] = struct{}{}
+				}
+			}
+			if len(diffs) > 0 {
+				f["rttdiff"] = append(f["rttdiff"], stats.Mean(diffs))
+			}
+			if len(metros) > 0 {
+				f["metros"] = append(f["metros"], float64(len(metros)))
+			}
+		}
+	}
+	for g, features := range feat {
+		res.Fig6[g] = map[string]stats.Boxplot{}
+		for name, vals := range features {
+			res.Fig6[g][name] = stats.BoxplotOf(vals)
+		}
+	}
+
+	// §7.3 BGP coverage.
+	res.BGPReported = len(inBGP)
+	orgFound := map[string]struct{}{}
+	for asn := range groupsOf {
+		orgFound[reg.OrgOf(asn)] = struct{}{}
+	}
+	for asn := range inBGP {
+		if _, ok := groupsOf[asn]; ok {
+			res.BGPFound++
+		} else if _, sib := orgFound[reg.OrgOf(asn)]; sib && reg.OrgOf(asn) != "" {
+			res.BGPSiblings++
+		}
+	}
+	if res.BGPReported > 0 {
+		res.CoveragePct = 100 * float64(res.BGPFound+res.BGPSiblings) / float64(res.BGPReported)
+	}
+	for asn := range groupsOf {
+		if !inBGP[asn] {
+			res.BeyondBGP++
+		}
+	}
+
+	// §7.3 example networks: the top members of each group by CBI count.
+	res.Examples = map[string][]string{}
+	for _, g := range GroupOrder {
+		type member struct {
+			asn  registry.ASN
+			cbis int
+		}
+		var members []member
+		for key, cbis := range cbisBy {
+			if key.group == g {
+				members = append(members, member{key.asn, len(cbis)})
+			}
+		}
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].cbis != members[j].cbis {
+				return members[i].cbis > members[j].cbis
+			}
+			return members[i].asn < members[j].asn
+		})
+		for i, m := range members {
+			if i >= 5 {
+				break
+			}
+			name := reg.OrgOf(m.asn)
+			if name == "" {
+				name = fmt.Sprintf("AS%d", m.asn)
+			}
+			res.Examples[g] = append(res.Examples[g], name)
+		}
+	}
+
+	// §7.3 DNS evidence on Pr-nB CBIs.
+	for key, cbis := range cbisBy {
+		if key.group != "Pr-nB-nV" && key.group != "Pr-nB-V" {
+			continue
+		}
+		for c := range cbis {
+			name := reg.DNS[c]
+			if name == "" {
+				continue
+			}
+			h := dnsnames.Parse(name, reg.World)
+			if h.DX {
+				res.DXNames++
+			}
+			if h.VLAN {
+				res.VLANNames++
+			}
+		}
+	}
+	return res
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+package grouping_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"cloudmap"
+	"cloudmap/internal/grouping"
+)
+
+var (
+	once sync.Once
+	res  *cloudmap.Result
+	err  error
+)
+
+func setup(t *testing.T) *cloudmap.Result {
+	t.Helper()
+	once.Do(func() {
+		cfg := cloudmap.SmallConfig()
+		cfg.SkipBdrmap = true
+		res, err = cloudmap.Run(cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAggregatesCoverGroups(t *testing.T) {
+	g := setup(t).Groups
+	// Aggregate AS counts can only deduplicate, never invent.
+	checks := map[string][]string{
+		"Pb":    {"Pb-nB", "Pb-B"},
+		"Pr-nB": {"Pr-nB-V", "Pr-nB-nV"},
+		"Pr-B":  {"Pr-B-nV", "Pr-B-V"},
+	}
+	for agg, subs := range checks {
+		sum := 0
+		maxSub := 0
+		for _, s := range subs {
+			sum += g.Rows[s].ASes
+			if g.Rows[s].ASes > maxSub {
+				maxSub = g.Rows[s].ASes
+			}
+		}
+		got := g.Aggregates[agg].ASes
+		if got > sum || got < maxSub {
+			t.Errorf("%s aggregate ASes %d outside [%d,%d]", agg, got, maxSub, sum)
+		}
+	}
+}
+
+func TestCombosPartitionPeers(t *testing.T) {
+	g := setup(t).Groups
+	total := 0
+	seen := map[string]bool{}
+	for _, c := range g.Combos {
+		if seen[c.Combo] {
+			t.Fatalf("duplicate combo %q", c.Combo)
+		}
+		seen[c.Combo] = true
+		total += c.ASNs
+		// Combo labels are sorted unique group names.
+		parts := strings.Split(c.Combo, ";")
+		for i := 1; i < len(parts); i++ {
+			if parts[i-1] >= parts[i] {
+				t.Fatalf("combo %q not canonically sorted", c.Combo)
+			}
+		}
+		for _, p := range parts {
+			if !contains(grouping.GroupOrder, p) {
+				t.Fatalf("combo %q contains unknown group %q", c.Combo, p)
+			}
+		}
+	}
+	if total != g.PeerASes {
+		t.Fatalf("combos sum to %d, peers are %d", total, g.PeerASes)
+	}
+}
+
+func TestHiddenDefinition(t *testing.T) {
+	g := setup(t).Groups
+	// Hidden = virtual groups plus private-invisible: recompute from rows.
+	want := 0
+	for _, name := range []string{"Pr-nB-V", "Pr-nB-nV", "Pr-B-V"} {
+		want += g.Rows[name].ASes
+	}
+	// HiddenPeerings counts (AS, group) pairs, which equals the per-group
+	// AS sums (an AS may appear in several groups).
+	if g.HiddenPeerings != want {
+		t.Fatalf("hidden peerings %d, want %d", g.HiddenPeerings, want)
+	}
+	if g.TotalPeerings < g.HiddenPeerings {
+		t.Fatal("hidden exceeds total")
+	}
+}
+
+func TestFig6FeaturesComplete(t *testing.T) {
+	g := setup(t).Groups
+	for _, group := range grouping.GroupOrder {
+		feats, ok := g.Fig6[group]
+		if !ok {
+			t.Fatalf("no features for group %s", group)
+		}
+		if g.Rows[group].ASes == 0 {
+			continue
+		}
+		for _, name := range []string{"bgp24", "reach24", "abis", "cbis"} {
+			if feats[name].N == 0 {
+				t.Errorf("group %s: feature %s empty", group, name)
+			}
+		}
+	}
+}
+
+func TestBGPCoverageArithmetic(t *testing.T) {
+	g := setup(t).Groups
+	if g.BGPFound+g.BGPSiblings > g.BGPReported {
+		t.Fatalf("found %d + siblings %d > reported %d", g.BGPFound, g.BGPSiblings, g.BGPReported)
+	}
+	if g.CoveragePct < 0 || g.CoveragePct > 100 {
+		t.Fatalf("coverage %.1f%%", g.CoveragePct)
+	}
+	if g.BeyondBGP+g.BGPFound > g.PeerASes {
+		t.Fatalf("beyond %d + found %d > peers %d", g.BeyondBGP, g.BGPFound, g.PeerASes)
+	}
+}
+
+func TestVirtualGroupsRequireVPIEvidence(t *testing.T) {
+	r := setup(t)
+	g := r.Groups
+	// Every CBI classified into a -V group must be in the VPI overlap set;
+	// recomputing classification without VPI evidence must empty them.
+	without := grouping.Classify(r.Verified, r.Border, r.System.Registry, nil, r.Pinning)
+	for _, name := range []string{"Pr-nB-V", "Pr-B-V"} {
+		if without.Rows[name].ASes != 0 {
+			t.Errorf("group %s non-empty without VPI evidence", name)
+		}
+	}
+	// And the members must move into the corresponding -nV groups.
+	if without.Rows["Pr-nB-nV"].CBIs < g.Rows["Pr-nB-nV"].CBIs {
+		t.Error("removing VPI evidence shrank Pr-nB-nV")
+	}
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+// Package icg builds and characterises the Interface Connectivity Graph of
+// §7.4: the bipartite graph whose nodes are border interfaces (ABIs, CBIs)
+// and whose edges are verified interconnection segments. The paper's
+// findings — heavily skewed ABI degrees, a giant connected component holding
+// >92% of nodes, and long-haul remote peerings stitching regions together —
+// all fall out of this structure.
+package icg
+
+import (
+	"sort"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/pinning"
+	"cloudmap/internal/verify"
+)
+
+// MetroPair names the two pinned endpoints of a remote peering.
+type MetroPair struct {
+	ABIMetro, CBIMetro string
+	Count              int
+}
+
+// Result summarises the graph.
+type Result struct {
+	ABICount, CBICount, Edges int
+
+	// Degree samples for Fig. 7a/7b.
+	ABIDegrees, CBIDegrees []float64
+
+	// Connected components.
+	Components    int
+	LargestCCFrac float64
+
+	// Pinned-endpoint analysis: of edges with both ends pinned, how many
+	// stay within one metro, and which metro pairs the rest span.
+	BothPinned, SameMetro int
+	IntraMetroShare       float64
+	RemotePairs           []MetroPair
+}
+
+// Build constructs and analyses the ICG.
+func Build(ver *verify.Result, pin *pinning.Result, world *geo.World) *Result {
+	res := &Result{}
+
+	// Node inventory and adjacency.
+	abiDeg := map[netblock.IP]int{}
+	cbiDeg := map[netblock.IP]int{}
+	parent := map[netblock.IP]netblock.IP{}
+	var find func(netblock.IP) netblock.IP
+	find = func(x netblock.IP) netblock.IP {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		parent[x] = find(p)
+		return parent[x]
+	}
+	union := func(a, b netblock.IP) { parent[find(a)] = find(b) }
+
+	pairCounts := map[[2]geo.MetroID]int{}
+	for _, seg := range ver.Segments {
+		res.Edges++
+		abiDeg[seg.ABI]++
+		cbiDeg[seg.CBI]++
+		union(seg.ABI, seg.CBI)
+
+		am, aok := pin.Metro[seg.ABI]
+		cm, cok := pin.Metro[seg.CBI]
+		if aok && cok {
+			res.BothPinned++
+			if am == cm {
+				res.SameMetro++
+			} else {
+				pairCounts[[2]geo.MetroID{am, cm}]++
+			}
+		}
+	}
+	res.ABICount = len(abiDeg)
+	res.CBICount = len(cbiDeg)
+	for _, d := range abiDeg {
+		res.ABIDegrees = append(res.ABIDegrees, float64(d))
+	}
+	for _, d := range cbiDeg {
+		res.CBIDegrees = append(res.CBIDegrees, float64(d))
+	}
+	sort.Float64s(res.ABIDegrees)
+	sort.Float64s(res.CBIDegrees)
+
+	// Components.
+	sizes := map[netblock.IP]int{}
+	for node := range parent {
+		sizes[find(node)]++
+	}
+	res.Components = len(sizes)
+	largest, total := 0, 0
+	for _, s := range sizes {
+		total += s
+		if s > largest {
+			largest = s
+		}
+	}
+	if total > 0 {
+		res.LargestCCFrac = float64(largest) / float64(total)
+	}
+	if res.BothPinned > 0 {
+		res.IntraMetroShare = float64(res.SameMetro) / float64(res.BothPinned)
+	}
+
+	for pair, n := range pairCounts {
+		res.RemotePairs = append(res.RemotePairs, MetroPair{
+			ABIMetro: world.Metro(pair[0]).Code,
+			CBIMetro: world.Metro(pair[1]).Code,
+			Count:    n,
+		})
+	}
+	sort.Slice(res.RemotePairs, func(i, j int) bool {
+		if res.RemotePairs[i].Count != res.RemotePairs[j].Count {
+			return res.RemotePairs[i].Count > res.RemotePairs[j].Count
+		}
+		if res.RemotePairs[i].ABIMetro != res.RemotePairs[j].ABIMetro {
+			return res.RemotePairs[i].ABIMetro < res.RemotePairs[j].ABIMetro
+		}
+		return res.RemotePairs[i].CBIMetro < res.RemotePairs[j].CBIMetro
+	})
+	return res
+}

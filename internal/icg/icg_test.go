@@ -1,0 +1,90 @@
+package icg_test
+
+import (
+	"sync"
+	"testing"
+
+	"cloudmap"
+	"cloudmap/internal/icg"
+	"cloudmap/internal/verify"
+)
+
+var (
+	once sync.Once
+	res  *cloudmap.Result
+	err  error
+)
+
+func setup(t *testing.T) *cloudmap.Result {
+	t.Helper()
+	once.Do(func() {
+		cfg := cloudmap.SmallConfig()
+		cfg.SkipBdrmap = true
+		res, err = cloudmap.Run(cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDegreeSumsEqualEdges(t *testing.T) {
+	g := setup(t).Graph
+	var abiSum, cbiSum float64
+	for _, d := range g.ABIDegrees {
+		abiSum += d
+	}
+	for _, d := range g.CBIDegrees {
+		cbiSum += d
+	}
+	// The graph is bipartite: each edge contributes one to each side.
+	if int(abiSum) != g.Edges || int(cbiSum) != g.Edges {
+		t.Fatalf("degree sums (%v, %v) != edges %d", abiSum, cbiSum, g.Edges)
+	}
+	if len(g.ABIDegrees) != g.ABICount || len(g.CBIDegrees) != g.CBICount {
+		t.Fatal("degree sample counts disagree with node counts")
+	}
+}
+
+func TestComponentAccounting(t *testing.T) {
+	g := setup(t).Graph
+	if g.Components <= 0 {
+		t.Fatal("no components")
+	}
+	if g.LargestCCFrac <= 0 || g.LargestCCFrac > 1 {
+		t.Fatalf("largest CC fraction %v", g.LargestCCFrac)
+	}
+	// With at least one edge, the largest component holds >= 2 nodes.
+	minFrac := 2.0 / float64(g.ABICount+g.CBICount)
+	if g.LargestCCFrac < minFrac {
+		t.Fatalf("largest CC fraction below the 2-node floor")
+	}
+}
+
+func TestPinnedEndpointAccounting(t *testing.T) {
+	g := setup(t).Graph
+	if g.SameMetro > g.BothPinned {
+		t.Fatal("same-metro exceeds both-pinned")
+	}
+	remote := 0
+	for _, p := range g.RemotePairs {
+		if p.Count <= 0 || p.ABIMetro == "" || p.CBIMetro == "" {
+			t.Fatalf("malformed remote pair %+v", p)
+		}
+		if p.ABIMetro == p.CBIMetro {
+			t.Fatalf("remote pair within one metro: %+v", p)
+		}
+		remote += p.Count
+	}
+	if g.SameMetro+remote != g.BothPinned {
+		t.Fatalf("same (%d) + remote (%d) != both pinned (%d)", g.SameMetro, remote, g.BothPinned)
+	}
+}
+
+func TestBuildEmptyInputs(t *testing.T) {
+	r := setup(t)
+	empty := icg.Build(&verify.Result{}, r.Pinning, r.System.Registry.World)
+	if empty.Edges != 0 || empty.Components != 0 || empty.LargestCCFrac != 0 {
+		t.Fatalf("empty graph not empty: %+v", empty)
+	}
+}

@@ -1,0 +1,296 @@
+// Package midar implements MIDAR-style IP alias resolution (Keys et al.,
+// ToN 2013), the tool the paper uses in §5.2 to group border interfaces into
+// routers and determine router ownership.
+//
+// The method exploits routers that fill the IP-ID field from a single
+// monotonically increasing counter shared across interfaces: interleaved
+// samples of two aliases of one router form one monotone sequence (the
+// Monotonic Bounds Test), while samples from different routers do not. The
+// pipeline has MIDAR's three stages: estimation (discard targets without a
+// usable counter), discrimination (pairwise MBT within velocity windows),
+// and corroboration (joint re-test of each candidate alias set).
+package midar
+
+import (
+	"sort"
+
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/probe"
+)
+
+// Config tunes the resolution run.
+type Config struct {
+	// EstimationSamples per target in the estimation stage.
+	EstimationSamples int
+	// PairSamples per interface in a discrimination test.
+	PairSamples int
+	// MaxVelocity (IP-ID increments per second) above which a counter is
+	// too fast to test reliably.
+	MaxVelocity float64
+	// VelocityWindow bounds |vA - vB| for a candidate pair, as
+	// max(AbsWindow, RelWindow * vA).
+	AbsWindow, RelWindow float64
+	// MaxPairsPerTarget caps discrimination fan-out.
+	MaxPairsPerTarget int
+	// SampleSpacing is the virtual time between probes (seconds).
+	SampleSpacing float64
+}
+
+// DefaultConfig mirrors conservative MIDAR settings.
+func DefaultConfig() Config {
+	return Config{
+		EstimationSamples: 4,
+		PairSamples:       6,
+		MaxVelocity:       10000,
+		AbsWindow:         2.0,
+		RelWindow:         0.05,
+		MaxPairsPerTarget: 40,
+		SampleSpacing:     0.5,
+	}
+}
+
+// AliasSet is a group of addresses inferred to sit on one router.
+type AliasSet []netblock.IP
+
+// sample is one IP-ID observation.
+type sample struct {
+	t  float64
+	id uint16
+}
+
+// Resolve runs alias resolution over the target addresses from the given
+// vantage points and returns alias sets of size >= 2.
+func Resolve(pr *probe.Prober, vms []probe.VMRef, targets []netblock.IP, cfg Config) []AliasSet {
+	r := &runner{pr: pr, cfg: cfg}
+
+	// Probing order drives the shared virtual clock, so fix it regardless
+	// of how the caller assembled the target list.
+	targets = append([]netblock.IP(nil), targets...)
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+	// Estimation: find each target's vantage point and counter velocity.
+	type est struct {
+		addr netblock.IP
+		vm   probe.VMRef
+		v    float64
+	}
+	var usable []est
+	for _, addr := range targets {
+		for _, vm := range vms {
+			v, ok := r.estimate(vm, addr)
+			if !ok {
+				continue
+			}
+			usable = append(usable, est{addr: addr, vm: vm, v: v})
+			break
+		}
+	}
+	sort.Slice(usable, func(i, j int) bool {
+		if usable[i].v != usable[j].v {
+			return usable[i].v < usable[j].v
+		}
+		return usable[i].addr < usable[j].addr
+	})
+
+	// Discrimination: sliding velocity window, pairwise MBT.
+	parent := make(map[netblock.IP]netblock.IP, len(usable))
+	var find func(netblock.IP) netblock.IP
+	find = func(x netblock.IP) netblock.IP {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	union := func(a, b netblock.IP) { parent[find(a)] = find(b) }
+	for _, e := range usable {
+		parent[e.addr] = e.addr
+	}
+
+	for i := range usable {
+		tested := 0
+		for j := i + 1; j < len(usable) && tested < cfg.MaxPairsPerTarget; j++ {
+			window := cfg.AbsWindow
+			if rel := cfg.RelWindow * usable[i].v; rel > window {
+				window = rel
+			}
+			if usable[j].v-usable[i].v > window {
+				break
+			}
+			tested++
+			if find(usable[i].addr) == find(usable[j].addr) {
+				continue
+			}
+			if r.pairMBT(usable[i].vm, usable[i].addr, usable[j].addr) {
+				union(usable[i].addr, usable[j].addr)
+			}
+		}
+	}
+
+	// Collect candidate sets.
+	groups := map[netblock.IP][]netblock.IP{}
+	vmOf := map[netblock.IP]probe.VMRef{}
+	for _, e := range usable {
+		root := find(e.addr)
+		groups[root] = append(groups[root], e.addr)
+		vmOf[e.addr] = e.vm
+	}
+
+	// Corroboration: a joint interleaved run over every member must remain
+	// monotone; sets failing it are discarded (conservative, like the
+	// paper's overall approach). Candidate sets are ordered first:
+	// corroboration probes consume the shared virtual clock, so iteration
+	// order must be fixed.
+	var candidates []AliasSet
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+		candidates = append(candidates, members)
+	}
+	sort.Slice(candidates, func(a, b int) bool { return candidates[a][0] < candidates[b][0] })
+	var out []AliasSet
+	for _, members := range candidates {
+		if r.corroborate(vmOf[members[0]], members) {
+			out = append(out, members)
+		}
+	}
+	return out
+}
+
+type runner struct {
+	pr    *probe.Prober
+	cfg   Config
+	clock float64
+}
+
+func (r *runner) tick() float64 {
+	r.clock += r.cfg.SampleSpacing
+	return r.clock
+}
+
+// estimate probes the target a few times and derives its counter velocity.
+// ok is false for unreachable targets and for counters that are random,
+// constant, or too fast.
+func (r *runner) estimate(vm probe.VMRef, addr netblock.IP) (float64, bool) {
+	samples := make([]sample, 0, r.cfg.EstimationSamples)
+	for i := 0; i < r.cfg.EstimationSamples; i++ {
+		t := r.tick()
+		id, ok := r.pr.AliasProbeAt(vm, addr, t)
+		if !ok {
+			continue
+		}
+		samples = append(samples, sample{t: t, id: id})
+	}
+	if len(samples) < 3 {
+		return 0, false
+	}
+	v, mono := velocity(samples, r.cfg.MaxVelocity)
+	if !mono || v < 0.5 || v > r.cfg.MaxVelocity {
+		return 0, false
+	}
+	return v, true
+}
+
+// velocity unwraps the 16-bit counter over the samples and returns the mean
+// increment rate; mono is false when any gap is inconsistent with a
+// monotone counter below maxVel.
+func velocity(samples []sample, maxVel float64) (float64, bool) {
+	var total float64
+	for i := 1; i < len(samples); i++ {
+		dt := samples[i].t - samples[i-1].t
+		delta := float64(uint16(samples[i].id - samples[i-1].id))
+		if delta > maxVel*dt+64 {
+			return 0, false
+		}
+		total += delta
+	}
+	span := samples[len(samples)-1].t - samples[0].t
+	if span <= 0 {
+		return 0, false
+	}
+	return total / span, true
+}
+
+// pairMBT interleaves probes of two addresses and applies the Monotonic
+// Bounds Test to the combined series.
+func (r *runner) pairMBT(vm probe.VMRef, a, b netblock.IP) bool {
+	var combined []sample
+	for i := 0; i < r.cfg.PairSamples; i++ {
+		for _, addr := range []netblock.IP{a, b} {
+			t := r.tick()
+			id, ok := r.pr.AliasProbeAt(vm, addr, t)
+			if !ok {
+				continue
+			}
+			combined = append(combined, sample{t: t, id: id})
+		}
+	}
+	if len(combined) < r.cfg.PairSamples {
+		return false
+	}
+	_, mono := velocity(combined, r.cfg.MaxVelocity)
+	return mono
+}
+
+// corroborate jointly probes all members round-robin and re-applies the MBT.
+func (r *runner) corroborate(vm probe.VMRef, members []netblock.IP) bool {
+	var combined []sample
+	for round := 0; round < 3; round++ {
+		for _, addr := range members {
+			t := r.tick()
+			id, ok := r.pr.AliasProbeAt(vm, addr, t)
+			if !ok {
+				continue
+			}
+			combined = append(combined, sample{t: t, id: id})
+		}
+	}
+	if len(combined) < 2*len(members) {
+		return false
+	}
+	_, mono := velocity(combined, r.cfg.MaxVelocity)
+	return mono
+}
+
+// Merge unions alias sets that share members (the paper merges per-region
+// runs this way, §5.2).
+func Merge(runs ...[]AliasSet) []AliasSet {
+	parent := map[netblock.IP]netblock.IP{}
+	var find func(netblock.IP) netblock.IP
+	find = func(x netblock.IP) netblock.IP {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		parent[x] = find(p)
+		return parent[x]
+	}
+	for _, run := range runs {
+		for _, set := range run {
+			for _, m := range set[1:] {
+				parent[find(m)] = find(set[0])
+			}
+		}
+	}
+	groups := map[netblock.IP][]netblock.IP{}
+	for addr := range parent {
+		root := find(addr)
+		groups[root] = append(groups[root], addr)
+	}
+	var out []AliasSet
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+		out = append(out, members)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}

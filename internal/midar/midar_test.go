@@ -1,0 +1,148 @@
+package midar
+
+import (
+	"testing"
+
+	"cloudmap/internal/model"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/probe"
+	"cloudmap/internal/route"
+	"cloudmap/internal/topo"
+)
+
+func setup(t testing.TB) (*model.Topology, *probe.Prober) {
+	t.Helper()
+	tp, err := topo.Generate(topo.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp, probe.NewProber(tp, route.NewForwarder(tp))
+}
+
+// publicIfaces returns up to n public interface addresses per router for
+// routers with the given IP-ID mode, preferring client (non-cloud) routers.
+func publicIfaces(tp *model.Topology, mode model.IPIDMode, maxRouters int) (targets []netblock.IP, routerOf map[netblock.IP]model.RouterID) {
+	routerOf = map[netblock.IP]model.RouterID{}
+	routers := 0
+	for ri := range tp.Routers {
+		r := &tp.Routers[ri]
+		if r.IPID != mode {
+			continue
+		}
+		var addrs []netblock.IP
+		for _, ifc := range r.Ifaces {
+			a := tp.Ifaces[ifc].Addr
+			if a == netblock.Zero || a.IsPrivate() || a.IsShared() {
+				continue
+			}
+			addrs = append(addrs, a)
+		}
+		if len(addrs) < 2 {
+			continue
+		}
+		for _, a := range addrs[:2] {
+			targets = append(targets, a)
+			routerOf[a] = r.ID
+		}
+		routers++
+		if routers >= maxRouters {
+			break
+		}
+	}
+	return targets, routerOf
+}
+
+func TestResolveFindsSharedCounterAliases(t *testing.T) {
+	tp, pr := setup(t)
+	targets, routerOf := publicIfaces(tp, model.IPIDShared, 30)
+	if len(targets) < 4 {
+		t.Skip("not enough shared-IPID routers")
+	}
+	sets := Resolve(pr, pr.VMs("amazon"), targets, DefaultConfig())
+	if len(sets) == 0 {
+		t.Fatal("no alias sets resolved")
+	}
+	// Precision: every set must be confined to one router.
+	for _, set := range sets {
+		first, ok := routerOf[set[0]]
+		if !ok {
+			t.Fatalf("alias set contains unknown address %v", set[0])
+		}
+		for _, m := range set[1:] {
+			if routerOf[m] != first {
+				t.Fatalf("alias set mixes routers: %v", set)
+			}
+		}
+	}
+	// Recall: at least a third of the multi-interface routers should be
+	// recovered (visibility limits the rest).
+	if len(sets) < len(routerOf)/2/3 {
+		t.Errorf("only %d sets from %d routers", len(sets), len(routerOf)/2)
+	}
+}
+
+func TestResolveRejectsNonSharedModes(t *testing.T) {
+	tp, pr := setup(t)
+	for _, mode := range []model.IPIDMode{model.IPIDPerInterface, model.IPIDRandom, model.IPIDZero} {
+		targets, _ := publicIfaces(tp, mode, 20)
+		if len(targets) < 4 {
+			continue
+		}
+		sets := Resolve(pr, pr.VMs("amazon"), targets, DefaultConfig())
+		if len(sets) != 0 {
+			t.Errorf("mode %d produced %d alias sets; want none", mode, len(sets))
+		}
+	}
+}
+
+func TestResolveMixedPrecision(t *testing.T) {
+	tp, pr := setup(t)
+	shared, routerOf := publicIfaces(tp, model.IPIDShared, 25)
+	per, perRouters := publicIfaces(tp, model.IPIDPerInterface, 25)
+	for a, r := range perRouters {
+		routerOf[a] = r
+	}
+	targets := append(append([]netblock.IP{}, shared...), per...)
+	sets := Resolve(pr, pr.VMs("amazon"), targets, DefaultConfig())
+	for _, set := range sets {
+		first := routerOf[set[0]]
+		for _, m := range set[1:] {
+			if routerOf[m] != first {
+				t.Fatalf("cross-router alias set: %v", set)
+			}
+		}
+	}
+}
+
+func TestMergeOverlappingSets(t *testing.T) {
+	a := []AliasSet{{1, 2}, {5, 6}}
+	b := []AliasSet{{2, 3}, {7, 8}}
+	merged := Merge(a, b)
+	byFirst := map[netblock.IP]AliasSet{}
+	for _, s := range merged {
+		byFirst[s[0]] = s
+	}
+	if len(byFirst[1]) != 3 {
+		t.Fatalf("sets {1,2} and {2,3} did not merge: %v", merged)
+	}
+	if len(merged) != 3 {
+		t.Fatalf("got %d merged sets, want 3", len(merged))
+	}
+}
+
+func TestVelocityUnwrap(t *testing.T) {
+	// A counter wrapping 65535 -> 3 is still monotone.
+	s := []sample{{t: 0, id: 65000}, {t: 1, id: 65500}, {t: 2, id: 400}}
+	v, mono := velocity(s, 10000)
+	if !mono {
+		t.Fatal("wrap treated as non-monotone")
+	}
+	if v < 400 || v > 600 {
+		t.Fatalf("velocity %v, want ~468", v)
+	}
+	// A random jump fails.
+	s = []sample{{t: 0, id: 100}, {t: 1, id: 30000}, {t: 2, id: 200}}
+	if _, mono := velocity(s, 1000); mono {
+		t.Fatal("random series accepted")
+	}
+}

@@ -1,0 +1,365 @@
+// Package model defines the entity types of the simulated Internet: ASes and
+// organisations, colocation facilities, IXPs and cloud exchanges, routers,
+// interfaces, links, and cloud peerings.
+//
+// The package is deliberately data-only: internal/topo generates a Topology,
+// internal/route computes forwarding over it, internal/probe measures it, and
+// the inference packages never touch it except through measurements and the
+// public datasets derived by internal/registry. Keeping ground truth in one
+// place makes the third-party nature of the inference pipeline auditable: any
+// import of internal/model from an inference package other than an _eval or
+// _test file is a layering violation.
+package model
+
+import (
+	"fmt"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/netblock"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// Dense index types. Indexes are small ints into the Topology tables; they
+// are cheaper to store in hop lists and maps than ASNs or pointers.
+type (
+	// ASIndex indexes Topology.ASes.
+	ASIndex int32
+	// OrgIndex indexes Topology.Orgs.
+	OrgIndex int32
+	// FacilityID indexes Topology.Facilities.
+	FacilityID int32
+	// IXPID indexes Topology.IXPs.
+	IXPID int32
+	// RouterID indexes Topology.Routers.
+	RouterID int32
+	// IfaceID indexes Topology.Ifaces.
+	IfaceID int32
+	// PeeringID indexes Topology.Peerings.
+	PeeringID int32
+	// LinkID indexes Topology.Links.
+	LinkID int32
+	// CloudID indexes Topology.Clouds.
+	CloudID int32
+)
+
+// NoFacility, NoIXP etc. mark absent references.
+const (
+	NoAS       ASIndex    = -1
+	NoFacility FacilityID = -1
+	NoIXP      IXPID      = -1
+	NoRouter   RouterID   = -1
+	NoIface    IfaceID    = -1
+	NoPeering  PeeringID  = -1
+	NoLink     LinkID     = -1
+)
+
+// ASType classifies an autonomous system by its role; the type drives
+// customer-cone size, geographic footprint, DNS naming style, and peering
+// behaviour.
+type ASType uint8
+
+// AS roles, from the core outward.
+const (
+	ASTier1      ASType = iota // global transit-free backbone
+	ASTier2                    // regional/national transit provider
+	ASAccess                   // eyeball/access network
+	ASContent                  // content/CDN/hosting network
+	ASEnterprise               // enterprise network (main VPI users)
+	ASCloud                    // one of the modelled cloud providers
+	ASEducation                // university/research network
+)
+
+// String returns a short role name.
+func (t ASType) String() string {
+	switch t {
+	case ASTier1:
+		return "tier1"
+	case ASTier2:
+		return "tier2"
+	case ASAccess:
+		return "access"
+	case ASContent:
+		return "content"
+	case ASEnterprise:
+		return "enterprise"
+	case ASCloud:
+		return "cloud"
+	case ASEducation:
+		return "education"
+	}
+	return fmt.Sprintf("astype(%d)", uint8(t))
+}
+
+// Org is an organisation owning one or more ASes (the CAIDA AS-to-ORG view).
+// Amazon famously originates from several ASNs (7224, 16509, 14618, ...), all
+// belonging to one ORG; the inference pipeline must group hops by ORG, not
+// ASN (§3).
+type Org struct {
+	Index OrgIndex
+	Name  string
+	ASes  []ASIndex
+}
+
+// AS is an autonomous system.
+type AS struct {
+	Index ASIndex
+	ASN   ASN
+	Name  string
+	Org   OrgIndex
+	Type  ASType
+
+	// ServicePrefixes hold end hosts (the space other networks want to
+	// reach); InfraPrefixes hold router interfaces and interconnection
+	// subnets.
+	ServicePrefixes []netblock.Prefix
+	InfraPrefixes   []netblock.Prefix
+
+	// AnnouncesService/AnnouncesInfra control whether the prefixes appear in
+	// the public BGP table. VPI-only enterprises may announce nothing: their
+	// space is reachable only over their virtual interconnections, which is
+	// precisely what makes those peerings "hidden" (§7.2).
+	AnnouncesService bool
+	AnnouncesInfra   bool
+
+	// Relationship edges (ground truth; the collector-visible subset is
+	// derived in internal/registry).
+	Providers []ASIndex
+	Customers []ASIndex
+	Peers     []ASIndex
+
+	// Geography.
+	HomeMetro  geo.MetroID
+	Metros     []geo.MetroID // metros with any presence
+	Facilities []FacilityID  // colo facilities with presence
+	// CoreByMetro/EdgeByMetro hold the per-metro core router (fronting the
+	// AS's service space) and edge router (terminating external links).
+	CoreByMetro map[geo.MetroID]RouterID
+	EdgeByMetro map[geo.MetroID]RouterID
+
+	Routers []RouterID
+
+	// Measurement behaviour.
+	RespProb        float64 // probability a router replies to a traceroute probe
+	FiltersExternal bool    // drops probes arriving from outside (common for enterprises)
+	DNSStyle        DNSStyle
+	DNSDomain       string // reverse-DNS suffix, e.g. "gin.ntt.net"
+
+	// BGP collector feed: true if this AS exports its full table to the
+	// route-collector project (RouteViews/RIPE stand-ins).
+	CollectorFeed bool
+}
+
+// DNSStyle selects the reverse-DNS naming grammar for an operator.
+type DNSStyle uint8
+
+// DNS naming styles observed in the wild and mimicked by internal/dnsnames.
+const (
+	DNSNone    DNSStyle = iota // no reverse DNS
+	DNSAirport                 // "ae-4.peer.atlnga05.us.bb.example.net"
+	DNSCity                    // "xe-0-1.cr1.frankfurt1.example.com"
+	DNSOpaque                  // "host-203-0-113-5.example.com" (no location)
+	DNSDX                      // "dxvif-ffx123.vl-302.example.com" (Direct Connect style)
+)
+
+// Facility is a colocation facility in a metro.
+type Facility struct {
+	ID    FacilityID
+	Name  string
+	Metro geo.MetroID
+	IXP   IXPID // IXP whose switching fabric is in this facility, or NoIXP
+
+	// HasCloudExchange marks facilities operating a cloud-exchange switching
+	// fabric over which VPIs are provisioned.
+	HasCloudExchange bool
+	// NativeClouds lists clouds housing border routers here.
+	NativeClouds []CloudID
+	// Tenants lists ASes with presence (ground truth; PeeringDB's view of it
+	// is derived with gaps).
+	Tenants []ASIndex
+}
+
+// IXP is an Internet exchange point.
+type IXP struct {
+	ID         IXPID
+	Name       string
+	Metros     []geo.MetroID // usually one; a few span multiple metros
+	Prefix     netblock.Prefix
+	Facilities []FacilityID
+	Members    []ASIndex
+}
+
+// RouterRole describes where a router sits.
+type RouterRole uint8
+
+// Router roles.
+const (
+	RoleInternal  RouterRole = iota // datacenter / inside-AS router
+	RoleBackbone                    // cloud private-backbone router
+	RoleBorder                      // AS border router
+	RoleVMGateway                   // first hop above cloud VMs
+)
+
+// IPIDMode describes how a router fills the IP-ID field of replies, which is
+// what MIDAR-style alias resolution keys on.
+type IPIDMode uint8
+
+// IP-ID behaviours.
+const (
+	IPIDShared       IPIDMode = iota // one monotonic counter per router (aliasable)
+	IPIDPerInterface                 // independent counter per interface
+	IPIDRandom                       // pseudo-random IP-ID
+	IPIDZero                         // always zero / unresponsive to alias probes
+)
+
+// Router is a layer-3 device.
+type Router struct {
+	ID       RouterID
+	AS       ASIndex
+	Facility FacilityID // NoFacility when only the metro is known
+	Metro    geo.MetroID
+	Role     RouterRole
+	Ifaces   []IfaceID
+
+	// IP-ID behaviour for alias resolution.
+	IPID     IPIDMode
+	IPIDRate float64 // counter increments per second from background traffic
+	IPIDBase uint32
+}
+
+// IfaceKind describes the function of an interface.
+type IfaceKind uint8
+
+// Interface kinds.
+const (
+	IfInternal     IfaceKind = iota // intra-AS link
+	IfBackbone                      // cloud backbone link
+	IfInterconnect                  // inter-AS interconnection subnet
+	IfIXP                           // address on an IXP peering LAN
+	IfLoopback                      // router loopback
+	IfVM                            // probing VM
+)
+
+// Iface is a router interface with an address. Addr may be private
+// (RFC 1918/6598) inside cloud networks.
+type Iface struct {
+	ID     IfaceID
+	Addr   netblock.IP
+	Router RouterID
+	Kind   IfaceKind
+	// SubnetOwner is the AS that provided the address. For interconnection
+	// subnets this is the "address sharing" of §4.1: the cloud or the client
+	// supplies the /31, and which one it is decides whether naive border
+	// inference lands on the right segment.
+	SubnetOwner ASIndex
+}
+
+// PeeringKind is the interconnection type between a cloud and a peer AS.
+type PeeringKind uint8
+
+// Peering kinds per Fig. 1 of the paper.
+const (
+	PeeringPublicIXP       PeeringKind = iota // public peering over an IXP LAN
+	PeeringPrivatePhysical                    // private cross-connect
+	PeeringVPI                                // virtual private interconnection over a cloud exchange
+)
+
+// String returns a short name.
+func (k PeeringKind) String() string {
+	switch k {
+	case PeeringPublicIXP:
+		return "public-ixp"
+	case PeeringPrivatePhysical:
+		return "cross-connect"
+	case PeeringVPI:
+		return "vpi"
+	}
+	return fmt.Sprintf("peeringkind(%d)", uint8(k))
+}
+
+// Peering is one interconnection instance between a cloud and a peer AS at a
+// facility. A single AS may hold many Peerings of different kinds at
+// different facilities ("hybrid peering", §7.2).
+type Peering struct {
+	ID       PeeringID
+	Cloud    CloudID
+	Peer     ASIndex
+	Kind     PeeringKind
+	Facility FacilityID
+	// RegionIdx is the cloud region this peering homes to (the region whose
+	// border routers terminate it).
+	RegionIdx int
+
+	// Remote marks peerings established through a layer-2 connectivity
+	// partner from a metro where the client actually sits; RouterMetro is
+	// that metro (== the facility metro for local peerings).
+	Remote      bool
+	RouterMetro geo.MetroID
+
+	// SharedPort marks VPIs provisioned over a single cloud-exchange port:
+	// the client-side interface is one port address reused for every
+	// provider VLAN, which is what makes multi-cloud VPIs detectable by
+	// overlap (§7.1).
+	SharedPort bool
+
+	Links []LinkID
+}
+
+// Link is one interconnection link (one /31 or one IXP LAN adjacency)
+// belonging to a Peering. Peerings with several parallel links model
+// LAG/ECMP bundles; expansion probing (§4.2) exists to find these.
+type Link struct {
+	ID          LinkID
+	Peering     PeeringID
+	CloudRouter RouterID
+	PeerRouter  RouterID
+	// CloudIface/PeerIface are the two ends of the interconnection subnet
+	// (for IXP peerings, CloudIface/PeerIface are the two IXP LAN addresses).
+	CloudIface IfaceID
+	PeerIface  IfaceID
+	// RTTms is the round-trip latency across the link (large for remote
+	// peerings carried over long layer-2 circuits).
+	RTTms float64
+}
+
+// RelLink realises one AS-relationship edge at the router level so that
+// traceroute paths beyond the cloud border traverse plausible hops.
+type RelLink struct {
+	A, B       ASIndex // A is the provider (or first peer) side
+	ARouter    RouterID
+	BRouter    RouterID
+	AIface     IfaceID // A's interface on the shared subnet
+	BIface     IfaceID // B's interface (the one replies come from on A->B paths)
+	RTTms      float64
+	IsPeerLink bool // p2p rather than p2c
+}
+
+// CloudRegion is one probing region of a cloud.
+type CloudRegion struct {
+	Index int
+	Name  string
+	Metro geo.MetroID
+	// VMIface is the probing VM's interface; Gateways are the in-region hops
+	// every outbound traceroute crosses first.
+	VMIface  IfaceID
+	Gateways []RouterID
+	// Backbone is this region's backbone router (paths to other metros ride
+	// the cloud's private backbone through it).
+	Backbone RouterID
+}
+
+// Cloud is a modelled cloud provider.
+type Cloud struct {
+	ID      CloudID
+	Name    string // "amazon", "microsoft", "google", "ibm", "oracle"
+	Org     OrgIndex
+	ASes    []ASIndex // Amazon: several ASNs under one ORG
+	Regions []CloudRegion
+	// BorderRouters by facility: the native border routers at each facility
+	// where the cloud is native.
+	BorderRouters map[FacilityID][]RouterID
+}
+
+// PrimaryAS returns the cloud's main AS (the first one).
+func (c *Cloud) PrimaryAS() ASIndex { return c.ASes[0] }

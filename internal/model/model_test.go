@@ -1,0 +1,147 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/netblock"
+)
+
+// tiny builds a minimal valid topology: one cloud (amazon) with one border
+// router, one client AS with one router, and one private peering between
+// them.
+func tiny() *Topology {
+	w := geo.NewWorld()
+	t := &Topology{
+		World:       w,
+		Ownership:   netblock.NewTrie(),
+		IfaceByAddr: map[netblock.IP]IfaceID{},
+	}
+	t.Orgs = []Org{{Index: 0, Name: "amazon.com"}, {Index: 1, Name: "corp.example"}}
+	t.ASes = []AS{
+		{Index: 0, ASN: 16509, Name: "amazon", Org: 0, Type: ASCloud},
+		{Index: 1, ASN: 64500, Name: "corp", Org: 1, Type: ASEnterprise},
+	}
+	t.Orgs[0].ASes = []ASIndex{0}
+	t.Orgs[1].ASes = []ASIndex{1}
+	t.Facilities = []Facility{{ID: 0, Name: "F0", Metro: 0, IXP: NoIXP}}
+	t.Routers = []Router{
+		{ID: 0, AS: 0, Facility: 0, Metro: 0, Role: RoleBorder},
+		{ID: 1, AS: 1, Facility: 0, Metro: 0, Role: RoleBorder},
+	}
+	t.Ifaces = []Iface{
+		{ID: 0, Addr: netblock.MustParseIP("52.92.0.0"), Router: 0, Kind: IfInterconnect, SubnetOwner: 0},
+		{ID: 1, Addr: netblock.MustParseIP("52.92.0.1"), Router: 1, Kind: IfInterconnect, SubnetOwner: 0},
+	}
+	t.Routers[0].Ifaces = []IfaceID{0}
+	t.Routers[1].Ifaces = []IfaceID{1}
+	t.Peerings = []Peering{{ID: 0, Cloud: 0, Peer: 1, Kind: PeeringPrivatePhysical, Facility: 0, Links: []LinkID{0}}}
+	t.Links = []Link{{ID: 0, Peering: 0, CloudRouter: 0, PeerRouter: 1, CloudIface: 0, PeerIface: 1}}
+	t.Clouds = []Cloud{{ID: 0, Name: "amazon", Org: 0, ASes: []ASIndex{0},
+		BorderRouters: map[FacilityID][]RouterID{0: {0}}}}
+	t.IfaceByAddr[t.Ifaces[0].Addr] = 0
+	t.IfaceByAddr[t.Ifaces[1].Addr] = 1
+	t.Ownership.Insert(netblock.MustParsePrefix("52.92.0.0/14"), 0)
+	return t
+}
+
+func TestTinyValidates(t *testing.T) {
+	if err := tiny().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*Topology)
+		wantSub string
+	}{
+		{"as index mismatch", func(tp *Topology) { tp.ASes[1].Index = 7 }, "index mismatch"},
+		{"bad org", func(tp *Topology) { tp.ASes[1].Org = 99 }, "invalid org"},
+		{"router id mismatch", func(tp *Topology) { tp.Routers[1].ID = 5 }, "id mismatch"},
+		{"iface backref", func(tp *Topology) { tp.Ifaces[1].Router = 0 }, "back-reference"},
+		{"link iface mismatch", func(tp *Topology) { tp.Links[0].CloudIface = 1 }, "interface/router mismatch"},
+		{"link not listed", func(tp *Topology) { tp.Peerings[0].Links = nil }, "does not list it"},
+		{"peer router wrong owner", func(tp *Topology) { tp.Routers[1].AS = 0; tp.Ifaces[1].Router = 1 }, "peer router"},
+		{"provider backedge", func(tp *Topology) { tp.ASes[1].Providers = []ASIndex{0} }, "back-edge"},
+		{"address index corrupt", func(tp *Topology) { tp.IfaceByAddr[netblock.MustParseIP("9.9.9.9")] = 0 }, "corrupt"},
+	}
+	for _, tc := range cases {
+		tp := tiny()
+		tc.corrupt(tp)
+		err := tp.Validate()
+		if err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestAddrOwner(t *testing.T) {
+	tp := tiny()
+	if got := tp.AddrOwner(netblock.MustParseIP("52.92.1.1")); got != 0 {
+		t.Errorf("AddrOwner = %d", got)
+	}
+	if got := tp.AddrOwner(netblock.MustParseIP("10.0.0.1")); got != NoAS {
+		t.Errorf("private AddrOwner = %d", got)
+	}
+	if got := tp.AddrOwner(netblock.MustParseIP("200.0.0.1")); got != NoAS {
+		t.Errorf("unallocated AddrOwner = %d", got)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	tp := tiny()
+	if tp.Amazon().Name != "amazon" {
+		t.Error("Amazon() wrong")
+	}
+	if !tp.IsCloudAS(tp.Amazon(), 0) || tp.IsCloudAS(tp.Amazon(), 1) {
+		t.Error("IsCloudAS wrong")
+	}
+	if tp.OrgOf(1) != 1 || tp.OrgOf(NoAS) != -1 {
+		t.Error("OrgOf wrong")
+	}
+	if tp.IfaceAS(1) != 1 {
+		t.Error("IfaceAS wrong")
+	}
+	as, ok := tp.ASByASN(64500)
+	if !ok || as.Index != 1 {
+		t.Error("ASByASN wrong")
+	}
+	if _, ok := tp.ASByASN(1); ok {
+		t.Error("ASByASN invented an AS")
+	}
+	c := tp.Count()
+	if c.ASes != 2 || c.Links != 1 || c.AmazonPeerASes != 1 {
+		t.Errorf("Count wrong: %+v", c)
+	}
+}
+
+func TestRelLinkRegistry(t *testing.T) {
+	tp := tiny()
+	tp.RelLinks = []RelLink{{A: 0, B: 1, ARouter: 0, BRouter: 1, AIface: 0, BIface: 1}}
+	tp.RegisterRelLink(0)
+	if _, ok := tp.RelLinkBetween(0, 1); !ok {
+		t.Fatal("registered link not found")
+	}
+	if _, ok := tp.RelLinkBetween(1, 0); !ok {
+		t.Fatal("lookup not symmetric")
+	}
+	if _, ok := tp.RelLinkBetween(0, 0); ok {
+		t.Fatal("self link found")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if PeeringVPI.String() != "vpi" || PeeringPublicIXP.String() != "public-ixp" {
+		t.Error("peering kind strings wrong")
+	}
+	if ASTier1.String() != "tier1" || ASType(200).String() == "" {
+		t.Error("AS type strings wrong")
+	}
+}

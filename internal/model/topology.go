@@ -1,0 +1,284 @@
+package model
+
+import (
+	"fmt"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/netblock"
+)
+
+// Topology is the complete ground truth of the simulated Internet.
+type Topology struct {
+	World *geo.World
+	Seed  uint64
+
+	Orgs       []Org
+	ASes       []AS
+	Facilities []Facility
+	IXPs       []IXP
+	Routers    []Router
+	Ifaces     []Iface
+	Peerings   []Peering
+	Links      []Link
+	RelLinks   []RelLink
+	Clouds     []Cloud
+
+	// Ownership is the authoritative prefix-to-AS table (RIR view). It maps
+	// every allocated prefix to the AS index it is delegated to, regardless
+	// of whether the AS announces it in BGP.
+	Ownership *netblock.Trie
+
+	// IfaceByAddr resolves a public address to the interface holding it.
+	// Private/shared addresses are not unique across ASes and are excluded.
+	IfaceByAddr map[netblock.IP]IfaceID
+
+	// ExternalVP is the access/education AS hosting the public-Internet
+	// vantage point used by the §5.1 reachability heuristic.
+	ExternalVP ASIndex
+
+	// HostRespProb is the probability that a probed .1 target host exists
+	// and answers (drives the completed-traceroute yield of §3).
+	HostRespProb float64
+
+	// relLinkIndex finds the realised router-level link for an AS edge.
+	relLinkIndex map[[2]ASIndex]int32
+}
+
+// AddrOwner returns the AS that owns addr per the RIR delegation table, or
+// NoAS when the address is unallocated or private.
+func (t *Topology) AddrOwner(addr netblock.IP) ASIndex {
+	if addr.IsPrivate() || addr.IsShared() {
+		return NoAS
+	}
+	v, ok := t.Ownership.Lookup(addr)
+	if !ok {
+		return NoAS
+	}
+	return ASIndex(v)
+}
+
+// IfaceAt returns the interface with the given public address, if any.
+func (t *Topology) IfaceAt(addr netblock.IP) (IfaceID, bool) {
+	id, ok := t.IfaceByAddr[addr]
+	return id, ok
+}
+
+// IfaceRouter returns the router of iface.
+func (t *Topology) IfaceRouter(id IfaceID) *Router {
+	return &t.Routers[t.Ifaces[id].Router]
+}
+
+// IfaceAS returns the AS whose router holds the interface. Note this is the
+// router owner, not the subnet owner; the two differ exactly in the
+// address-sharing cases of §4.1.
+func (t *Topology) IfaceAS(id IfaceID) ASIndex {
+	return t.IfaceRouter(id).AS
+}
+
+// IfaceMetro returns the metro where the interface physically sits.
+func (t *Topology) IfaceMetro(id IfaceID) geo.MetroID {
+	return t.IfaceRouter(id).Metro
+}
+
+// IfaceFacility returns the facility of the interface's router, or
+// NoFacility.
+func (t *Topology) IfaceFacility(id IfaceID) FacilityID {
+	return t.IfaceRouter(id).Facility
+}
+
+// CloudByName returns the cloud with the given name.
+func (t *Topology) CloudByName(name string) (*Cloud, bool) {
+	for i := range t.Clouds {
+		if t.Clouds[i].Name == name {
+			return &t.Clouds[i], true
+		}
+	}
+	return nil, false
+}
+
+// Amazon returns the Amazon cloud (the study's subject); it panics when the
+// topology was generated without it, which would be a configuration bug.
+func (t *Topology) Amazon() *Cloud {
+	c, ok := t.CloudByName("amazon")
+	if !ok {
+		panic("model: topology has no amazon cloud")
+	}
+	return c
+}
+
+// IsCloudAS reports whether the AS index belongs to the given cloud.
+func (t *Topology) IsCloudAS(cloud *Cloud, as ASIndex) bool {
+	for _, a := range cloud.ASes {
+		if a == as {
+			return true
+		}
+	}
+	return false
+}
+
+// OrgOf returns the organisation index for an AS.
+func (t *Topology) OrgOf(as ASIndex) OrgIndex {
+	if as == NoAS {
+		return -1
+	}
+	return t.ASes[as].Org
+}
+
+// RegisterRelLink records the realised link for an AS edge so the forwarder
+// can find it. Directionality is normalised (smaller index first).
+func (t *Topology) RegisterRelLink(idx int32) {
+	if t.relLinkIndex == nil {
+		t.relLinkIndex = make(map[[2]ASIndex]int32)
+	}
+	l := &t.RelLinks[idx]
+	t.relLinkIndex[relKey(l.A, l.B)] = idx
+}
+
+func relKey(a, b ASIndex) [2]ASIndex {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ASIndex{a, b}
+}
+
+// RelLinkBetween returns the realised router-level link between two adjacent
+// ASes, if one was generated.
+func (t *Topology) RelLinkBetween(a, b ASIndex) (*RelLink, bool) {
+	idx, ok := t.relLinkIndex[relKey(a, b)]
+	if !ok {
+		return nil, false
+	}
+	return &t.RelLinks[idx], true
+}
+
+// ASByASN returns the AS with the given number.
+func (t *Topology) ASByASN(asn ASN) (*AS, bool) {
+	for i := range t.ASes {
+		if t.ASes[i].ASN == asn {
+			return &t.ASes[i], true
+		}
+	}
+	return nil, false
+}
+
+// Validate checks structural invariants of the topology. The generator runs
+// it after construction; tests run it on every scale.
+func (t *Topology) Validate() error {
+	for i := range t.ASes {
+		as := &t.ASes[i]
+		if as.Index != ASIndex(i) {
+			return fmt.Errorf("AS %d: index mismatch", i)
+		}
+		if as.Org < 0 || int(as.Org) >= len(t.Orgs) {
+			return fmt.Errorf("AS %d (%s): invalid org %d", i, as.Name, as.Org)
+		}
+		for _, p := range as.Providers {
+			if !contains(t.ASes[p].Customers, as.Index) {
+				return fmt.Errorf("AS %s: provider %s lacks back-edge", as.Name, t.ASes[p].Name)
+			}
+		}
+		for _, p := range as.Peers {
+			if !contains(t.ASes[p].Peers, as.Index) {
+				return fmt.Errorf("AS %s: peer %s lacks back-edge", as.Name, t.ASes[p].Name)
+			}
+		}
+	}
+	for i := range t.Routers {
+		r := &t.Routers[i]
+		if r.ID != RouterID(i) {
+			return fmt.Errorf("router %d: id mismatch", i)
+		}
+		if r.AS < 0 || int(r.AS) >= len(t.ASes) {
+			return fmt.Errorf("router %d: invalid AS %d", i, r.AS)
+		}
+		for _, f := range r.Ifaces {
+			if t.Ifaces[f].Router != r.ID {
+				return fmt.Errorf("router %d: interface %d back-reference mismatch", i, f)
+			}
+		}
+	}
+	for i := range t.Ifaces {
+		ifc := &t.Ifaces[i]
+		if ifc.ID != IfaceID(i) {
+			return fmt.Errorf("iface %d: id mismatch", i)
+		}
+		if ifc.Router < 0 || int(ifc.Router) >= len(t.Routers) {
+			return fmt.Errorf("iface %d: invalid router", i)
+		}
+	}
+	for i := range t.Links {
+		l := &t.Links[i]
+		if l.ID != LinkID(i) {
+			return fmt.Errorf("link %d: id mismatch", i)
+		}
+		p := &t.Peerings[l.Peering]
+		if !contains(p.Links, l.ID) {
+			return fmt.Errorf("link %d: peering %d does not list it", i, l.Peering)
+		}
+		if t.Ifaces[l.CloudIface].Router != l.CloudRouter || t.Ifaces[l.PeerIface].Router != l.PeerRouter {
+			return fmt.Errorf("link %d: interface/router mismatch", i)
+		}
+		cloud := &t.Clouds[p.Cloud]
+		if !t.IsCloudAS(cloud, t.Routers[l.CloudRouter].AS) {
+			return fmt.Errorf("link %d: cloud router not owned by cloud %s", i, cloud.Name)
+		}
+		if t.Routers[l.PeerRouter].AS != p.Peer {
+			return fmt.Errorf("link %d: peer router not owned by peer AS", i)
+		}
+	}
+	for i := range t.Peerings {
+		p := &t.Peerings[i]
+		if p.ID != PeeringID(i) {
+			return fmt.Errorf("peering %d: id mismatch", i)
+		}
+		if len(p.Links) == 0 {
+			return fmt.Errorf("peering %d: no links", i)
+		}
+		if p.Kind == PeeringPublicIXP {
+			f := t.Facilities[p.Facility]
+			if f.IXP == NoIXP {
+				return fmt.Errorf("peering %d: public peering at facility without IXP", i)
+			}
+		}
+	}
+	// Public address uniqueness.
+	for addr, id := range t.IfaceByAddr {
+		if t.Ifaces[id].Addr != addr {
+			return fmt.Errorf("address index corrupt at %v", addr)
+		}
+	}
+	return nil
+}
+
+func contains[T comparable](xs []T, v T) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Counts summarises entity counts for logging and tests.
+type Counts struct {
+	Orgs, ASes, Facilities, IXPs, Routers, Ifaces, Peerings, Links int
+	AmazonPeerASes                                                 int
+}
+
+// Count computes summary counts.
+func (t *Topology) Count() Counts {
+	c := Counts{
+		Orgs: len(t.Orgs), ASes: len(t.ASes), Facilities: len(t.Facilities),
+		IXPs: len(t.IXPs), Routers: len(t.Routers), Ifaces: len(t.Ifaces),
+		Peerings: len(t.Peerings), Links: len(t.Links),
+	}
+	amazon := t.Amazon()
+	peers := map[ASIndex]bool{}
+	for i := range t.Peerings {
+		if t.Peerings[i].Cloud == amazon.ID {
+			peers[t.Peerings[i].Peer] = true
+		}
+	}
+	c.AmazonPeerASes = len(peers)
+	return c
+}

@@ -1,0 +1,43 @@
+package netblock
+
+import "testing"
+
+// BenchmarkTrieLookup measures the longest-prefix-match hot path: it runs
+// once per annotated traceroute hop, hundreds of millions of times in a
+// paper-scale campaign.
+func BenchmarkTrieLookup(b *testing.B) {
+	tr := NewTrie()
+	// A realistic table: ~20k prefixes of mixed lengths.
+	for i := 0; i < 20000; i++ {
+		addr := IP(uint32(0x40000000) + uint32(i)*0x800)
+		tr.Insert(MakePrefix(addr, uint8(12+i%14)), int32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(IP(uint32(0x40000000) + uint32(i)*7919))
+	}
+}
+
+func BenchmarkTrieInsert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := NewTrie()
+		for j := 0; j < 1000; j++ {
+			tr.Insert(MakePrefix(IP(uint32(j)*0x10000), 16), int32(j))
+		}
+	}
+}
+
+func BenchmarkIPString(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = IP(uint32(i) * 2654435761).String()
+	}
+}
+
+func BenchmarkPoolAlloc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pool := NewPool(MustParsePrefix("10.0.0.0/8"))
+		for j := 0; j < 512; j++ {
+			pool.MustAlloc(31)
+		}
+	}
+}

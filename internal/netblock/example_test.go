@@ -1,0 +1,40 @@
+package netblock_test
+
+import (
+	"fmt"
+
+	"cloudmap/internal/netblock"
+)
+
+// A trie provides the longest-prefix-match semantics of a BGP RIB lookup.
+func ExampleTrie() {
+	rib := netblock.NewTrie()
+	rib.Insert(netblock.MustParsePrefix("10.0.0.0/8"), 64500)
+	rib.Insert(netblock.MustParsePrefix("10.1.0.0/16"), 64501)
+
+	for _, s := range []string{"10.2.3.4", "10.1.2.3", "192.0.2.1"} {
+		ip := netblock.MustParseIP(s)
+		if asn, ok := rib.Lookup(ip); ok {
+			fmt.Printf("%s -> AS%d\n", ip, asn)
+		} else {
+			fmt.Printf("%s -> unrouted\n", ip)
+		}
+	}
+	// Output:
+	// 10.2.3.4 -> AS64500
+	// 10.1.2.3 -> AS64501
+	// 192.0.2.1 -> unrouted
+}
+
+// Pools carve aligned, disjoint subnets — the simulator's address
+// delegation primitive.
+func ExamplePool() {
+	pool := netblock.NewPool(netblock.MustParsePrefix("198.51.100.0/24"))
+	fmt.Println(pool.MustAlloc(26))
+	fmt.Println(pool.MustAlloc(26))
+	fmt.Println(pool.MustAlloc(30))
+	// Output:
+	// 198.51.100.0/26
+	// 198.51.100.64/26
+	// 198.51.100.128/30
+}

@@ -1,0 +1,49 @@
+package netblock
+
+import "testing"
+
+// FuzzParseIP checks that ParseIP never panics and that accepted inputs
+// round-trip canonically.
+func FuzzParseIP(f *testing.F) {
+	for _, seed := range []string{"1.2.3.4", "0.0.0.0", "255.255.255.255", "256.1.1.1", "a.b.c.d", "", "1.2.3.4.5", "....", "01.2.3.4"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ip, err := ParseIP(s)
+		if err != nil {
+			return
+		}
+		// Accepted addresses must round-trip through String/ParseIP.
+		back, err := ParseIP(ip.String())
+		if err != nil || back != ip {
+			t.Fatalf("round trip broke for %q -> %v", s, ip)
+		}
+	})
+}
+
+// FuzzParsePrefix checks ParsePrefix robustness and canonical invariants.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{"10.0.0.0/8", "1.2.3.4/32", "1.2.3.4/0", "1.2.3.4/33", "/8", "1.2.3.4/", "1.2.3.4/-1", "10.0.0.0/8/8"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.Bits > 32 {
+			t.Fatalf("accepted prefix with %d bits", p.Bits)
+		}
+		// Host bits must be cleared.
+		if p.Addr&^Mask(p.Bits) != 0 {
+			t.Fatalf("host bits set in %v (from %q)", p, s)
+		}
+		if !p.Contains(p.First()) || !p.Contains(p.Last()) {
+			t.Fatalf("prefix %v does not contain its own bounds", p)
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip broke for %q -> %v", s, p)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+// Package netblock provides compact IPv4 address and prefix types, prefix
+// pool allocators, and a longest-prefix-match radix trie.
+//
+// The simulator and the inference pipeline manipulate tens of millions of
+// addresses (the paper probes 15.6M /24 targets from 15 regions), so
+// addresses are stored as uint32 rather than netip.Addr; formatting and
+// parsing helpers bridge to the usual dotted-quad notation.
+package netblock
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IP is an IPv4 address in host byte order.
+type IP uint32
+
+// Zero is the unspecified address. The simulator never assigns it to an
+// interface, so it doubles as a "no address" sentinel.
+const Zero IP = 0
+
+// String formats the address as a dotted quad.
+func (ip IP) String() string {
+	var b [15]byte
+	buf := strconv.AppendUint(b[:0], uint64(ip>>24), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(ip>>16&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(ip>>8&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(ip&0xff), 10)
+	return string(buf)
+}
+
+// ParseIP parses a dotted quad. It rejects anything that is not exactly four
+// decimal octets.
+func ParseIP(s string) (IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netblock: invalid IPv4 address %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		if p == "" || len(p) > 3 {
+			return 0, fmt.Errorf("netblock: invalid IPv4 address %q", s)
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("netblock: invalid IPv4 address %q", s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return IP(ip), nil
+}
+
+// MustParseIP is ParseIP for constants in tests and table literals.
+func MustParseIP(s string) IP {
+	ip, err := ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// IsPrivate reports whether the address falls in RFC 1918 space.
+func (ip IP) IsPrivate() bool {
+	return ip>>24 == 10 || // 10.0.0.0/8
+		ip>>20 == 0xAC1 || // 172.16.0.0/12
+		ip>>16 == 0xC0A8 // 192.168.0.0/16
+}
+
+// IsShared reports whether the address falls in RFC 6598 shared space
+// (100.64.0.0/10), which cloud providers commonly use internally.
+func (ip IP) IsShared() bool {
+	return ip>>22 == 100<<2|1 // 100.64.0.0/10: top 10 bits 0110 0100 01
+}
+
+// Prefix is an IPv4 CIDR prefix.
+type Prefix struct {
+	Addr IP
+	Bits uint8
+}
+
+// MakePrefix returns the prefix with the host bits of addr cleared.
+func MakePrefix(addr IP, bits uint8) Prefix {
+	if bits > 32 {
+		panic("netblock: prefix length > 32")
+	}
+	return Prefix{Addr: addr & Mask(bits), Bits: bits}
+}
+
+// ParsePrefix parses "a.b.c.d/n" notation.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netblock: invalid prefix %q", s)
+	}
+	ip, err := ParseIP(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netblock: invalid prefix %q", s)
+	}
+	return MakePrefix(ip, uint8(bits)), nil
+}
+
+// MustParsePrefix is ParsePrefix for constants.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mask returns the network mask for a prefix length.
+func Mask(bits uint8) IP {
+	if bits == 0 {
+		return 0
+	}
+	return IP(^uint32(0) << (32 - bits))
+}
+
+// String formats the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return p.Addr.String() + "/" + strconv.Itoa(int(p.Bits))
+}
+
+// Contains reports whether ip falls within the prefix.
+func (p Prefix) Contains(ip IP) bool {
+	return ip&Mask(p.Bits) == p.Addr
+}
+
+// Overlaps reports whether two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.Bits <= q.Bits {
+		return p.Contains(q.Addr)
+	}
+	return q.Contains(p.Addr)
+}
+
+// NumAddrs returns the number of addresses covered by the prefix.
+func (p Prefix) NumAddrs() uint64 {
+	return 1 << (32 - p.Bits)
+}
+
+// First and Last return the lowest and highest address in the prefix.
+func (p Prefix) First() IP { return p.Addr }
+
+// Last returns the highest address in the prefix.
+func (p Prefix) Last() IP { return p.Addr | ^Mask(p.Bits) }
+
+// Slash24 returns the /24 containing ip. The paper's probing plan and its
+// expansion round are both organised around /24s.
+func Slash24(ip IP) Prefix {
+	return Prefix{Addr: ip &^ 0xff, Bits: 24}
+}
+
+// Slash24s returns every /24 contained in the prefix. For prefixes longer
+// than /24 it returns the single covering /24.
+func (p Prefix) Slash24s() []Prefix {
+	if p.Bits >= 24 {
+		return []Prefix{Slash24(p.Addr)}
+	}
+	n := 1 << (24 - p.Bits)
+	out := make([]Prefix, n)
+	for i := 0; i < n; i++ {
+		out[i] = Prefix{Addr: p.Addr + IP(i)<<8, Bits: 24}
+	}
+	return out
+}

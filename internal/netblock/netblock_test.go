@@ -1,0 +1,305 @@
+package netblock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIPStringRoundTrip(t *testing.T) {
+	cases := []string{"0.0.0.0", "10.1.2.3", "192.168.255.1", "255.255.255.255", "52.95.0.1"}
+	for _, s := range cases {
+		ip, err := ParseIP(s)
+		if err != nil {
+			t.Fatalf("ParseIP(%q): %v", s, err)
+		}
+		if got := ip.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseIPErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "1.2.3.-4", "01234.1.1.1"} {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q) succeeded", s)
+		}
+	}
+}
+
+func TestIPStringParseProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IP(v)
+		back, err := ParseIP(ip.String())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPrivateShared(t *testing.T) {
+	priv := []string{"10.0.0.1", "10.255.255.255", "172.16.0.1", "172.31.255.254", "192.168.1.1"}
+	for _, s := range priv {
+		if !MustParseIP(s).IsPrivate() {
+			t.Errorf("%s not detected private", s)
+		}
+	}
+	pub := []string{"9.255.255.255", "11.0.0.0", "172.15.255.255", "172.32.0.0", "192.167.255.255", "192.169.0.0", "8.8.8.8"}
+	for _, s := range pub {
+		if MustParseIP(s).IsPrivate() {
+			t.Errorf("%s detected private", s)
+		}
+	}
+	if !MustParseIP("100.64.0.1").IsShared() || !MustParseIP("100.127.255.255").IsShared() {
+		t.Error("shared space not detected")
+	}
+	if MustParseIP("100.63.255.255").IsShared() || MustParseIP("100.128.0.0").IsShared() {
+		t.Error("non-shared detected shared")
+	}
+}
+
+func TestPrefixBasics(t *testing.T) {
+	p := MustParsePrefix("192.168.1.0/24")
+	if !p.Contains(MustParseIP("192.168.1.200")) {
+		t.Error("Contains failed inside")
+	}
+	if p.Contains(MustParseIP("192.168.2.0")) {
+		t.Error("Contains matched outside")
+	}
+	if p.NumAddrs() != 256 {
+		t.Errorf("NumAddrs = %d", p.NumAddrs())
+	}
+	if p.First() != MustParseIP("192.168.1.0") || p.Last() != MustParseIP("192.168.1.255") {
+		t.Error("First/Last wrong")
+	}
+	// Host bits must be cleared by MakePrefix.
+	q := MakePrefix(MustParseIP("10.1.2.3"), 16)
+	if q.Addr != MustParseIP("10.1.0.0") {
+		t.Errorf("MakePrefix did not clear host bits: %v", q)
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	for _, s := range []string{"", "10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "10.0.0/8", "x/8"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded", s)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.1.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("containing prefixes must overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("disjoint prefixes overlap")
+	}
+}
+
+func TestSlash24(t *testing.T) {
+	if got := Slash24(MustParseIP("10.1.2.3")); got != MustParsePrefix("10.1.2.0/24") {
+		t.Errorf("Slash24 = %v", got)
+	}
+	p := MustParsePrefix("10.0.0.0/22")
+	s := p.Slash24s()
+	if len(s) != 4 {
+		t.Fatalf("got %d /24s from /22", len(s))
+	}
+	if s[0] != MustParsePrefix("10.0.0.0/24") || s[3] != MustParsePrefix("10.0.3.0/24") {
+		t.Errorf("unexpected /24 enumeration: %v", s)
+	}
+	long := MustParsePrefix("10.0.0.128/25")
+	if got := long.Slash24s(); len(got) != 1 || got[0] != MustParsePrefix("10.0.0.0/24") {
+		t.Errorf("Slash24s of /25 = %v", got)
+	}
+}
+
+func TestPoolAllocation(t *testing.T) {
+	pool := NewPool(MustParsePrefix("10.0.0.0/16"))
+	a := pool.MustAlloc(24)
+	b := pool.MustAlloc(24)
+	if a == b {
+		t.Fatal("pool returned the same subnet twice")
+	}
+	if a.Overlaps(b) {
+		t.Fatal("pool returned overlapping subnets")
+	}
+	if !MustParsePrefix("10.0.0.0/16").Contains(a.Addr) {
+		t.Fatal("allocation outside base")
+	}
+	// Mixed sizes stay aligned and disjoint.
+	var all []Prefix
+	all = append(all, a, b)
+	for i := 0; i < 20; i++ {
+		p := pool.MustAlloc(uint8(25 + i%7))
+		for _, q := range all {
+			if p.Overlaps(q) {
+				t.Fatalf("overlap between %v and %v", p, q)
+			}
+		}
+		if p.Addr&(IP(p.NumAddrs())-1) != 0 {
+			t.Fatalf("unaligned allocation %v", p)
+		}
+		all = append(all, p)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	pool := NewPool(MustParsePrefix("10.0.0.0/30"))
+	if _, err := pool.Alloc(31); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Alloc(31); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Alloc(31); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	// Requesting a subnet larger than the base must fail.
+	if _, err := NewPool(MustParsePrefix("10.0.0.0/24")).Alloc(16); err == nil {
+		t.Fatal("allocating /16 from /24 succeeded")
+	}
+}
+
+func TestPoolRemaining(t *testing.T) {
+	pool := NewPool(MustParsePrefix("10.0.0.0/24"))
+	if pool.Remaining() != 256 {
+		t.Fatalf("Remaining = %d", pool.Remaining())
+	}
+	pool.MustAlloc(25)
+	if pool.Remaining() != 128 {
+		t.Fatalf("Remaining after /25 = %d", pool.Remaining())
+	}
+}
+
+func TestTrieLongestPrefixMatch(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), 2)
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), 3)
+	cases := []struct {
+		ip   string
+		want int32
+	}{
+		{"10.2.3.4", 1},
+		{"10.1.9.9", 2},
+		{"10.1.2.200", 3},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(MustParseIP(c.ip))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %d,%v want %d", c.ip, got, ok, c.want)
+		}
+	}
+	if _, ok := tr.Lookup(MustParseIP("11.0.0.1")); ok {
+		t.Error("lookup outside any prefix matched")
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestTrieReplaceAndExact(t *testing.T) {
+	tr := NewTrie()
+	p := MustParsePrefix("192.168.0.0/16")
+	tr.Insert(p, 7)
+	tr.Insert(p, 9)
+	if tr.Len() != 1 {
+		t.Errorf("Len after replace = %d", tr.Len())
+	}
+	if v, ok := tr.LookupPrefix(p); !ok || v != 9 {
+		t.Errorf("LookupPrefix = %d,%v", v, ok)
+	}
+	if _, ok := tr.LookupPrefix(MustParsePrefix("192.168.0.0/17")); ok {
+		t.Error("exact lookup matched non-inserted prefix")
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), 42)
+	if v, ok := tr.Lookup(MustParseIP("203.0.113.7")); !ok || v != 42 {
+		t.Errorf("default route lookup = %d,%v", v, ok)
+	}
+}
+
+func TestTrieWalk(t *testing.T) {
+	tr := NewTrie()
+	want := map[string]int32{
+		"10.0.0.0/8":    1,
+		"10.1.0.0/16":   2,
+		"172.16.0.0/12": 3,
+		"0.0.0.0/0":     4,
+	}
+	for s, v := range want {
+		tr.Insert(MustParsePrefix(s), v)
+	}
+	got := map[string]int32{}
+	tr.Walk(func(p Prefix, v int32) bool {
+		got[p.String()] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %d prefixes, want %d", len(got), len(want))
+	}
+	for s, v := range want {
+		if got[s] != v {
+			t.Errorf("Walk[%s] = %d want %d", s, got[s], v)
+		}
+	}
+	// Early termination.
+	count := 0
+	tr.Walk(func(Prefix, int32) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("Walk did not stop: visited %d", count)
+	}
+}
+
+// TestTrieMatchesLinearScan cross-checks trie lookups against a brute-force
+// longest-prefix scan on randomly generated prefix sets.
+func TestTrieMatchesLinearScan(t *testing.T) {
+	f := func(seeds []uint32, probes []uint32) bool {
+		if len(seeds) > 64 {
+			seeds = seeds[:64]
+		}
+		tr := NewTrie()
+		var prefixes []Prefix
+		for i, s := range seeds {
+			p := MakePrefix(IP(s), uint8(s%33))
+			tr.Insert(p, int32(i))
+			prefixes = append(prefixes, p)
+		}
+		// Rebuild the "last writer wins" view for exact duplicates.
+		exact := map[Prefix]int32{}
+		for i, p := range prefixes {
+			exact[p] = int32(i)
+		}
+		for _, pr := range probes {
+			ip := IP(pr)
+			bestBits := -1
+			var bestVal int32
+			for p, v := range exact {
+				if p.Contains(ip) && int(p.Bits) > bestBits {
+					bestBits, bestVal = int(p.Bits), v
+				}
+			}
+			got, ok := tr.Lookup(ip)
+			if bestBits < 0 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || got != bestVal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package netblock
+
+import "fmt"
+
+// Pool hands out consecutive, non-overlapping subnets of a base prefix. The
+// topology generator uses pools to model address-space delegation: the RIR
+// pool delegates provider blocks, each AS's block is subdivided into service
+// and infrastructure prefixes, and infrastructure /24s are subdivided into
+// /31 interconnection subnets (the "address sharing" of §4.1).
+type Pool struct {
+	base Prefix
+	next IP // next unallocated address within base
+}
+
+// NewPool creates an allocator over the given base prefix.
+func NewPool(base Prefix) *Pool {
+	return &Pool{base: base, next: base.First()}
+}
+
+// Base returns the prefix the pool allocates from.
+func (p *Pool) Base() Prefix { return p.base }
+
+// Remaining returns the number of unallocated addresses left in the pool.
+func (p *Pool) Remaining() uint64 {
+	if p.next > p.base.Last() {
+		return 0
+	}
+	return uint64(p.base.Last()-p.next) + 1
+}
+
+// Alloc carves the next aligned subnet with the given prefix length. It
+// returns an error when the pool is exhausted; the topology generator treats
+// that as a configuration bug and fails fast.
+func (p *Pool) Alloc(bits uint8) (Prefix, error) {
+	if bits < p.base.Bits || bits > 32 {
+		return Prefix{}, fmt.Errorf("netblock: cannot allocate /%d from %v", bits, p.base)
+	}
+	size := IP(1) << (32 - bits)
+	// Align the cursor up to the subnet size.
+	aligned := (p.next + size - 1) &^ (size - 1)
+	if aligned < p.next { // wrapped
+		return Prefix{}, fmt.Errorf("netblock: pool %v exhausted", p.base)
+	}
+	end := aligned + size - 1
+	if end < aligned || end > p.base.Last() || aligned < p.base.First() {
+		return Prefix{}, fmt.Errorf("netblock: pool %v exhausted", p.base)
+	}
+	p.next = end + 1
+	return Prefix{Addr: aligned, Bits: bits}, nil
+}
+
+// MustAlloc is Alloc that panics on exhaustion.
+func (p *Pool) MustAlloc(bits uint8) Prefix {
+	pfx, err := p.Alloc(bits)
+	if err != nil {
+		panic(err)
+	}
+	return pfx
+}

@@ -1,0 +1,122 @@
+package netblock
+
+// Trie is a binary radix trie mapping IPv4 prefixes to int32 values with
+// longest-prefix-match lookup. It backs both the simulator's forwarding
+// table (prefix -> owning AS) and the inference pipeline's IP-to-ASN
+// annotation built from BGP/WHOIS snapshots (§3).
+//
+// Values are int32 so a node can distinguish "no value" (noValue) from any
+// stored value; callers store AS indexes or ASNs.
+type Trie struct {
+	nodes []trieNode
+	size  int
+}
+
+const noValue = int32(-1 << 31)
+
+type trieNode struct {
+	child [2]int32 // index into nodes, 0 = none (node 0 is the root)
+	value int32
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie {
+	return &Trie{nodes: []trieNode{{value: noValue}}}
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie) Len() int { return t.size }
+
+// Insert associates value with the prefix, replacing any previous value for
+// exactly that prefix.
+func (t *Trie) Insert(p Prefix, value int32) {
+	if value == noValue {
+		panic("netblock: reserved trie value")
+	}
+	cur := int32(0)
+	for depth := uint8(0); depth < p.Bits; depth++ {
+		bit := (uint32(p.Addr) >> (31 - depth)) & 1
+		next := t.nodes[cur].child[bit]
+		if next == 0 {
+			t.nodes = append(t.nodes, trieNode{value: noValue})
+			next = int32(len(t.nodes) - 1)
+			t.nodes[cur].child[bit] = next
+		}
+		cur = next
+	}
+	if t.nodes[cur].value == noValue {
+		t.size++
+	}
+	t.nodes[cur].value = value
+}
+
+// Lookup returns the value of the longest prefix containing ip. The boolean
+// is false when no prefix matches.
+func (t *Trie) Lookup(ip IP) (int32, bool) {
+	best := noValue
+	cur := int32(0)
+	if v := t.nodes[0].value; v != noValue {
+		best = v
+	}
+	for depth := 0; depth < 32; depth++ {
+		bit := (uint32(ip) >> (31 - depth)) & 1
+		next := t.nodes[cur].child[bit]
+		if next == 0 {
+			break
+		}
+		cur = next
+		if v := t.nodes[cur].value; v != noValue {
+			best = v
+		}
+	}
+	if best == noValue {
+		return 0, false
+	}
+	return best, true
+}
+
+// LookupPrefix returns the value stored for exactly the given prefix.
+func (t *Trie) LookupPrefix(p Prefix) (int32, bool) {
+	cur := int32(0)
+	for depth := uint8(0); depth < p.Bits; depth++ {
+		bit := (uint32(p.Addr) >> (31 - depth)) & 1
+		next := t.nodes[cur].child[bit]
+		if next == 0 {
+			return 0, false
+		}
+		cur = next
+	}
+	if v := t.nodes[cur].value; v != noValue {
+		return v, true
+	}
+	return 0, false
+}
+
+// Walk visits every stored (prefix, value) pair in lexicographic order of
+// the prefix bits. Returning false from fn stops the walk.
+func (t *Trie) Walk(fn func(Prefix, int32) bool) {
+	t.walk(0, 0, 0, fn)
+}
+
+func (t *Trie) walk(node int32, addr uint32, depth uint8, fn func(Prefix, int32) bool) bool {
+	n := t.nodes[node]
+	if n.value != noValue {
+		if !fn(Prefix{Addr: IP(addr), Bits: depth}, n.value) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if c := n.child[0]; c != 0 {
+		if !t.walk(c, addr, depth+1, fn) {
+			return false
+		}
+	}
+	if c := n.child[1]; c != 0 {
+		if !t.walk(c, addr|1<<(31-depth), depth+1, fn) {
+			return false
+		}
+	}
+	return true
+}

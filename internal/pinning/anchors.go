@@ -1,0 +1,178 @@
+package pinning
+
+import (
+	"math"
+
+	"cloudmap/internal/dnsnames"
+	"cloudmap/internal/geo"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/registry"
+	"cloudmap/internal/verify"
+)
+
+// rttSlackMs is the tolerance used by RTT feasibility checks (queueing and
+// path inflation beyond the propagation model).
+const rttSlackMs = 2.0
+
+type addAnchorFn func(addr netblock.IP, metro geo.MetroID, src string)
+
+// r6anchorsDNS derives CBI anchors from DNS location hints, discarding those
+// that violate the RTT feasibility constraint (DRoP-style, §6.1). ABIs never
+// carry reverse DNS.
+func r6anchorsDNS(ver *verify.Result, reg *registry.Registry, res *Result, add addAnchorFn) int {
+	world := reg.World
+	count := 0
+	for cbi := range ver.CBIs {
+		name := reg.DNS[cbi]
+		if name == "" {
+			continue
+		}
+		hint := dnsnames.Parse(name, world)
+		if hint.MetroCode == "" {
+			continue
+		}
+		metro, ok := world.ByCode(hint.MetroCode)
+		if !ok {
+			continue
+		}
+		if !rttFeasible(res, cbi, metro, world) {
+			continue
+		}
+		add(cbi, metro, SrcDNS)
+		count++
+	}
+	return count
+}
+
+// rttFeasible checks that every measured min-RTT to the interface is
+// consistent with the claimed location: light in fiber cannot beat
+// propagation delay.
+func rttFeasible(res *Result, addr netblock.IP, metro geo.MetroID, world *geo.World) bool {
+	row := res.MinRTT[addr]
+	if row == nil {
+		return true // no measurements to contradict the claim
+	}
+	for ri, rtt := range row {
+		if math.IsInf(rtt, 1) {
+			continue
+		}
+		if world.PropagationRTTms(res.RegionMetros[ri], metro) > rtt+rttSlackMs {
+			return false
+		}
+	}
+	return true
+}
+
+// r6anchorsIXP pins CBIs inside single-metro IXP prefixes to the exchange's
+// metro, after excluding remote peers by the paper's minIXRTT rule: an
+// interface is local only if its RTT from the exchange's closest region is
+// within 2 ms of the minimum across all of the exchange's interfaces.
+func r6anchorsIXP(ver *verify.Result, reg *registry.Registry, res *Result, existing map[netblock.IP]*anchorInfo, add addAnchorFn) int {
+	world := reg.World
+	// Group IXP CBIs by exchange.
+	byIXP := map[int32][]netblock.IP{}
+	for cbi, ann := range ver.CBIs {
+		if ann.IXP >= 0 {
+			byIXP[ann.IXP] = append(byIXP[ann.IXP], cbi)
+		}
+	}
+	count := 0
+	for ixpIdx, members := range byIXP {
+		info := reg.IXPs[ixpIdx]
+		if len(info.Cities) != 1 {
+			continue // multi-metro exchanges cannot anchor
+		}
+		metro, ok := world.ByCity(info.Cities[0])
+		if !ok {
+			continue
+		}
+		// minIXRTT and minIXRegion over every member interface.
+		minRTT := math.Inf(1)
+		minRegion := -1
+		for _, m := range members {
+			for ri, v := range res.MinRTT[m] {
+				if v < minRTT {
+					minRTT, minRegion = v, ri
+				}
+			}
+		}
+		if minRegion < 0 {
+			continue
+		}
+		for _, m := range members {
+			row := res.MinRTT[m]
+			if row == nil || math.IsInf(row[minRegion], 1) {
+				continue
+			}
+			if row[minRegion] > minRTT+2.0 {
+				continue // remote peer
+			}
+			if _, dup := existing[m]; !dup {
+				count++
+			}
+			add(m, metro, SrcIXP)
+		}
+	}
+	return count
+}
+
+// r6anchorsMetro pins CBIs of ASes whose entire known footprint (facility
+// tenancy + IXP membership) is a single metro. Footprint data inherits the
+// remote-membership noise of PeeringDB/PCH, so claims are additionally
+// RTT-feasibility checked before anchoring (in the paper's conservative
+// spirit).
+func r6anchorsMetro(ver *verify.Result, reg *registry.Registry, res *Result, existing map[netblock.IP]*anchorInfo, add addAnchorFn) int {
+	world := reg.World
+	singles := reg.SingleMetroASNs()
+	count := 0
+	for cbi := range ver.CBIs {
+		owner := ver.OwnerASN[cbi]
+		if owner == 0 {
+			continue
+		}
+		city, ok := singles[owner]
+		if !ok {
+			continue
+		}
+		metro, ok := world.ByCity(city)
+		if !ok {
+			continue
+		}
+		if !rttFeasible(res, cbi, metro, world) {
+			continue
+		}
+		if _, dup := existing[cbi]; !dup {
+			count++
+		}
+		add(cbi, metro, SrcMetro)
+	}
+	return count
+}
+
+// r6anchorsNative pins ABIs whose min-RTT from some region falls under the
+// Fig. 4a knee to that region's metro: Amazon's peerings terminate at
+// facilities where it is native, and sub-knee RTT means the facility is in
+// the VM's own metro.
+func r6anchorsNative(ver *verify.Result, res *Result, existing map[netblock.IP]*anchorInfo, add addAnchorFn) int {
+	count := 0
+	for abi := range ver.ABIs {
+		row := res.MinRTT[abi]
+		if row == nil {
+			continue
+		}
+		best := -1
+		for ri, v := range row {
+			if !math.IsInf(v, 1) && (best < 0 || v < row[best]) {
+				best = ri
+			}
+		}
+		if best < 0 || row[best] > res.NativeKnee {
+			continue
+		}
+		if _, dup := existing[abi]; !dup {
+			count++
+		}
+		add(abi, res.RegionMetros[best], SrcNative)
+	}
+	return count
+}

@@ -1,0 +1,445 @@
+// Package pinning geo-locates the two ends of every inferred interconnection
+// (§6): it derives anchor interfaces from four evidence sources (DNS
+// location hints, IXP locations, single-metro footprints, native-colo RTT),
+// consistency-checks them, and then iteratively propagates locations along
+// two co-presence rules (alias sets pin to a facility; low-RTT-difference
+// segments pin to a metro). Interfaces left unpinned fall back to
+// region-level attribution by min-RTT ratio (Fig. 5).
+package pinning
+
+import (
+	"math"
+	"sort"
+
+	"cloudmap/internal/border"
+	"cloudmap/internal/geo"
+	"cloudmap/internal/midar"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/probe"
+	"cloudmap/internal/registry"
+	"cloudmap/internal/stats"
+	"cloudmap/internal/verify"
+)
+
+// Anchor evidence source names (Table 3 columns).
+const (
+	SrcDNS    = "dns"
+	SrcIXP    = "ixp"
+	SrcMetro  = "metro"
+	SrcNative = "native"
+	RuleAlias = "alias"
+	RuleRTT   = "min-rtt"
+)
+
+// Options tunes the pinning run.
+type Options struct {
+	// PingSamples per (region, interface) for the min-RTT campaign.
+	PingSamples int
+	// SegmentRTTThreshold is the co-presence threshold for rule 2; <= 0
+	// derives it from the knee of the segment RTT-difference CDF (the
+	// paper observes 2 ms, Fig. 4b).
+	SegmentRTTThreshold float64
+	// NativeRTTThreshold is the native-colo anchor threshold; <= 0 derives
+	// it from the knee of the ABI min-RTT CDF (2 ms in Fig. 4a).
+	NativeRTTThreshold float64
+	// RatioThreshold is the min-RTT ratio for region-level pinning (1.5).
+	RatioThreshold float64
+	// Disable individual anchor sources (ablations).
+	DisableDNS, DisableIXP, DisableMetro, DisableNative bool
+}
+
+// DefaultOptions mirrors the paper.
+func DefaultOptions() Options {
+	return Options{PingSamples: 20, RatioThreshold: 1.5}
+}
+
+// Result holds every pinning output and the data behind Figs. 4a, 4b and 5.
+type Result struct {
+	// Metro holds metro-level pins for border interfaces.
+	Metro map[netblock.IP]geo.MetroID
+	// Region holds the coarser region-level fallback (region index).
+	Region map[netblock.IP]int
+	// AnchorSource records which evidence pinned each anchor.
+	AnchorSource map[netblock.IP]string
+	// PinRule records the co-presence rule that pinned each non-anchor.
+	PinRule map[netblock.IP]string
+
+	// Exclusive and Cumulative are Table 3's two rows, in the fixed order
+	// dns, ixp, metro, native, alias, min-rtt.
+	Exclusive  map[string]int
+	Cumulative map[string]int
+
+	// ConflictingAnchors were removed by the consistency checks (the
+	// paper's 66); PropagationConflicts were skipped during iteration (179).
+	ConflictingAnchors   int
+	PropagationConflicts int
+	Rounds               int
+
+	// MinRTT is the per-region min-RTT matrix (+Inf when unreachable).
+	MinRTT map[netblock.IP][]float64
+	// RegionMetros maps region index to its metro.
+	RegionMetros []geo.MetroID
+
+	// Figure data.
+	ABIMinRTTs   []float64 // Fig. 4a: per-ABI min over regions
+	SegmentDiffs []float64 // Fig. 4b: per-segment RTT difference
+	RegionRatios []float64 // Fig. 5: ratio of two lowest min-RTTs (unpinned)
+	SingleRegion int       // unpinned interfaces visible from one region only
+	NativeKnee   float64
+	SegKnee      float64
+	TotalIfaces  int
+	PinnedABIs   int
+	PinnedCBIs   int
+	TotalABIs    int
+	TotalCBIs    int
+	RegionPinned int
+	// PinnedMetros is the set of metros that received at least one pin.
+	PinnedMetros map[geo.MetroID]struct{}
+
+	// segDiff is kept for cross-validation re-runs; segOrder fixes the
+	// propagation order (map iteration would be nondeterministic).
+	segDiff  map[border.Segment]float64
+	segOrder []border.Segment
+}
+
+// Run executes the §6 pipeline.
+func Run(ver *verify.Result, inf *border.Inference, reg *registry.Registry, pr *probe.Prober, aliases []midar.AliasSet, opts Options) *Result {
+	if opts.PingSamples <= 0 {
+		opts.PingSamples = 20
+	}
+	if opts.RatioThreshold <= 0 {
+		opts.RatioThreshold = 1.5
+	}
+	world := reg.World
+	regions := geo.AmazonRegions(world)
+
+	res := &Result{
+		Metro:        map[netblock.IP]geo.MetroID{},
+		Region:       map[netblock.IP]int{},
+		AnchorSource: map[netblock.IP]string{},
+		PinRule:      map[netblock.IP]string{},
+		Exclusive:    map[string]int{},
+		Cumulative:   map[string]int{},
+		MinRTT:       map[netblock.IP][]float64{},
+		PinnedMetros: map[geo.MetroID]struct{}{},
+	}
+	for _, r := range regions {
+		res.RegionMetros = append(res.RegionMetros, r.Metro)
+	}
+
+	// ---- min-RTT campaign -------------------------------------------------
+	vms := pr.VMs("amazon")
+	var all []netblock.IP
+	for abi := range ver.ABIs {
+		all = append(all, abi)
+	}
+	for cbi := range ver.CBIs {
+		all = append(all, cbi)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, addr := range all {
+		row := make([]float64, len(vms))
+		for ri, vm := range vms {
+			if rtt, ok := pr.Ping(vm, addr, opts.PingSamples); ok {
+				row[ri] = rtt
+			} else {
+				row[ri] = math.Inf(1)
+			}
+		}
+		res.MinRTT[addr] = row
+	}
+	res.TotalIfaces = len(all)
+	res.TotalABIs = len(ver.ABIs)
+	res.TotalCBIs = len(ver.CBIs)
+
+	// Fig. 4a data and the native-colo threshold.
+	for abi := range ver.ABIs {
+		if m := minOf(res.MinRTT[abi]); !math.IsInf(m, 1) {
+			res.ABIMinRTTs = append(res.ABIMinRTTs, m)
+		}
+	}
+	res.NativeKnee = clampKnee(opts.NativeRTTThreshold, stats.NewCDF(res.ABIMinRTTs).Knee())
+
+	// Fig. 4b data and the rule-2 threshold.
+	segDiff := map[border.Segment]float64{}
+	for _, seg := range ver.Segments {
+		d, ok := segmentDiff(res.MinRTT[seg.ABI], res.MinRTT[seg.CBI])
+		if !ok {
+			continue
+		}
+		segDiff[seg] = d
+		res.SegmentDiffs = append(res.SegmentDiffs, d)
+	}
+	res.SegKnee = clampKnee(opts.SegmentRTTThreshold, stats.NewCDF(res.SegmentDiffs).Knee())
+	res.segDiff = segDiff
+	for _, seg := range ver.Segments {
+		if _, ok := segDiff[seg]; ok {
+			res.segOrder = append(res.segOrder, seg)
+		}
+	}
+
+	// ---- anchors ----------------------------------------------------------
+	anchors := map[netblock.IP]*anchorInfo{}
+	addAnchor := func(addr netblock.IP, metro geo.MetroID, src string) {
+		ai := anchors[addr]
+		if ai == nil {
+			ai = &anchorInfo{metros: map[geo.MetroID]struct{}{}}
+			anchors[addr] = ai
+		}
+		ai.metros[metro] = struct{}{}
+		ai.sources = append(ai.sources, src)
+	}
+
+	if !opts.DisableDNS {
+		res.Exclusive[SrcDNS] = r6anchorsDNS(ver, reg, res, addAnchor)
+	}
+	if !opts.DisableIXP {
+		res.Exclusive[SrcIXP] = r6anchorsIXP(ver, reg, res, anchors, addAnchor)
+	}
+	if !opts.DisableMetro {
+		res.Exclusive[SrcMetro] = r6anchorsMetro(ver, reg, res, anchors, addAnchor)
+	}
+	if !opts.DisableNative {
+		res.Exclusive[SrcNative] = r6anchorsNative(ver, res, anchors, addAnchor)
+	}
+
+	// Consistency check 1: anchors with multiple sources must agree.
+	for addr, ai := range anchors {
+		if len(ai.metros) > 1 {
+			res.ConflictingAnchors++
+			delete(anchors, addr)
+			continue
+		}
+		for m := range ai.metros {
+			res.Metro[addr] = m
+			res.AnchorSource[addr] = ai.sources[0]
+		}
+	}
+	// Consistency check 2: alias sets whose anchors disagree lose them.
+	for _, set := range aliases {
+		metros := map[geo.MetroID][]netblock.IP{}
+		for _, addr := range set {
+			if m, ok := res.Metro[addr]; ok {
+				metros[m] = append(metros[m], addr)
+			}
+		}
+		if len(metros) > 1 {
+			for _, addrs := range metros {
+				for _, addr := range addrs {
+					res.ConflictingAnchors++
+					delete(res.Metro, addr)
+					delete(res.AnchorSource, addr)
+				}
+			}
+		}
+	}
+	// Table 3 reports anchors excluding the flagged ones; recompute the
+	// per-source counts from the surviving anchor set (first source wins,
+	// preserving the column order's exclusivity).
+	for _, src := range []string{SrcDNS, SrcIXP, SrcMetro, SrcNative} {
+		res.Exclusive[src] = 0
+	}
+	for _, src := range res.AnchorSource {
+		res.Exclusive[src]++
+	}
+	cum := 0
+	for _, src := range []string{SrcDNS, SrcIXP, SrcMetro, SrcNative} {
+		cum += res.Exclusive[src]
+		res.Cumulative[src] = cum
+	}
+
+	// ---- iterative co-presence propagation --------------------------------
+	res.Rounds, res.PropagationConflicts = propagate(res.Metro, res.PinRule, aliases, res.segOrder, segDiff, res.SegKnee)
+	for _, rule := range []string{RuleAlias, RuleRTT} {
+		n := 0
+		for _, r := range res.PinRule {
+			if r == rule {
+				n++
+			}
+		}
+		res.Exclusive[rule] = n
+		cum += n
+		res.Cumulative[rule] = cum
+	}
+
+	// ---- region-level fallback (Fig. 5) ------------------------------------
+	for _, addr := range all {
+		if _, ok := res.Metro[addr]; ok {
+			continue
+		}
+		row := res.MinRTT[addr]
+		best, second := bestTwo(row)
+		switch {
+		case best < 0:
+			// Unreachable everywhere: nothing to say.
+		case second < 0:
+			res.SingleRegion++
+			res.Region[addr] = best
+			res.RegionPinned++
+		default:
+			ratio := row[second] / row[best]
+			res.RegionRatios = append(res.RegionRatios, ratio)
+			if ratio >= opts.RatioThreshold {
+				res.Region[addr] = best
+				res.RegionPinned++
+			}
+		}
+	}
+
+	// ---- coverage ----------------------------------------------------------
+	for addr, m := range res.Metro {
+		res.PinnedMetros[m] = struct{}{}
+		if _, isABI := ver.ABIs[addr]; isABI {
+			res.PinnedABIs++
+		}
+		if _, isCBI := ver.CBIs[addr]; isCBI {
+			res.PinnedCBIs++
+		}
+	}
+	return res
+}
+
+// anchorInfo accumulates anchor evidence for one interface.
+type anchorInfo struct {
+	metros  map[geo.MetroID]struct{}
+	sources []string
+}
+
+// propagate runs the two co-presence rules to fixpoint over the given pin
+// map (mutated in place). It returns the number of rounds and the count of
+// conflicting propagations skipped. Both Run and the cross-validation of
+// §6.2 use it.
+func propagate(pins map[netblock.IP]geo.MetroID, rules map[netblock.IP]string, aliases []midar.AliasSet, segOrder []border.Segment, segDiff map[border.Segment]float64, knee float64) (rounds, conflicts int) {
+	for {
+		rounds++
+		changed := 0
+
+		// Rule 1: alias sets share a facility.
+		for _, set := range aliases {
+			pinned := map[geo.MetroID]bool{}
+			for _, addr := range set {
+				if m, ok := pins[addr]; ok {
+					pinned[m] = true
+				}
+			}
+			if len(pinned) == 0 {
+				continue
+			}
+			if len(pinned) > 1 {
+				conflicts++
+				continue
+			}
+			var metro geo.MetroID
+			for m := range pinned {
+				metro = m
+			}
+			for _, addr := range set {
+				if _, ok := pins[addr]; !ok {
+					pins[addr] = metro
+					if rules != nil {
+						rules[addr] = RuleAlias
+					}
+					changed++
+				}
+			}
+		}
+
+		// Rule 2: segments with a small min-RTT difference sit in one metro.
+		for _, seg := range segOrder {
+			d := segDiff[seg]
+			if d > knee {
+				continue
+			}
+			am, aok := pins[seg.ABI]
+			cm, cok := pins[seg.CBI]
+			switch {
+			case aok && !cok:
+				pins[seg.CBI] = am
+				if rules != nil {
+					rules[seg.CBI] = RuleRTT
+				}
+				changed++
+			case !aok && cok:
+				pins[seg.ABI] = cm
+				if rules != nil {
+					rules[seg.ABI] = RuleRTT
+				}
+				changed++
+			case aok && cok && am != cm:
+				conflicts++
+			}
+		}
+		if changed == 0 {
+			return rounds, conflicts
+		}
+	}
+}
+
+// clampKnee bounds a detected CDF knee to the physically sensible band
+// around the paper's 2 ms threshold: co-located interfaces differ by ICMP
+// generation jitter (sub-millisecond), adjacent metros by several
+// milliseconds, so thresholds outside [0.5, 2.25] ms would mix the two
+// populations.
+func clampKnee(override, knee float64) float64 {
+	if override > 0 {
+		return override
+	}
+	if math.IsNaN(knee) || knee < 0.5 {
+		return 2.0
+	}
+	if knee > 2.25 {
+		return 2.25
+	}
+	return knee
+}
+
+func minOf(row []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range row {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// bestTwo returns the indexes of the two smallest finite entries (-1 when
+// absent).
+func bestTwo(row []float64) (int, int) {
+	best, second := -1, -1
+	for i, v := range row {
+		if math.IsInf(v, 1) {
+			continue
+		}
+		switch {
+		case best < 0 || v < row[best]:
+			second = best
+			best = i
+		case second < 0 || v < row[second]:
+			second = i
+		}
+	}
+	return best, second
+}
+
+// segmentDiff computes Fig. 4b's statistic: the min-RTT difference between
+// the two ends measured from the VM closest to the ABI.
+func segmentDiff(abiRow, cbiRow []float64) (float64, bool) {
+	if abiRow == nil || cbiRow == nil {
+		return 0, false
+	}
+	best := -1
+	for i, v := range abiRow {
+		if !math.IsInf(v, 1) && (best < 0 || v < abiRow[best]) {
+			best = i
+		}
+	}
+	if best < 0 || math.IsInf(cbiRow[best], 1) {
+		return 0, false
+	}
+	d := cbiRow[best] - abiRow[best]
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}

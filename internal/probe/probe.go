@@ -1,0 +1,311 @@
+// Package probe implements the measurement plane: scamper-style UDP
+// traceroutes, ICMP pings and min-RTT campaigns, alias-resolution probes
+// (IP-ID sampling), and reachability probes from the external vantage point.
+//
+// The types exported here — Trace, Hop, VMRef — are the only view of the
+// network the inference pipeline gets. They deliberately contain no
+// references to ground-truth entities: a hop is an address and an RTT,
+// exactly as in real traceroute output.
+package probe
+
+import (
+	"fmt"
+	"math"
+
+	"cloudmap/internal/model"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/route"
+)
+
+// VMRef identifies a probing vantage point: a VM in a cloud region.
+type VMRef struct {
+	Cloud  string // "amazon", "microsoft", ...
+	Region int
+}
+
+func (v VMRef) String() string { return fmt.Sprintf("%s/%d", v.Cloud, v.Region) }
+
+// Hop is one traceroute hop. Addr is zero for an unresponsive hop.
+type Hop struct {
+	Addr  netblock.IP
+	RTTms float64
+}
+
+// Responsive reports whether the hop replied.
+func (h Hop) Responsive() bool { return h.Addr != netblock.Zero }
+
+// Status describes how a traceroute terminated, mirroring scamper's stop
+// reasons (§3 keys off these flags).
+type Status uint8
+
+// Traceroute termination reasons.
+const (
+	// StatusCompleted: the destination answered.
+	StatusCompleted Status = iota
+	// StatusGapLimit: five consecutive unresponsive hops.
+	StatusGapLimit
+	// StatusLoop: an IP-level loop was detected.
+	StatusLoop
+)
+
+// Trace is one traceroute measurement.
+type Trace struct {
+	Src    VMRef
+	Dst    netblock.IP
+	Hops   []Hop
+	Status Status
+}
+
+// gapLimit is the scamper -g setting used by the paper: probing stops after
+// five consecutive unresponsive hops.
+const gapLimit = 5
+
+// Prober issues measurements against a simulated topology. It is the only
+// component that touches ground truth; its outputs are measurement data.
+type Prober struct {
+	t *model.Topology
+	f *route.Forwarder
+
+	seed     uint64
+	loopback map[model.RouterID]netblock.IP
+
+	// loopProb injects rare forwarding-loop artefacts; thirdPartyFrac is
+	// the fraction of routers that always reply with a default (loopback)
+	// interface instead of the incoming one — the third-party-address
+	// behaviour discussed in §9 (cf. Luckie et al., PAM 2014).
+	loopProb       float64
+	thirdPartyFrac float64
+
+	// pingCache memoises reachability for ping/alias campaigns.
+	pingCache map[pingKey]pingInfo
+}
+
+// NewProber builds a prober over the topology.
+func NewProber(t *model.Topology, f *route.Forwarder) *Prober {
+	p := &Prober{
+		t:              t,
+		f:              f,
+		seed:           t.Seed ^ 0xabcdef1234567890,
+		loopback:       make(map[model.RouterID]netblock.IP),
+		loopProb:       0.002,
+		thirdPartyFrac: 0.04,
+	}
+	for ri := range t.Routers {
+		for _, ifc := range t.Routers[ri].Ifaces {
+			if t.Ifaces[ifc].Kind == model.IfLoopback {
+				p.loopback[model.RouterID(ri)] = t.Ifaces[ifc].Addr
+				break
+			}
+		}
+	}
+	return p
+}
+
+// Forwarder exposes the underlying forwarding plane (used by evaluation
+// code, never by inference).
+func (p *Prober) Forwarder() *route.Forwarder { return p.f }
+
+// vm resolves a VMRef against the topology.
+func (p *Prober) vm(ref VMRef) (route.VM, error) {
+	c, ok := p.t.CloudByName(ref.Cloud)
+	if !ok {
+		return route.VM{}, fmt.Errorf("probe: unknown cloud %q", ref.Cloud)
+	}
+	if ref.Region < 0 || ref.Region >= len(c.Regions) {
+		return route.VM{}, fmt.Errorf("probe: cloud %q has no region %d", ref.Cloud, ref.Region)
+	}
+	return route.VM{Cloud: c.ID, Region: ref.Region}, nil
+}
+
+// VMs returns one VMRef per region of the named cloud.
+func (p *Prober) VMs(cloud string) []VMRef {
+	c, ok := p.t.CloudByName(cloud)
+	if !ok {
+		return nil
+	}
+	out := make([]VMRef, len(c.Regions))
+	for i := range c.Regions {
+		out[i] = VMRef{Cloud: cloud, Region: i}
+	}
+	return out
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (p *Prober) hash(parts ...uint64) uint64 {
+	h := p.seed
+	for _, v := range parts {
+		h = mix64(h ^ v)
+	}
+	return h
+}
+
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// alwaysLoopback reports whether a router's ICMP replies are sourced from
+// its loopback (a stable per-router behaviour).
+func (p *Prober) alwaysLoopback(r model.RouterID) bool {
+	return unit(p.hash(uint64(r), 0x3333)) < p.thirdPartyFrac
+}
+
+// responds decides whether a router answers a given probe. The draw is
+// deterministic per (router, destination, vantage, attempt) so campaigns are
+// reproducible, while still varying across destinations like real ICMP
+// generation does.
+func (p *Prober) responds(r *model.Router, dst netblock.IP, vm route.VM, attempt int) bool {
+	as := &p.t.ASes[r.AS]
+	h := p.hash(uint64(r.ID), uint64(dst), uint64(vm.Cloud)<<16|uint64(vm.Region), uint64(attempt))
+	return unit(h) < as.RespProb
+}
+
+// jitter returns a small positive queueing delay (ms).
+func (p *Prober) jitter(h uint64) float64 {
+	u := unit(h)
+	if u <= 0 {
+		u = 1e-12
+	}
+	return -math.Log(u) * 0.12
+}
+
+// Traceroute issues one traceroute from the VM to dst.
+func (p *Prober) Traceroute(ref VMRef, dst netblock.IP) (Trace, error) {
+	vm, err := p.vm(ref)
+	if err != nil {
+		return Trace{}, err
+	}
+	path := p.f.Trace(vm, dst)
+	tr := Trace{Src: ref, Dst: dst, Status: StatusGapLimit}
+	gap := 0
+	seen := make(map[netblock.IP]int, len(path.Hops))
+
+	for hi, hop := range path.Hops {
+		iface := &p.t.Ifaces[hop.Iface]
+		router := &p.t.Routers[iface.Router]
+		h := p.hash(uint64(hop.Iface), uint64(dst), uint64(vm.Cloud)<<8|uint64(vm.Region), uint64(hi))
+
+		if !p.responds(router, dst, vm, hi) {
+			tr.Hops = append(tr.Hops, Hop{})
+			gap++
+			if gap >= gapLimit {
+				return tr, nil
+			}
+			continue
+		}
+		gap = 0
+		addr := iface.Addr
+		// A few routers are configured to source ICMP from a default
+		// interface: every reply carries the loopback, not the incoming
+		// interface (the third-party-address artefact).
+		if lb, ok := p.loopback[router.ID]; ok && p.alwaysLoopback(router.ID) {
+			addr = lb
+		}
+		// Rare forwarding loop artefact: repeat an earlier hop.
+		if len(tr.Hops) > 2 && unit(mix64(h^0x2222)) < p.loopProb {
+			prev := tr.Hops[len(tr.Hops)-2]
+			if prev.Responsive() {
+				tr.Hops = append(tr.Hops, Hop{Addr: prev.Addr, RTTms: hop.RTT + p.jitter(h)})
+				tr.Status = StatusLoop
+				return tr, nil
+			}
+		}
+		if firstIdx, dup := seen[addr]; dup && firstIdx < len(tr.Hops)-1 {
+			tr.Status = StatusLoop
+			tr.Hops = append(tr.Hops, Hop{Addr: addr, RTTms: hop.RTT + p.jitter(h)})
+			return tr, nil
+		}
+		seen[addr] = len(tr.Hops)
+		tr.Hops = append(tr.Hops, Hop{Addr: addr, RTTms: hop.RTT + p.jitter(h)})
+	}
+
+	// Destination.
+	if path.DstResponds {
+		responderOK := true
+		if path.DstIface != model.NoIface {
+			router := p.t.IfaceRouter(path.DstIface)
+			responderOK = p.responds(router, dst, vm, 99)
+		} else {
+			h := p.hash(uint64(dst), 0xdddd)
+			responderOK = unit(h) < 0.95
+		}
+		if responderOK {
+			h := p.hash(uint64(dst), uint64(vm.Cloud), 0xeeee)
+			tr.Hops = append(tr.Hops, Hop{Addr: dst, RTTms: path.DstRTT + p.jitter(h)})
+			tr.Status = StatusCompleted
+			return tr, nil
+		}
+	}
+	// Pad the trailing gap as scamper would before giving up.
+	for i := 0; i < gapLimit-gap; i++ {
+		tr.Hops = append(tr.Hops, Hop{})
+	}
+	return tr, nil
+}
+
+// Ping sends n echo probes to dst and returns the minimum observed RTT.
+// ok is false when the destination never answered.
+func (p *Prober) Ping(ref VMRef, dst netblock.IP, n int) (float64, bool) {
+	vm, err := p.vm(ref)
+	if err != nil {
+		return 0, false
+	}
+	info := p.pathInfo(vm, dst)
+	if !info.ok {
+		return 0, false
+	}
+	var respProb float64 = 0.95
+	if info.iface != model.NoIface {
+		respProb = p.t.ASes[p.t.IfaceRouter(info.iface).AS].RespProb
+	}
+	// Each interface carries a constant ICMP-generation offset (linecard
+	// and slow-path differences): even co-located interfaces never measure
+	// identically, which is what gives Fig. 4b's distribution its sub-2ms
+	// body rather than a spike at zero.
+	offset := unit(p.hash(uint64(dst), 0x0ff5e7)) * 0.9
+	best := math.Inf(1)
+	got := false
+	for i := 0; i < n; i++ {
+		h := p.hash(uint64(dst), uint64(vm.Cloud)<<8|uint64(vm.Region), 0x9999, uint64(i))
+		if unit(h) >= respProb {
+			continue
+		}
+		got = true
+		if rtt := info.rtt + offset + p.jitter(mix64(h)); rtt < best {
+			best = rtt
+		}
+	}
+	if !got {
+		return 0, false
+	}
+	return best, true
+}
+
+// ReachableFromVP probes dst from the public-Internet vantage point (the
+// §5.1 reachability heuristic's probe). The responding network's filtering
+// and responsiveness apply.
+func (p *Prober) ReachableFromVP(dst netblock.IP) bool {
+	ok, _ := p.f.ExternalReach(dst)
+	if !ok {
+		return false
+	}
+	// Three attempts; the responder answers each with its AS's probability.
+	owner := p.t.AddrOwner(dst)
+	respProb := 0.9
+	if ifc, isIface := p.t.IfaceAt(dst); isIface {
+		respProb = p.t.ASes[p.t.IfaceRouter(ifc).AS].RespProb
+	} else if owner != model.NoAS {
+		respProb = p.t.ASes[owner].RespProb
+	}
+	for i := 0; i < 3; i++ {
+		if unit(p.hash(uint64(dst), 0x7777, uint64(i))) < respProb {
+			return true
+		}
+	}
+	return false
+}

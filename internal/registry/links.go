@@ -1,0 +1,153 @@
+package registry
+
+import (
+	"sort"
+
+	"cloudmap/internal/model"
+)
+
+// deriveLinks computes the collector-visible AS relationship dataset.
+//
+// Export rules (Gao-Rexford): customer routes go to everyone; peer and
+// provider routes go to customers only. Hence a p2c link A->B is visible to
+// a collector vertically related to A (above it, below it, or A itself),
+// and a p2p link A~B is visible only to collectors inside A's or B's
+// customer cone (or A/B themselves). Cloud peerings are p2p. This is what
+// makes most of Amazon's edge peerings invisible in BGP (§7.2) while its
+// links to large transit networks show up.
+func (r *Registry) deriveLinks(t *model.Topology) {
+	n := len(t.ASes)
+	coneHasCollector := make([]bool, n) // collector in cone(X) or X is one
+	vertical := make([]bool, n)         // vertically related to a collector
+
+	// Ancestors of collectors (walk provider edges up).
+	var upMark func(model.ASIndex)
+	upMark = func(as model.ASIndex) {
+		if coneHasCollector[as] {
+			return
+		}
+		coneHasCollector[as] = true
+		vertical[as] = true
+		for _, p := range t.ASes[as].Providers {
+			upMark(p)
+		}
+	}
+	// Descendants of collectors (walk customer edges down).
+	downSeen := make([]bool, n)
+	var downMark func(model.ASIndex)
+	downMark = func(as model.ASIndex) {
+		if downSeen[as] {
+			return
+		}
+		downSeen[as] = true
+		vertical[as] = true
+		for _, c := range t.ASes[as].Customers {
+			downMark(c)
+		}
+	}
+	for i := range t.ASes {
+		if t.ASes[i].CollectorFeed {
+			upMark(model.ASIndex(i))
+			downMark(model.ASIndex(i))
+		}
+	}
+
+	addLink := func(a, b ASN, rel Rel) {
+		ka, kb := a, b
+		if ka > kb {
+			ka, kb = kb, ka
+		}
+		key := [2]ASN{ka, kb}
+		if _, dup := r.linkSet[key]; dup {
+			return
+		}
+		r.linkSet[key] = rel
+		r.Links = append(r.Links, ASLink{A: a, B: b, Rel: rel})
+	}
+
+	// Relationship edges.
+	for i := range t.ASes {
+		as := &t.ASes[i]
+		for _, c := range as.Customers {
+			if vertical[i] {
+				addLink(as.ASN, t.ASes[c].ASN, RelP2C)
+			}
+		}
+		for _, p := range as.Peers {
+			if p < as.Index {
+				continue
+			}
+			if coneHasCollector[i] || coneHasCollector[p] {
+				addLink(as.ASN, t.ASes[p].ASN, RelP2P)
+			}
+		}
+	}
+
+	// Cloud peerings (p2p): visible when the peer's cone reaches a
+	// collector. The clouds themselves have no customers feeding
+	// collectors.
+	for i := range t.Peerings {
+		p := &t.Peerings[i]
+		if !coneHasCollector[p.Peer] {
+			continue
+		}
+		cloudASN := t.ASes[t.Clouds[p.Cloud].PrimaryAS()].ASN
+		addLink(cloudASN, t.ASes[p.Peer].ASN, RelP2P)
+	}
+
+	sort.Slice(r.Links, func(a, b int) bool {
+		if r.Links[a].A != r.Links[b].A {
+			return r.Links[a].A < r.Links[b].A
+		}
+		return r.Links[a].B < r.Links[b].B
+	})
+}
+
+// deriveCones computes CAIDA-style customer-cone sizes, measured in
+// announced /24s, over the visible p2c graph.
+func (r *Registry) deriveCones(t *model.Topology) {
+	// Announced /24 counts per ASN.
+	slash24 := make(map[ASN]int, len(t.ASes))
+	for i := range t.ASes {
+		as := &t.ASes[i]
+		if !as.AnnouncesService {
+			continue
+		}
+		total := 0
+		for _, p := range as.ServicePrefixes {
+			if p.Bits <= 24 {
+				total += 1 << (24 - p.Bits)
+			} else {
+				total++
+			}
+		}
+		slash24[as.ASN] = total
+	}
+
+	// Visible customer adjacency.
+	children := make(map[ASN][]ASN)
+	for _, l := range r.Links {
+		if l.Rel == RelP2C {
+			children[l.A] = append(children[l.A], l.B)
+		}
+	}
+
+	for i := range t.ASes {
+		asn := t.ASes[i].ASN
+		seen := map[ASN]bool{asn: true}
+		stack := []ASN{asn}
+		total := 0
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			total += slash24[cur]
+			for _, c := range children[cur] {
+				if !seen[c] {
+					seen[c] = true
+					stack = append(stack, c)
+				}
+			}
+		}
+		r.ConeSlash24[asn] = total
+	}
+}

@@ -1,0 +1,423 @@
+// Package registry derives the public datasets the paper's inference
+// pipeline consumes — BGP snapshots (RouteViews/RIPE stand-ins), WHOIS
+// delegations, merged IXP lists (PeeringDB/PCH/CAIDA), AS-to-organisation
+// mappings, collector-visible AS relationships with customer cones, colo
+// facility directories, and the reverse-DNS zone.
+//
+// Everything here is keyed by ASN, prefix, or name — never by ground-truth
+// indexes — so downstream inference code works exactly as it would against
+// the real datasets. Datasets carry realistic imperfections: the BGP view is
+// limited by collector placement, PeeringDB tenant lists have gaps, and a
+// little staleness is injected where the real-world sources have it.
+package registry
+
+import (
+	"sort"
+
+	"cloudmap/internal/dnsnames"
+	"cloudmap/internal/geo"
+	"cloudmap/internal/model"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/rng"
+)
+
+// ASN mirrors model.ASN for dataset consumers.
+type ASN = model.ASN
+
+// Rel is an AS relationship label in the CAIDA convention.
+type Rel int8
+
+// Relationship labels.
+const (
+	RelP2C Rel = -1 // provider (A) to customer (B)
+	RelP2P Rel = 0  // settlement-free peers
+)
+
+// ASLink is one collector-visible AS adjacency.
+type ASLink struct {
+	A, B ASN
+	Rel  Rel
+}
+
+// IXPInfo is the merged PeeringDB/PCH/CAIDA view of one exchange.
+type IXPInfo struct {
+	Name string
+	// Cities lists the metro areas the exchange operates in; exchanges in
+	// multiple metros cannot anchor pinning (§6.1).
+	Cities   []string
+	Prefixes []netblock.Prefix
+	Members  []ASN
+}
+
+// FacilityInfo is the PeeringDB view of one colocation facility.
+type FacilityInfo struct {
+	Name    string
+	City    string
+	Country string
+	Tenants []ASN
+	// CloudNative lists clouds that house border routers here (Amazon
+	// publishes its Direct Connect locations).
+	CloudNative []string
+}
+
+// Source says which dataset resolved an address.
+type Source uint8
+
+// Annotation sources (Table 1's BGP%/WHOIS%/IXP% columns).
+const (
+	SourceNone Source = iota
+	SourceBGP
+	SourceWhois
+	// SourceIXP: the address is in an IXP LAN and the member assignment
+	// came from the exchange's published IP-to-member data (PCH-style).
+	SourceIXP
+)
+
+// Annotation is the per-hop metadata of §3.
+type Annotation struct {
+	ASN    ASN
+	Org    string
+	Source Source
+	// IXP is the index into Registry.IXPs when the address falls in an IXP
+	// LAN, else -1.
+	IXP int32
+}
+
+// Registry bundles every public dataset.
+type Registry struct {
+	World *geo.World
+
+	rib        *netblock.Trie // announced prefixes -> slot in ribOrigin
+	whois      *netblock.Trie
+	ixpTrie    *netblock.Trie
+	origins    []ASN // shared value table for rib/whois tries
+	orgOfASN   map[ASN]string
+	ixpAddrASN map[netblock.IP]ASN // published IXP IP-to-member assignments
+
+	IXPs       []IXPInfo
+	Facilities []FacilityInfo
+	Links      []ASLink
+	// ConeSlash24 is the CAIDA-style customer-cone size in /24s.
+	ConeSlash24 map[ASN]int
+	// DNS is the reverse-DNS zone.
+	DNS map[netblock.IP]string
+
+	// AmazonASNs is the ORG-derived set of Amazon's ASNs; the border walk
+	// of §4.1 treats all of them as one organisation.
+	AmazonASNs map[ASN]bool
+	// CloudASNs maps each modelled cloud to its ASN set.
+	CloudASNs map[string]map[ASN]bool
+	// AmazonListedCities mirrors Amazon's published Direct Connect
+	// locations plus its PeeringDB cities (§6.2's coverage baseline).
+	AmazonListedCities []string
+
+	linkSet map[[2]ASN]Rel
+}
+
+// value-table helpers: tries store int32 slots pointing into origins.
+func (r *Registry) addOrigin(t *netblock.Trie, p netblock.Prefix, asn ASN) {
+	r.origins = append(r.origins, asn)
+	t.Insert(p, int32(len(r.origins)-1))
+}
+
+func (r *Registry) lookup(t *netblock.Trie, ip netblock.IP) (ASN, bool) {
+	v, ok := t.Lookup(ip)
+	if !ok {
+		return 0, false
+	}
+	return r.origins[v], true
+}
+
+// Annotate maps an address to ASN/ORG/IXP metadata exactly as §3 does:
+// private and shared space to AS0, then BGP, then WHOIS; IXP membership is
+// orthogonal.
+func (r *Registry) Annotate(ip netblock.IP) Annotation {
+	ann := Annotation{IXP: -1}
+	if ix, ok := r.ixpTrie.Lookup(ip); ok {
+		ann.IXP = ix
+		// IXP LAN addresses resolve to members through the exchange's
+		// published assignments, not BGP (the LAN is rarely announced).
+		if asn, known := r.ixpAddrASN[ip]; known {
+			ann.ASN = asn
+			ann.Org = r.orgOfASN[asn]
+			ann.Source = SourceIXP
+		}
+		return ann
+	}
+	if ip.IsPrivate() || ip.IsShared() {
+		return ann
+	}
+	if asn, ok := r.lookup(r.rib, ip); ok {
+		ann.ASN = asn
+		ann.Source = SourceBGP
+		ann.Org = r.orgOfASN[asn]
+		return ann
+	}
+	if asn, ok := r.lookup(r.whois, ip); ok {
+		ann.ASN = asn
+		ann.Source = SourceWhois
+		ann.Org = r.orgOfASN[asn]
+		return ann
+	}
+	return ann
+}
+
+// OrgOf returns the organisation of an ASN ("" when unknown).
+func (r *Registry) OrgOf(asn ASN) string { return r.orgOfASN[asn] }
+
+// WalkRIB visits every announced prefix with its origin AS (a full BGP
+// table dump, as tools like bdrmap consume).
+func (r *Registry) WalkRIB(fn func(netblock.Prefix, ASN)) {
+	r.rib.Walk(func(p netblock.Prefix, slot int32) bool {
+		fn(p, r.origins[slot])
+		return true
+	})
+}
+
+// IsAmazon reports whether the annotation belongs to Amazon's organisation.
+func (r *Registry) IsAmazon(ann Annotation) bool {
+	return ann.ASN != 0 && r.AmazonASNs[ann.ASN]
+}
+
+// IsCloud reports whether the ASN belongs to the named cloud.
+func (r *Registry) IsCloud(cloud string, asn ASN) bool {
+	return r.CloudASNs[cloud][asn]
+}
+
+// HasLink reports whether the AS link appears in the collector-derived
+// relationships dataset (the B/nB attribute of §7.2).
+func (r *Registry) HasLink(a, b ASN) bool {
+	if a > b {
+		a, b = b, a
+	}
+	_, ok := r.linkSet[[2]ASN{a, b}]
+	return ok
+}
+
+// AmazonLinksInBGP returns the set of ASNs with a collector-visible link to
+// any Amazon ASN (the "250 peerings reported in BGP" baseline of §7.3).
+func (r *Registry) AmazonLinksInBGP() map[ASN]bool {
+	out := map[ASN]bool{}
+	for _, l := range r.Links {
+		switch {
+		case r.AmazonASNs[l.A]:
+			out[l.B] = true
+		case r.AmazonASNs[l.B]:
+			out[l.A] = true
+		}
+	}
+	return out
+}
+
+// IXPOf returns the IXP containing ip, if any.
+func (r *Registry) IXPOf(ip netblock.IP) (int32, bool) {
+	v, ok := r.ixpTrie.Lookup(ip)
+	return v, ok
+}
+
+// SingleMetroASNs returns, from facility and IXP membership data, the ASNs
+// whose entire known footprint is a single metro city, together with that
+// city — the single-colo/metro anchor source of §6.1.
+func (r *Registry) SingleMetroASNs() map[ASN]string {
+	cities := map[ASN]map[string]bool{}
+	note := func(asn ASN, city string) {
+		if cities[asn] == nil {
+			cities[asn] = map[string]bool{}
+		}
+		cities[asn][city] = true
+	}
+	for _, f := range r.Facilities {
+		for _, t := range f.Tenants {
+			note(t, f.City)
+		}
+	}
+	// Facility tenancy is physical presence; IXP participation is not (a
+	// member may reach the LAN through a remote layer-2 reseller), so IXP
+	// membership only supplements ASNs with no facility records at all.
+	hasFacility := make(map[ASN]bool, len(cities))
+	for asn := range cities {
+		hasFacility[asn] = true
+	}
+	for _, ixp := range r.IXPs {
+		if len(ixp.Cities) != 1 {
+			continue
+		}
+		for _, m := range ixp.Members {
+			if !hasFacility[m] {
+				note(m, ixp.Cities[0])
+			}
+		}
+	}
+	out := map[ASN]string{}
+	for asn, cs := range cities {
+		if len(cs) == 1 {
+			for c := range cs {
+				out[asn] = c
+			}
+		}
+	}
+	return out
+}
+
+// Build derives every dataset from the topology.
+func Build(t *model.Topology, seed uint64) *Registry {
+	r := &Registry{
+		World:       t.World,
+		rib:         netblock.NewTrie(),
+		whois:       netblock.NewTrie(),
+		ixpTrie:     netblock.NewTrie(),
+		orgOfASN:    make(map[ASN]string),
+		ixpAddrASN:  make(map[netblock.IP]ASN),
+		ConeSlash24: make(map[ASN]int),
+		AmazonASNs:  make(map[ASN]bool),
+		CloudASNs:   make(map[string]map[ASN]bool),
+		linkSet:     make(map[[2]ASN]Rel),
+	}
+	rand := rng.New(seed ^ 0x5eed0001)
+
+	// AS-to-ORG (complete: CAIDA's dataset has essentially full coverage).
+	for i := range t.ASes {
+		as := &t.ASes[i]
+		r.orgOfASN[as.ASN] = t.Orgs[as.Org].Name
+	}
+	for ci := range t.Clouds {
+		c := &t.Clouds[ci]
+		set := map[ASN]bool{}
+		for _, idx := range c.ASes {
+			set[t.ASes[idx].ASN] = true
+		}
+		r.CloudASNs[c.Name] = set
+		if c.Name == "amazon" {
+			r.AmazonASNs = set
+		}
+	}
+
+	// BGP RIB (announced space) and WHOIS (all delegations).
+	for i := range t.ASes {
+		as := &t.ASes[i]
+		for _, p := range as.ServicePrefixes {
+			if as.AnnouncesService {
+				r.addOrigin(r.rib, p, as.ASN)
+			}
+			r.addOrigin(r.whois, p, as.ASN)
+		}
+		for _, p := range as.InfraPrefixes {
+			if as.AnnouncesInfra {
+				r.addOrigin(r.rib, p, as.ASN)
+			}
+			r.addOrigin(r.whois, p, as.ASN)
+		}
+	}
+
+	// Published IXP IP-to-member assignments (~92% coverage, as with PCH).
+	for i := range t.Ifaces {
+		ifc := &t.Ifaces[i]
+		if ifc.Kind != model.IfIXP {
+			continue
+		}
+		if rand.Bool(0.92) {
+			r.ixpAddrASN[ifc.Addr] = t.ASes[t.Routers[ifc.Router].AS].ASN
+		}
+	}
+
+	// IXP datasets.
+	for i := range t.IXPs {
+		ixp := &t.IXPs[i]
+		info := IXPInfo{Name: ixp.Name, Prefixes: []netblock.Prefix{ixp.Prefix}}
+		for _, m := range ixp.Metros {
+			info.Cities = append(info.Cities, t.World.Metro(m).City)
+		}
+		for _, m := range ixp.Members {
+			info.Members = append(info.Members, t.ASes[m].ASN)
+		}
+		sort.Slice(info.Members, func(a, b int) bool { return info.Members[a] < info.Members[b] })
+		r.ixpTrie.Insert(ixp.Prefix, int32(len(r.IXPs)))
+		r.IXPs = append(r.IXPs, info)
+	}
+
+	// PeeringDB facilities: tenant lists have ~25% gaps.
+	for i := range t.Facilities {
+		f := &t.Facilities[i]
+		m := t.World.Metro(f.Metro)
+		info := FacilityInfo{Name: f.Name, City: m.City, Country: m.Country}
+		for _, tn := range f.Tenants {
+			if rand.Bool(0.75) {
+				info.Tenants = append(info.Tenants, t.ASes[tn].ASN)
+			}
+		}
+		for _, cid := range f.NativeClouds {
+			info.CloudNative = append(info.CloudNative, t.Clouds[cid].Name)
+		}
+		r.Facilities = append(r.Facilities, info)
+	}
+
+	// Register peering presence as facility tenancy (PeeringDB netfac
+	// records come from exactly this).
+	r.registerTenancy(t, rand)
+
+	// Amazon's published Direct Connect cities.
+	seen := map[string]bool{}
+	amazon := t.Amazon()
+	for fac := range amazon.BorderRouters {
+		city := t.World.Metro(t.Facilities[fac].Metro).City
+		if !seen[city] {
+			seen[city] = true
+			r.AmazonListedCities = append(r.AmazonListedCities, city)
+		}
+	}
+	sort.Strings(r.AmazonListedCities)
+
+	// Collector-visible AS relationships and customer cones.
+	r.deriveLinks(t)
+	r.deriveCones(t)
+
+	// Reverse DNS.
+	r.DNS = dnsnames.Synthesize(t, seed)
+	return r
+}
+
+// registerTenancy adds peering clients to the facility tenant lists (with
+// the same coverage gap), since presence at the exchange is how PeeringDB
+// learns about them.
+func (r *Registry) registerTenancy(t *model.Topology, rand *rng.Rand) {
+	extra := make(map[int]map[ASN]bool, len(r.Facilities))
+	for i := range t.Peerings {
+		p := &t.Peerings[i]
+		if p.Remote {
+			continue // remote peers are not tenants of the facility
+		}
+		fi := int(p.Facility)
+		asn := t.ASes[p.Peer].ASN
+		if extra[fi] == nil {
+			extra[fi] = map[ASN]bool{}
+		}
+		extra[fi][asn] = true
+	}
+	// Deterministic iteration: RNG draws must happen in a fixed order or
+	// the derived dataset varies between runs of the same seed.
+	facIdxs := make([]int, 0, len(extra))
+	for fi := range extra {
+		facIdxs = append(facIdxs, fi)
+	}
+	sort.Ints(facIdxs)
+	for _, fi := range facIdxs {
+		set := extra[fi]
+		have := map[ASN]bool{}
+		for _, tn := range r.Facilities[fi].Tenants {
+			have[tn] = true
+		}
+		asns := make([]ASN, 0, len(set))
+		for asn := range set {
+			asns = append(asns, asn)
+		}
+		sort.Slice(asns, func(a, b int) bool { return asns[a] < asns[b] })
+		for _, asn := range asns {
+			if !have[asn] && rand.Bool(0.75) {
+				r.Facilities[fi].Tenants = append(r.Facilities[fi].Tenants, asn)
+			}
+		}
+		sort.Slice(r.Facilities[fi].Tenants, func(a, b int) bool {
+			return r.Facilities[fi].Tenants[a] < r.Facilities[fi].Tenants[b]
+		})
+	}
+}

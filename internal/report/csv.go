@@ -1,0 +1,101 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"cloudmap/internal/grouping"
+	"cloudmap/internal/icg"
+	"cloudmap/internal/pinning"
+)
+
+// WriteCSV dumps the raw series behind every figure as CSV files in dir —
+// the format the paper's own plots would be regenerated from (gnuplot /
+// matplotlib ready):
+//
+//	fig4a.csv  x,cdf       min-RTT to ABIs from the closest region
+//	fig4b.csv  x,cdf       min-RTT difference across peerings
+//	fig5.csv   x,cdf       ratio of the two lowest per-region min-RTTs
+//	fig6.csv   group,feature,n,min,q1,median,q3,max,mean
+//	fig7a.csv  x,cdf       ABI degrees
+//	fig7b.csv  x,cdf       CBI degrees
+func WriteCSV(dir string, pin *pinning.Result, g *grouping.Result, graph *icg.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cdfs := []struct {
+		name   string
+		values []float64
+	}{
+		{"fig4a.csv", pin.ABIMinRTTs},
+		{"fig4b.csv", pin.SegmentDiffs},
+		{"fig5.csv", pin.RegionRatios},
+		{"fig7a.csv", graph.ABIDegrees},
+		{"fig7b.csv", graph.CBIDegrees},
+	}
+	for _, c := range cdfs {
+		if err := writeCDFCSV(filepath.Join(dir, c.name), c.values); err != nil {
+			return err
+		}
+	}
+	return writeFig6CSV(filepath.Join(dir, "fig6.csv"), g)
+}
+
+func writeCDFCSV(path string, values []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := writeCDF(f, values); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeCDF(w io.Writer, values []float64) error {
+	if _, err := fmt.Fprintln(w, "x,cdf"); err != nil {
+		return err
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	for i, v := range sorted {
+		// Emit a step per distinct value (keeps files small for heavy ties).
+		if i+1 < n && sorted[i+1] == v {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%g,%g\n", v, float64(i+1)/float64(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFig6CSV(path string, g *grouping.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "group,feature,n,min,q1,median,q3,max,mean"); err != nil {
+		return err
+	}
+	for _, group := range grouping.GroupOrder {
+		for _, feat := range grouping.FeatureNames {
+			bp := g.Fig6[group][feat]
+			if bp.N == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(f, "%s,%s,%d,%g,%g,%g,%g,%g,%g\n",
+				group, feat, bp.N, bp.Min, bp.Q1, bp.Median, bp.Q3, bp.Max, bp.Mean); err != nil {
+				return err
+			}
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,87 @@
+package report_test
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"cloudmap"
+)
+
+func TestWriteFigureData(t *testing.T) {
+	res, err := cloudmap.Run(func() cloudmap.Config {
+		cfg := cloudmap.SmallConfig()
+		cfg.SkipBdrmap = true
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.WriteFigureData(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"fig4a.csv", "fig4b.csv", "fig5.csv", "fig7a.csv", "fig7b.csv"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("%s: only %d rows", name, len(rows))
+		}
+		if rows[0][0] != "x" || rows[0][1] != "cdf" {
+			t.Fatalf("%s: header %v", name, rows[0])
+		}
+		prevX, prevY := -1e18, 0.0
+		for _, row := range rows[1:] {
+			x, err1 := strconv.ParseFloat(row[0], 64)
+			y, err2 := strconv.ParseFloat(row[1], 64)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: non-numeric row %v", name, row)
+			}
+			if x <= prevX {
+				t.Fatalf("%s: x not strictly increasing at %v", name, row)
+			}
+			if y <= prevY || y > 1+1e-9 {
+				t.Fatalf("%s: cdf not increasing in (0,1] at %v", name, row)
+			}
+			prevX, prevY = x, y
+		}
+		if prevY < 1-1e-9 {
+			t.Fatalf("%s: cdf does not reach 1 (ends at %v)", name, prevY)
+		}
+	}
+
+	// fig6.csv: header plus populated group/feature rows.
+	f, err := os.Open(filepath.Join(dir, "fig6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(f).ReadAll()
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("fig6.csv has only %d rows", len(rows))
+	}
+	for _, row := range rows[1:] {
+		if len(row) != 9 {
+			t.Fatalf("fig6 row has %d columns: %v", len(row), row)
+		}
+		q1, _ := strconv.ParseFloat(row[4], 64)
+		med, _ := strconv.ParseFloat(row[5], 64)
+		q3, _ := strconv.ParseFloat(row[6], 64)
+		if q1 > med || med > q3 {
+			t.Fatalf("fig6 quartiles out of order: %v", row)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package report renders every table and figure of the paper's evaluation
+// as text: Tables 1-6, Figures 4a/4b/5/6/7, the §8 bdrmap comparison, and a
+// campaign summary. The renderers take the individual stage results so they
+// can also be used piecemeal (the benchmarks print single tables).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudmap/internal/bdrmap"
+	"cloudmap/internal/border"
+	"cloudmap/internal/grouping"
+	"cloudmap/internal/icg"
+	"cloudmap/internal/pinning"
+	"cloudmap/internal/stats"
+	"cloudmap/internal/verify"
+	"cloudmap/internal/vpi"
+)
+
+func pct(n, total int) string {
+	if total == 0 {
+		return "    -"
+	}
+	return fmt.Sprintf("%5.1f%%", 100*float64(n)/float64(total))
+}
+
+// Table1 renders the border-interface inventory before and after expansion
+// probing, with the share resolved via BGP, WHOIS, and IXP data.
+func Table1(round1ABI, round1CBI, finalABI, finalCBI border.MetaBreakdown) string {
+	var b strings.Builder
+	b.WriteString("Table 1: inferred border interfaces and annotation sources\n")
+	b.WriteString("      |   All  |   BGP%  | WHOIS%  |  IXP%\n")
+	row := func(name string, m border.MetaBreakdown) {
+		fmt.Fprintf(&b, "%-5s | %6d | %s | %s | %s\n",
+			name, m.Total, pct(m.BGP, m.Total), pct(m.Whois, m.Total), pct(m.IXP, m.Total))
+	}
+	row("ABI", round1ABI)
+	row("CBI", round1CBI)
+	row("eABI", finalABI)
+	row("eCBI", finalCBI)
+	return b.String()
+}
+
+// Table2 renders heuristic confirmation counts (individual and cumulative).
+func Table2(v *verify.Result, totalABIs int) string {
+	var b strings.Builder
+	b.WriteString("Table 2: candidate ABIs (CBIs) confirmed by verification heuristics\n")
+	b.WriteString("            |      IXP       |     Hybrid     |   Reachable\n")
+	line := func(name string, m map[string]verify.HeuristicCount) {
+		fmt.Fprintf(&b, "%-11s |", name)
+		for _, h := range []string{"ixp", "hybrid", "reachable"} {
+			c := m[h]
+			fmt.Fprintf(&b, " %5d (%6d) |", c.ABIs, c.CBIs)
+		}
+		b.WriteString("\n")
+	}
+	line("Individual", v.Individual)
+	line("Cumulative", v.Cumulative)
+	confirmed := totalABIs - v.UnconfirmedABIs
+	fmt.Fprintf(&b, "confirmed ABIs: %d/%d (%.1f%%); unmatched: %d (%.1f%%)\n",
+		confirmed, totalABIs, 100*float64(confirmed)/float64(max(totalABIs, 1)),
+		v.UnconfirmedABIs, 100*float64(v.UnconfirmedABIs)/float64(max(totalABIs, 1)))
+	fmt.Fprintf(&b, "alias-set corrections: %d ABI->CBI, %d CBI->ABI, %d CBI->CBI\n",
+		v.ABIToCBI, v.CBIToABI, v.CBIOwnerChange)
+	return b.String()
+}
+
+// Table3 renders anchor and pinned-interface counts per evidence source.
+func Table3(p *pinning.Result) string {
+	var b strings.Builder
+	b.WriteString("Table 3: anchor interfaces by evidence and pinned interfaces by rule\n")
+	order := []string{pinning.SrcDNS, pinning.SrcIXP, pinning.SrcMetro, pinning.SrcNative, pinning.RuleAlias, pinning.RuleRTT}
+	b.WriteString("      |    DNS |    IXP |  Metro | Native |  Alias | minRTT\n")
+	b.WriteString("Exc.  |")
+	for _, k := range order {
+		fmt.Fprintf(&b, " %6d |", p.Exclusive[k])
+	}
+	b.WriteString("\nCum.  |")
+	for _, k := range order {
+		fmt.Fprintf(&b, " %6d |", p.Cumulative[k])
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "conflicting anchors removed: %d; propagation conflicts: %d; rounds: %d\n",
+		p.ConflictingAnchors, p.PropagationConflicts, p.Rounds)
+	fmt.Fprintf(&b, "metro-pinned: %d/%d ifaces (%.1f%%) [ABIs %d/%d, CBIs %d/%d]; region fallback: +%d (total %.1f%%)\n",
+		len(p.Metro), p.TotalIfaces, 100*float64(len(p.Metro))/float64(max(p.TotalIfaces, 1)),
+		p.PinnedABIs, p.TotalABIs, p.PinnedCBIs, p.TotalCBIs,
+		p.RegionPinned,
+		100*float64(len(p.Metro)+p.RegionPinned)/float64(max(p.TotalIfaces, 1)))
+	return b.String()
+}
+
+// Table4 renders VPI detection counts per foreign cloud.
+func Table4(v *vpi.Result) string {
+	var b strings.Builder
+	b.WriteString("Table 4: Amazon VPIs detected by multi-cloud CBI overlap\n")
+	b.WriteString("           |")
+	for _, c := range v.Order {
+		fmt.Fprintf(&b, " %-10s |", c)
+	}
+	b.WriteString("\nPairwise   |")
+	for _, c := range v.Order {
+		n := len(v.Pairwise[c])
+		fmt.Fprintf(&b, " %4d %s|", n, pct(n, v.AmazonNonIXPCBIs))
+	}
+	b.WriteString("\nCumulative |")
+	for _, c := range v.Order {
+		n := v.Cumulative[c]
+		fmt.Fprintf(&b, " %4d %s|", n, pct(n, v.AmazonNonIXPCBIs))
+	}
+	fmt.Fprintf(&b, "\ntarget pool: %d addresses; non-IXP CBIs: %d\n", v.TargetsProbed, v.AmazonNonIXPCBIs)
+	return b.String()
+}
+
+// Table5 renders the six-group peering breakdown plus aggregates.
+func Table5(g *grouping.Result) string {
+	var b strings.Builder
+	b.WriteString("Table 5: breakdown of Amazon peerings by key attributes\n")
+	b.WriteString("Group     |  ASes(%)       |  CBIs(%)       |  ABIs(%)\n")
+	asTotal := g.PeerASes
+	cbiTotal, abiTotal := 0, 0
+	for _, name := range grouping.GroupOrder {
+		cbiTotal += g.Rows[name].CBIs
+		abiTotal += g.Rows[name].ABIs
+	}
+	emit := func(name string, r grouping.Row, em string) {
+		fmt.Fprintf(&b, "%-9s%s| %5d (%s) | %5d (%s) | %5d (%s)\n",
+			name, em, r.ASes, pct(r.ASes, asTotal), r.CBIs, pct(r.CBIs, cbiTotal), r.ABIs, pct(r.ABIs, abiTotal))
+	}
+	groupsOfAgg := map[string][]string{
+		"Pb":    {"Pb-nB", "Pb-B"},
+		"Pr-nB": {"Pr-nB-V", "Pr-nB-nV"},
+		"Pr-B":  {"Pr-B-nV", "Pr-B-V"},
+	}
+	for _, agg := range grouping.AggregateOrder {
+		for _, name := range groupsOfAgg[agg] {
+			emit(name, g.Rows[name], " ")
+		}
+		emit(agg, g.Aggregates[agg], "*")
+	}
+	fmt.Fprintf(&b, "hidden peerings: %d/%d (%.1f%%)\n", g.HiddenPeerings, g.TotalPeerings, 100*g.HiddenShare)
+	b.WriteString("largest members per group:\n")
+	for _, name := range grouping.GroupOrder {
+		if ex := g.Examples[name]; len(ex) > 0 {
+			fmt.Fprintf(&b, "  %-9s %s\n", name, strings.Join(ex, ", "))
+		}
+	}
+	return b.String()
+}
+
+// Table6 renders the hybrid-peering combinations.
+func Table6(g *grouping.Result) string {
+	var b strings.Builder
+	b.WriteString("Table 6: hybrid peering groups (#ASN per combination)\n")
+	for _, c := range g.Combos {
+		fmt.Fprintf(&b, "%-45s %5d\n", c.Combo, c.ASNs)
+	}
+	return b.String()
+}
+
+// CDFPlot renders an ASCII CDF curve with key quantiles and the knee.
+func CDFPlot(title string, values []float64, width, height int) string {
+	c := stats.NewCDF(values)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", title, c.N())
+	if c.N() == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	pts := c.Curve(width)
+	xMin, xMax := pts[0].X, pts[len(pts)-1].X
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for col := 0; col < width; col++ {
+		var x float64
+		if xMax > xMin {
+			x = xMin + (xMax-xMin)*float64(col)/float64(width-1)
+		} else {
+			x = xMin
+		}
+		y := c.FracBelow(x)
+		row := int((1 - y) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][col] = '*'
+	}
+	for i, row := range grid {
+		frac := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", frac, string(row))
+	}
+	fmt.Fprintf(&b, "      x: [%.2f .. %.2f]  p25=%.2f p50=%.2f p75=%.2f p90=%.2f  knee=%.2f\n",
+		xMin, xMax, c.Quantile(0.25), c.Quantile(0.5), c.Quantile(0.75), c.Quantile(0.9), c.Knee())
+	return b.String()
+}
+
+// Fig4 renders both RTT CDFs of Figure 4.
+func Fig4(p *pinning.Result) string {
+	var b strings.Builder
+	b.WriteString(CDFPlot("Fig 4a: min-RTT to ABIs from closest region (ms)", clip(p.ABIMinRTTs, 25), 60, 12))
+	fmt.Fprintf(&b, "fraction below 2ms: %.1f%% (paper: ~40%%)\n\n",
+		100*stats.NewCDF(p.ABIMinRTTs).FracBelow(2))
+	b.WriteString(CDFPlot("Fig 4b: min-RTT difference across peerings (ms)", clip(p.SegmentDiffs, 40), 60, 12))
+	fmt.Fprintf(&b, "fraction below 2ms: %.1f%% (paper: ~50%%)\n",
+		100*stats.NewCDF(p.SegmentDiffs).FracBelow(2))
+	return b.String()
+}
+
+// Fig5 renders the region-ratio CDF for unpinned interfaces.
+func Fig5(p *pinning.Result) string {
+	var b strings.Builder
+	b.WriteString(CDFPlot("Fig 5: ratio of two lowest per-region min-RTTs (unpinned ifaces)", clip(p.RegionRatios, 5), 60, 12))
+	above := 0
+	for _, r := range p.RegionRatios {
+		if r > 1.5 {
+			above++
+		}
+	}
+	fmt.Fprintf(&b, "ratio > 1.5: %.1f%% (paper: 57%%); single-region ifaces: %d\n",
+		100*float64(above)/float64(max(len(p.RegionRatios), 1)), p.SingleRegion)
+	return b.String()
+}
+
+// Fig6 renders the per-group feature boxplots.
+func Fig6(g *grouping.Result) string {
+	var b strings.Builder
+	b.WriteString("Fig 6: per-group peer-AS features (median [q1,q3] over ASes)\n")
+	fmt.Fprintf(&b, "%-8s |", "feature")
+	for _, grp := range grouping.GroupOrder {
+		fmt.Fprintf(&b, " %-16s |", grp)
+	}
+	b.WriteString("\n")
+	for _, feat := range grouping.FeatureNames {
+		fmt.Fprintf(&b, "%-8s |", feat)
+		for _, grp := range grouping.GroupOrder {
+			bp := g.Fig6[grp][feat]
+			if bp.N == 0 {
+				fmt.Fprintf(&b, " %-16s |", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %6.1f[%4.1f,%4.1f] |", bp.Median, bp.Q1, bp.Q3)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig7 renders the ICG degree distributions and component structure.
+func Fig7(g *icg.Result) string {
+	var b strings.Builder
+	b.WriteString(CDFPlot("Fig 7a: ABI degree", g.ABIDegrees, 60, 10))
+	b.WriteString(CDFPlot("Fig 7b: CBI degree", g.CBIDegrees, 60, 10))
+	fmt.Fprintf(&b, "ICG: %d ABIs, %d CBIs, %d edges; components: %d; largest CC: %.1f%% (paper: 92.3%%)\n",
+		g.ABICount, g.CBICount, g.Edges, g.Components, 100*g.LargestCCFrac)
+	fmt.Fprintf(&b, "pinned-both-ends peerings: %d; intra-metro: %.1f%% (paper: 98%%)\n",
+		g.BothPinned, 100*g.IntraMetroShare)
+	if len(g.RemotePairs) > 0 {
+		b.WriteString("top remote metro pairs:")
+		for i, pr := range g.RemotePairs {
+			if i >= 5 {
+				break
+			}
+			fmt.Fprintf(&b, " %s-%s(%d)", pr.ABIMetro, pr.CBIMetro, pr.Count)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Bdrmap renders the §8 comparison.
+func Bdrmap(c *bdrmap.Comparison) string {
+	var b strings.Builder
+	b.WriteString("§8: bdrmap baseline comparison\n")
+	fmt.Fprintf(&b, "bdrmap inventory: %d ABIs, %d CBIs, %d ASes\n", c.ABIs, c.CBIs, c.ASes)
+	fmt.Fprintf(&b, "inconsistencies: %d AS0-owner CBIs; %d multi-owner CBIs; %d ABI/CBI flips (%d in Amazon space, %.0f%%)\n",
+		c.AS0CBIs, c.MultiOwnerCBIs, c.Flipped, c.FlippedAmazonSpace,
+		100*float64(c.FlippedAmazonSpace)/float64(max(c.Flipped, 1)))
+	fmt.Fprintf(&b, "third-party attributions: %d (%d conflict with the verified pipeline)\n",
+		c.ThirdPartyCBIs, c.ThirdPartyConflicts)
+	fmt.Fprintf(&b, "overlap with pipeline: %d ABIs, %d CBIs, %d ASes in common; %d bdrmap-exclusive ASes\n",
+		c.CommonABIs, c.CommonCBIs, c.CommonASes, c.ExclusiveASes)
+	return b.String()
+}
+
+// PinningEval renders the §6.2 cross-validation and coverage.
+func PinningEval(cv pinning.CVResult, p *pinning.Result, listedCities int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§6.2: %d-fold stratified 70/30 cross-validation: precision %.2f%% (σ %.4f), recall %.2f%% (σ %.4f)\n",
+		cv.Folds, 100*cv.Precision, cv.PrecisionStd, 100*cv.Recall, cv.RecStd)
+	fmt.Fprintf(&b, "geographic coverage: pinned interfaces in %d metros (Amazon lists %d cities)\n",
+		len(p.PinnedMetros), listedCities)
+	return b.String()
+}
+
+// clip caps values for readable plots (outliers compress the axis).
+func clip(vals []float64, maxV float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		if v > maxV {
+			v = maxV
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SortedKeys is a small helper for deterministic map iteration in callers.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,55 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"cloudmap"
+	"cloudmap/internal/report"
+)
+
+func TestFullReportRenders(t *testing.T) {
+	res, err := cloudmap.Run(cloudmap.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Report()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
+		"Fig 4a", "Fig 4b", "Fig 5", "Fig 6", "Fig 7a", "Fig 7b",
+		"bdrmap", "cross-validation", "hidden peerings",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "%!") {
+		t.Error("report contains formatting errors")
+	}
+	if len(out) < 2000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestCDFPlotDegenerate(t *testing.T) {
+	out := report.CDFPlot("empty", nil, 40, 8)
+	if !strings.Contains(out, "no data") {
+		t.Error("empty CDF not handled")
+	}
+	out = report.CDFPlot("constant", []float64{3, 3, 3}, 40, 8)
+	if !strings.Contains(out, "knee=") {
+		t.Error("constant CDF plot missing stats line")
+	}
+	out = report.CDFPlot("single", []float64{7}, 40, 8)
+	if !strings.Contains(out, "n=1") {
+		t.Error("singleton CDF not rendered")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := report.SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,210 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequences diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 agreed on %d of 100 draws", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(7)
+	f := r.Fork()
+	// The fork must not share state with its parent: advancing one must not
+	// change the other's sequence.
+	r2 := New(7)
+	_ = r2.Uint64() // consume the draw used by Fork
+	for i := 0; i < 100; i++ {
+		f.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != r2.Uint64() {
+			t.Fatalf("parent sequence perturbed by fork at draw %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(9)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.3) {
+			trues++
+		}
+	}
+	if trues < 2700 || trues > 3300 {
+		t.Errorf("Bool(0.3): %d/10000 true", trues)
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange(5,9) = %d", v)
+		}
+	}
+	if got := r.IntRange(4, 4); got != 4 {
+		t.Fatalf("IntRange(4,4) = %d", got)
+	}
+}
+
+func TestParetoMin(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto(2, 1.5) = %v below minimum", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(19)
+	var sum float64
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		sum += r.Exp(3)
+	}
+	mean := sum / draws
+	if math.Abs(mean-3) > 0.1 {
+		t.Errorf("Exp(3) sample mean = %v", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make(map[int]bool, len(p))
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := Sample(r, xs, 4)
+	if len(got) != 4 {
+		t.Fatalf("Sample returned %d elements", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("Sample returned duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	if got := Sample(r, xs, 99); len(got) != len(xs) {
+		t.Fatalf("Sample with k>len returned %d", len(got))
+	}
+}
+
+func TestWeightedPick(t *testing.T) {
+	r := New(29)
+	weights := []float64{0, 1, 3, 0}
+	counts := make([]int, len(weights))
+	for i := 0; i < 40000; i++ {
+		counts[r.WeightedPick(weights)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight buckets selected: %v", counts)
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestPickCoversAll(t *testing.T) {
+	r := New(31)
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[Pick(r, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick never returned some elements: %v", seen)
+	}
+}

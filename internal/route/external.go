@@ -1,0 +1,47 @@
+package route
+
+import (
+	"cloudmap/internal/model"
+	"cloudmap/internal/netblock"
+)
+
+// ExternalReach reports whether a probe from the public-Internet vantage
+// point (§5.1's University-of-Oregon-style node) would elicit a reply from
+// the given address, and the approximate RTT.
+//
+// Reachability from outside differs fundamentally from reachability from
+// inside the clouds: it requires the covering prefix to be announced in
+// global BGP, the path not to be swallowed by a cloud that filters external
+// probes to its infrastructure, and the responding network not to filter.
+// Those differences are exactly what the paper's reachability heuristic
+// exploits to tell ABIs from CBIs.
+func (f *Forwarder) ExternalReach(dst netblock.IP) (bool, float64) {
+	t := f.t
+	if dst.IsPrivate() || dst.IsShared() {
+		return false, 0
+	}
+	if _, announced := f.AnnouncedOrigin(dst); !announced {
+		return false, 0
+	}
+	// Who answers: the router holding the interface if the address is an
+	// interface, otherwise a host of the owning AS.
+	responder := t.AddrOwner(dst)
+	metro := t.ASes[t.ExternalVP].HomeMetro
+	targetMetro := metro
+	if ifc, ok := t.IfaceAt(dst); ok {
+		router := t.IfaceRouter(ifc)
+		responder = router.AS
+		targetMetro = router.Metro
+	} else if responder != model.NoAS {
+		targetMetro = f.dstMetro(&t.ASes[responder], dst)
+	}
+	if responder == model.NoAS {
+		return false, 0
+	}
+	if t.ASes[responder].FiltersExternal {
+		return false, 0
+	}
+	vpHome := t.ASes[t.ExternalVP].HomeMetro
+	rtt := t.World.PropagationRTTms(vpHome, targetMetro) + 5*rttHop
+	return true, rtt
+}

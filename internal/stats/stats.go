@@ -1,0 +1,166 @@
+// Package stats provides the small statistical toolkit the evaluation needs:
+// empirical CDFs with quantiles and knee detection, boxplot summaries, and
+// plotting series for the text renderer.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF copies and sorts the values.
+func NewCDF(values []float64) CDF {
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// N returns the sample count.
+func (c CDF) N() int { return len(c.sorted) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by linear interpolation.
+func (c CDF) Quantile(q float64) float64 {
+	n := len(c.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return c.sorted[n-1]
+	}
+	return c.sorted[lo]*(1-frac) + c.sorted[lo+1]*frac
+}
+
+// FracBelow returns F(x): the fraction of samples <= x.
+func (c CDF) FracBelow(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Knee locates the knee of the CDF by the maximum-distance-from-chord
+// (Kneedle-style) criterion over the quantile curve, restricted to the
+// central mass so single outliers cannot dominate. The paper eyeballs a
+// pronounced knee at 2 ms in Figs. 4a/4b; this makes the same judgement
+// reproducible.
+func (c CDF) Knee() float64 {
+	n := len(c.sorted)
+	if n < 3 {
+		if n == 0 {
+			return math.NaN()
+		}
+		return c.sorted[n/2]
+	}
+	// Work on the quantile curve (q, x(q)) for q in [0, 0.98] to drop the
+	// extreme tail, normalising both axes.
+	const grid = 199
+	qs := make([]float64, 0, grid)
+	xs := make([]float64, 0, grid)
+	for i := 0; i < grid; i++ {
+		q := 0.98 * float64(i) / float64(grid-1)
+		qs = append(qs, q)
+		xs = append(xs, c.Quantile(q))
+	}
+	xMin, xMax := xs[0], xs[len(xs)-1]
+	if xMax <= xMin {
+		return xMin
+	}
+	// Chord from first to last point of the normalised curve; the knee is
+	// the point with the greatest vertical distance above the chord.
+	best, bestD := xs[0], -1.0
+	for i := range qs {
+		nx := (xs[i] - xMin) / (xMax - xMin)
+		ny := qs[i] / qs[len(qs)-1]
+		d := ny - nx
+		if d > bestD {
+			bestD = d
+			best = xs[i]
+		}
+	}
+	return best
+}
+
+// Boxplot is a five-number summary plus mean.
+type Boxplot struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// BoxplotOf summarises the values.
+func BoxplotOf(values []float64) Boxplot {
+	if len(values) == 0 {
+		return Boxplot{Min: math.NaN(), Q1: math.NaN(), Median: math.NaN(), Q3: math.NaN(), Max: math.NaN(), Mean: math.NaN()}
+	}
+	c := NewCDF(values)
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return Boxplot{
+		Min:    c.Quantile(0),
+		Q1:     c.Quantile(0.25),
+		Median: c.Quantile(0.5),
+		Q3:     c.Quantile(0.75),
+		Max:    c.Quantile(1),
+		Mean:   sum / float64(len(values)),
+		N:      len(values),
+	}
+}
+
+// Point is one (x, F(x)) sample of a CDF curve.
+type Point struct{ X, Y float64 }
+
+// Curve samples the CDF at n evenly spaced quantiles for plotting.
+func (c CDF) Curve(n int) []Point {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		out = append(out, Point{X: c.Quantile(q), Y: q})
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	m := Mean(values)
+	var ss float64
+	for _, v := range values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(values)))
+}

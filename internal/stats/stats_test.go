@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.FracBelow(1)) {
+		t.Error("empty CDF should yield NaN")
+	}
+}
+
+func TestFracBelow(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if got := c.FracBelow(2); got != 0.75 {
+		t.Errorf("FracBelow(2) = %v want 0.75", got)
+	}
+	if got := c.FracBelow(0.5); got != 0 {
+		t.Errorf("FracBelow(0.5) = %v want 0", got)
+	}
+	if got := c.FracBelow(10); got != 1 {
+		t.Errorf("FracBelow(10) = %v want 1", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		c := NewCDF(clean)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := c.Quantile(q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFracBelowQuantileInverse(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			// Keep magnitudes in a physical range: measurement values are
+			// RTTs and counts, not 1e308 extremes where float interpolation
+			// rounding breaks strict inequalities.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		c := NewCDF(clean)
+		// FracBelow(Quantile(q)) >= q for all q.
+		for q := 0.1; q < 1; q += 0.2 {
+			if c.FracBelow(c.Quantile(q)) < q-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKneeDetection(t *testing.T) {
+	// Half the mass below 2, long tail up to 100: the knee must land near 2.
+	var vals []float64
+	for i := 0; i < 500; i++ {
+		vals = append(vals, 0.2+1.6*float64(i)/500)
+	}
+	for i := 0; i < 500; i++ {
+		vals = append(vals, 2+98*float64(i)/500)
+	}
+	knee := NewCDF(vals).Knee()
+	if knee < 0.5 || knee > 6 {
+		t.Errorf("knee = %v, want near 2", knee)
+	}
+}
+
+func TestKneeDegenerate(t *testing.T) {
+	if !math.IsNaN(NewCDF(nil).Knee()) {
+		t.Error("knee of empty CDF should be NaN")
+	}
+	if got := NewCDF([]float64{5}).Knee(); got != 5 {
+		t.Errorf("knee of singleton = %v", got)
+	}
+	if got := NewCDF([]float64{3, 3, 3, 3}).Knee(); got != 3 {
+		t.Errorf("knee of constant = %v", got)
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	b := BoxplotOf([]float64{1, 2, 3, 4, 100})
+	if b.Median != 3 || b.Min != 1 || b.Max != 100 || b.N != 5 {
+		t.Errorf("boxplot wrong: %+v", b)
+	}
+	if b.Mean != 22 {
+		t.Errorf("mean = %v", b.Mean)
+	}
+	empty := BoxplotOf(nil)
+	if !math.IsNaN(empty.Median) || empty.N != 0 {
+		t.Error("empty boxplot")
+	}
+}
+
+func TestCurve(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := c.Curve(11)
+	if len(pts) != 11 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) {
+		t.Error("curve X not sorted")
+	}
+	if pts[0].Y != 0 || pts[10].Y != 1 {
+		t.Error("curve Y endpoints wrong")
+	}
+	if NewCDF(nil).Curve(5) != nil {
+		t.Error("curve of empty CDF")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(vals); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if s := StdDev(vals); math.Abs(s-2) > 1e-9 {
+		t.Errorf("stddev = %v", s)
+	}
+}

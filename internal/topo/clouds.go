@@ -1,0 +1,221 @@
+package topo
+
+import (
+	"fmt"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/model"
+	"cloudmap/internal/netblock"
+)
+
+// cloudSpec configures one modelled cloud provider.
+type cloudSpec struct {
+	name    string
+	asns    []model.ASN // first is primary; Amazon has several under one ORG
+	regions func(*geo.World) []geo.Region
+	// nativeShare is the fraction of Amazon-native metros where this cloud
+	// is also native (co-location in the same carrier hotels is the norm).
+	nativeShare float64
+}
+
+func cloudSpecs() []cloudSpec {
+	return []cloudSpec{
+		{name: "amazon", asns: []model.ASN{16509, 7224, 14618, 8987}, regions: geo.AmazonRegions, nativeShare: 1.0},
+		{name: "microsoft", asns: []model.ASN{8075}, regions: func(w *geo.World) []geo.Region { return geo.CloudRegions(w, "microsoft") }, nativeShare: 0.7},
+		{name: "google", asns: []model.ASN{15169}, regions: func(w *geo.World) []geo.Region { return geo.CloudRegions(w, "google") }, nativeShare: 0.6},
+		{name: "ibm", asns: []model.ASN{36351}, regions: func(w *geo.World) []geo.Region { return geo.CloudRegions(w, "ibm") }, nativeShare: 0.4},
+		{name: "oracle", asns: []model.ASN{31898}, regions: func(w *geo.World) []geo.Region { return geo.CloudRegions(w, "oracle") }, nativeShare: 0.3},
+	}
+}
+
+// buildClouds creates the five cloud providers: their ASes, regions (VMs,
+// gateways, backbone routers), native facilities, and border routers.
+func (b *builder) buildClouds() {
+	amazonMetros := b.amazonMetroPlan()
+
+	for ci, spec := range cloudSpecs() {
+		cid := model.CloudID(ci)
+		cloud := model.Cloud{
+			ID:            cid,
+			Name:          spec.name,
+			BorderRouters: make(map[model.FacilityID][]model.RouterID),
+		}
+
+		// Organisation and ASes.
+		orgName := spec.name + ".com"
+		for ai, asn := range spec.asns {
+			as := b.newAS(fmt.Sprintf("%s-as%d", spec.name, asn), orgName, model.ASCloud, asn)
+			as.RespProb = 0.97
+			as.FiltersExternal = true // clouds drop probes to infrastructure from outside
+			as.DNSStyle = model.DNSNone
+			as.AnnouncesService = true
+			as.AnnouncesInfra = ai == 0 // only the primary AS announces its infra block
+			cloud.ASes = append(cloud.ASes, as.Index)
+		}
+		cloud.Org = b.t.ASes[cloud.ASes[0]].Org
+		primary := cloud.ASes[0]
+
+		// Address blocks.
+		var svc, infra netblock.Prefix
+		if spec.name == "amazon" {
+			svc, infra = amazonServiceBlock, amazonInfraBGP
+			b.own(amazonService2, primary)
+			b.t.ASes[primary].ServicePrefixes = append(b.t.ASes[primary].ServicePrefixes, amazonService2)
+			// The unannounced pool (Direct Connect interconnects, most of
+			// the backbone) is delegated to the sibling ASN 7224 in WHOIS.
+			dx := cloud.ASes[1]
+			b.own(amazonInfraWhois, dx)
+			b.t.ASes[dx].InfraPrefixes = append(b.t.ASes[dx].InfraPrefixes, amazonInfraWhois)
+			b.t.ASes[dx].AnnouncesInfra = false
+			b.amazonWhoisPool = netblock.NewPool(amazonInfraWhois)
+		} else {
+			blocks := cloudBlocks[spec.name]
+			svc, infra = blocks[0], blocks[1]
+		}
+		b.own(svc, primary)
+		b.own(infra, primary)
+		b.t.ASes[primary].ServicePrefixes = append(b.t.ASes[primary].ServicePrefixes, svc)
+		b.t.ASes[primary].InfraPrefixes = append(b.t.ASes[primary].InfraPrefixes, infra)
+		b.cloudSvcPool[cid] = netblock.NewPool(svc)
+		b.cloudInfraPool[cid] = netblock.NewPool(infra)
+		// Reserve leading service space so probing targets don't collide
+		// with VM host models: first /16 carries VM-facing addressing.
+		b.cloudSvcPool[cid].MustAlloc(16)
+
+		// Regions.
+		for ri, reg := range spec.regions(b.world) {
+			region := model.CloudRegion{Index: ri, Name: reg.Name, Metro: reg.Metro}
+			// Gateways reply with private addresses (ASN 0 in annotation,
+			// ~20% of hops in the paper's traces).
+			for g := 0; g < 2; g++ {
+				gw := b.newRouter(primary, model.NoFacility, reg.Metro, model.RoleVMGateway)
+				addr := netblock.IP(10<<24 | uint32(ci)<<20 | uint32(ri)<<8 | uint32(g+1))
+				b.newIface(gw, addr, model.IfInternal, primary)
+				region.Gateways = append(region.Gateways, gw)
+			}
+			// The probing VM.
+			vmRouter := b.newRouter(primary, model.NoFacility, reg.Metro, model.RoleInternal)
+			vmAddr := netblock.IP(172<<24 | 31<<16 | uint32(ri)<<8 | 10)
+			region.VMIface = b.newIface(vmRouter, vmAddr, model.IfVM, primary)
+			// Regional backbone router with an announced public interface.
+			bb := b.newRouter(primary, model.NoFacility, reg.Metro, model.RoleBackbone)
+			b.newIface(bb, b.cloudInfraPool[cid].MustAlloc(31).Addr, model.IfBackbone, primary)
+			region.Backbone = bb
+			cloud.Regions = append(cloud.Regions, region)
+		}
+
+		// Native facilities and border routers.
+		var metros []geo.MetroID
+		if spec.name == "amazon" {
+			metros = amazonMetros
+		} else {
+			// Other clouds are native in a share of Amazon's metros,
+			// starting from their own region metros.
+			seen := map[geo.MetroID]bool{}
+			for _, r := range cloud.Regions {
+				if !seen[r.Metro] {
+					seen[r.Metro] = true
+					metros = append(metros, r.Metro)
+				}
+			}
+			for _, m := range amazonMetros {
+				if len(metros) >= int(spec.nativeShare*float64(len(amazonMetros))) {
+					break
+				}
+				if !seen[m] {
+					seen[m] = true
+					metros = append(metros, m)
+				}
+			}
+		}
+		regionMetro := map[geo.MetroID]bool{}
+		for _, r := range cloud.Regions {
+			regionMetro[r.Metro] = true
+		}
+		for _, metro := range metros {
+			facs := b.facByMetro[metro]
+			// Border infrastructure scales with the fabric: region hubs
+			// host several native facilities and many border routers at
+			// full scale, fewer in the scaled-down test worlds.
+			nFac := 1
+			if regionMetro[metro] && spec.name == "amazon" {
+				nFac = 2
+				if b.cfg.Scale >= 0.5 {
+					nFac = 3
+				}
+			} else if regionMetro[metro] {
+				nFac = 2
+			}
+			if nFac > len(facs) {
+				nFac = len(facs)
+			}
+			for fi := 0; fi < nFac; fi++ {
+				fac := facs[fi]
+				f := &b.t.Facilities[fac]
+				f.NativeClouds = append(f.NativeClouds, cid)
+				if b.nativeByCloud == nil {
+					b.nativeByCloud = make(map[model.CloudID][]model.FacilityID)
+				}
+				b.nativeByCloud[cid] = append(b.nativeByCloud[cid], fac)
+				// Cloud exchanges operate where clouds are native; the
+				// facility's exchange fabric is what VPIs ride on.
+				f.HasCloudExchange = true
+				if spec.name == "amazon" {
+					b.amazonNative = append(b.amazonNative, fac)
+				}
+				nRouters := 1
+				if spec.name == "amazon" {
+					if regionMetro[metro] {
+						nRouters = 2 + int(4*b.cfg.Scale)
+						if nRouters > 6 {
+							nRouters = 6
+						}
+					} else {
+						nRouters = 2
+					}
+				}
+				for ri := 0; ri < nRouters; ri++ {
+					// Amazon border routers are split between its sibling
+					// ASNs, which is why the paper must group hops by ORG.
+					as := primary
+					if spec.name == "amazon" && b.r.Bool(0.4) {
+						as = cloud.ASes[1+b.r.Intn(len(cloud.ASes)-1)]
+					}
+					router := b.newRouter(as, fac, metro, model.RoleBorder)
+					// Backbone-facing interfaces: traffic from different
+					// regions enters through different ones, so one border
+					// router exposes several candidate ABIs. Per Table 1,
+					// ~38% of ABIs fall in announced (BGP) space and ~62%
+					// in WHOIS-only space.
+					nUp := b.r.IntRange(2, 3)
+					for u := 0; u < nUp; u++ {
+						var addr netblock.IP
+						owner := primary
+						if spec.name == "amazon" && !b.r.Bool(0.55) {
+							addr = b.amazonWhoisPool.MustAlloc(31).Addr
+							owner = cloud.ASes[1]
+						} else {
+							addr = b.cloudInfraPool[cid].MustAlloc(31).Addr
+						}
+						b.newIface(router, addr, model.IfBackbone, owner)
+					}
+					cloud.BorderRouters[fac] = append(cloud.BorderRouters[fac], router)
+				}
+			}
+		}
+		b.t.Clouds = append(b.t.Clouds, cloud)
+	}
+}
+
+// amazonRegionForMetro returns the index of the Amazon region whose metro is
+// closest to the given metro (the region a peering "homes" to).
+func (b *builder) amazonRegionForMetro(metro geo.MetroID) int {
+	best, bestD := 0, -1.0
+	for i, r := range b.amazonRegion {
+		d := b.world.DistanceKm(metro, r.Metro)
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,205 @@
+// Package topo generates the ground-truth topology of the simulated
+// Internet: clouds, autonomous systems, colocation facilities, IXPs, cloud
+// exchanges, routers, addresses, and every interconnection between Amazon
+// (and four other clouds) and the rest of the network.
+//
+// The generator is parameterised by Config so tests run on a small world
+// while the experiment harness runs at a scale comparable to the paper
+// (~3.5k Amazon peer ASes, ~25k client border interfaces).
+package topo
+
+import "cloudmap/internal/model"
+
+// Config controls topology generation. All counts are given at Scale == 1.0
+// (the paper-comparable scale) and multiplied by Scale.
+type Config struct {
+	Seed  uint64
+	Scale float64
+
+	// AS population (counts at scale 1.0, Amazon peer profiles excluded).
+	NumTier1      int
+	NumTier2      int
+	NumAccess     int
+	NumContent    int
+	NumEnterprise int
+	NumEducation  int
+	// NumStubs are non-peer ASes reachable only through transit; probing
+	// them makes traceroutes cross Amazon's transit peerings.
+	NumStubs int
+
+	// Facilities & exchanges.
+	FacilitiesPerMetroMin int
+	FacilitiesPerMetroMax int
+	// AmazonNativeMetros is the number of metros (beyond the 15 region
+	// metros) where Amazon houses border routers; the paper reports Amazon
+	// present in 74 metro areas.
+	AmazonNativeMetros int
+	// IXPFraction is the fraction of metros hosting an IXP.
+	IXPFraction float64
+	// MultiMetroIXPs is the number of IXPs spanning several metros (the
+	// paper excludes 10 such IXPs from anchor generation).
+	MultiMetroIXPs int
+
+	// Interconnection behaviour.
+	// AmazonAllocatedSubnetProb is the probability that Amazon (rather than
+	// the client) supplies the /31 of a private interconnection — the
+	// address-sharing ambiguity of §4.1/Fig. 2.
+	AmazonAllocatedSubnetProb float64
+	// RemoteVPIProb is the probability that a VPI is established through a
+	// layer-2 connectivity partner from a remote metro.
+	RemoteVPIProb float64
+	// RemotePrivateProb is the same for physical private peerings.
+	RemotePrivateProb float64
+	// SingleCloudVPIFraction is the fraction of ground-truth VPIs whose
+	// client connects only to Amazon; the paper's overlap method cannot see
+	// them (the Pr-nB-nV undercount discussed in §7.3).
+	SingleCloudVPIFraction float64
+
+	// Measurement behaviour.
+	RouterRespProbMin float64
+	RouterRespProbMax float64
+	// EnterpriseFilterProb is the probability an enterprise drops probes
+	// arriving from outside its own providers (used by the reachability
+	// heuristic of §5.1).
+	EnterpriseFilterProb float64
+	// HostRespProb is the probability that a probed .1 target host exists
+	// and answers, which controls the "completed traceroute" yield (§3).
+	HostRespProb float64
+
+	// IP-ID behaviour mix for alias resolution (must sum to <= 1; the
+	// remainder is IPIDZero).
+	IPIDSharedFrac, IPIDPerIfaceFrac, IPIDRandomFrac float64
+
+	// CollectorFeeds is the number of ASes exporting their tables to the
+	// route-collector project (at scale 1.0).
+	CollectorFeeds int
+
+	// PeerProfiles describes the Amazon peer population; when nil the
+	// built-in Table-6-derived profile mix is used.
+	PeerProfiles []PeerProfile
+}
+
+// PeerProfile describes one class of Amazon peer AS (one row of Table 6).
+type PeerProfile struct {
+	Name string
+	// Count at scale 1.0.
+	Count int
+	// Peering instance counts (uniform in [Min,Max]).
+	PublicMin, PublicMax int
+	PhysMin, PhysMax     int
+	VPIMin, VPIMax       int
+	// MultiCloudVPI makes the profile's VPI clients also provision VPIs to
+	// other clouds (detectable by the §7.1 overlap method).
+	MultiCloudVPI bool
+	// BGPVisible profiles are generated so that a route collector sits in
+	// the peer's customer cone, making the Amazon link visible in BGP.
+	BGPVisible bool
+	// BigTransit marks very large transit networks: peerings at many
+	// facilities with parallel link bundles (Pr-B behaviour, ~65 CBIs/AS).
+	BigTransit bool
+	// ASTypes to draw from for this profile.
+	ASTypes []model.ASType
+	// HeavyTail lets a small subset of the profile's ASes grow an
+	// order-of-magnitude larger interconnection count (CDNs like Akamai).
+	HeavyTail bool
+}
+
+// builtinProfiles mirrors the hybrid-peering combinations of Table 6. Counts
+// are the paper's AS counts; rare mixed-visibility combos (≤5 ASes each) are
+// folded into their nearest neighbour.
+func builtinProfiles() []PeerProfile {
+	return []PeerProfile{
+		{Name: "Pb-nB", Count: 2187, PublicMin: 1, PublicMax: 2,
+			ASTypes: []model.ASType{model.ASContent, model.ASAccess, model.ASEnterprise, model.ASTier2}},
+		{Name: "Pr-nB-nV", Count: 686, PhysMin: 1, PhysMax: 2, HeavyTail: true,
+			ASTypes: []model.ASType{model.ASEnterprise, model.ASContent, model.ASAccess}},
+		{Name: "Pr-nB-nV;Pb-nB", Count: 207, PublicMin: 1, PublicMax: 2, PhysMin: 1, PhysMax: 3, HeavyTail: true,
+			ASTypes: []model.ASType{model.ASContent, model.ASEnterprise}},
+		{Name: "Pb-B", Count: 117, PublicMin: 1, PublicMax: 3, BGPVisible: true,
+			ASTypes: []model.ASType{model.ASTier2, model.ASAccess}},
+		{Name: "Pr-nB-nV;Pr-nB-V", Count: 83, PhysMin: 1, PhysMax: 2, VPIMin: 3, VPIMax: 14, MultiCloudVPI: true,
+			ASTypes: []model.ASType{model.ASEnterprise, model.ASTier2, model.ASContent}},
+		{Name: "Pr-nB-nV;Pb-nB;Pr-nB-V", Count: 60, PublicMin: 1, PublicMax: 2, PhysMin: 1, PhysMax: 3, VPIMin: 3, VPIMax: 14, MultiCloudVPI: true, HeavyTail: true,
+			ASTypes: []model.ASType{model.ASContent}},
+		{Name: "Pb-nB;Pr-nB-V", Count: 41, PublicMin: 1, PublicMax: 1, VPIMin: 2, VPIMax: 10, MultiCloudVPI: true,
+			ASTypes: []model.ASType{model.ASEnterprise, model.ASContent}},
+		{Name: "Pr-nB-V", Count: 38, VPIMin: 2, VPIMax: 10, MultiCloudVPI: true,
+			ASTypes: []model.ASType{model.ASEnterprise, model.ASEducation, model.ASAccess}},
+		{Name: "Pr-B-nV;Pb-B", Count: 37, PublicMin: 1, PublicMax: 2, PhysMin: 1, PhysMax: 1, BGPVisible: true, BigTransit: true,
+			ASTypes: []model.ASType{model.ASTier1, model.ASTier2}},
+		// Connectivity-partner transits provision one VPI port per brought
+		// customer, so their VPI counts run high (§7.3's Pr-B-V analysis).
+		{Name: "Pr-B-V;Pr-B-nV;Pb-B", Count: 31, PublicMin: 1, PublicMax: 2, PhysMin: 1, PhysMax: 1, VPIMin: 25, VPIMax: 75, MultiCloudVPI: true, BGPVisible: true, BigTransit: true,
+			ASTypes: []model.ASType{model.ASTier1, model.ASTier2}},
+		{Name: "Pr-B-nV", Count: 24, PhysMin: 1, PhysMax: 1, BGPVisible: true, BigTransit: true,
+			ASTypes: []model.ASType{model.ASTier1, model.ASTier2}},
+		{Name: "Pr-B-V;Pr-B-nV", Count: 16, PhysMin: 1, PhysMax: 1, VPIMin: 20, VPIMax: 55, MultiCloudVPI: true, BGPVisible: true, BigTransit: true,
+			ASTypes: []model.ASType{model.ASTier2, model.ASTier1}},
+	}
+}
+
+// DefaultConfig returns the paper-comparable configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:  1,
+		Scale: 1.0,
+
+		NumTier1:      15,
+		NumTier2:      120, // beyond those created by peer profiles
+		NumAccess:     500,
+		NumContent:    150,
+		NumEnterprise: 400,
+		NumEducation:  60,
+		NumStubs:      1200,
+
+		FacilitiesPerMetroMin: 1,
+		FacilitiesPerMetroMax: 4,
+		// 59 beyond the 15 region metros: 74 total, the paper's count of
+		// metro areas where Amazon is present.
+		AmazonNativeMetros: 59,
+		IXPFraction:        0.85,
+		MultiMetroIXPs:     3,
+
+		AmazonAllocatedSubnetProb: 0.05,
+		RemoteVPIProb:             0.45,
+		RemotePrivateProb:         0.30,
+		SingleCloudVPIFraction:    0.35,
+
+		RouterRespProbMin:    0.80,
+		RouterRespProbMax:    0.99,
+		EnterpriseFilterProb: 0.45,
+		HostRespProb:         0.12,
+
+		IPIDSharedFrac:   0.35,
+		IPIDPerIfaceFrac: 0.30,
+		IPIDRandomFrac:   0.20,
+
+		CollectorFeeds: 25,
+	}
+}
+
+// SmallConfig returns a configuration sized for unit tests: the same
+// structure at roughly 1/25 of the paper scale.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.04
+	cfg.AmazonNativeMetros = 25
+	return cfg
+}
+
+// MediumConfig sits between the test and paper scales; benchmarks use it.
+func MediumConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.2
+	cfg.AmazonNativeMetros = 40
+	return cfg
+}
+
+// scaled applies Scale to a count, keeping at least min.
+func scaled(n int, scale float64, min int) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < min {
+		return min
+	}
+	return v
+}

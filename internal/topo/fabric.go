@@ -1,0 +1,136 @@
+package topo
+
+import (
+	"cloudmap/internal/geo"
+	"cloudmap/internal/model"
+)
+
+// Latency constants for intra-facility and intra-metro hops (milliseconds,
+// round trip). Everything longer is computed from metro distances.
+const (
+	rttIntraFacility = 0.08
+	rttIntraMetro    = 0.25
+	rttEdgeToCore    = 0.30
+)
+
+// buildClientFabric creates each non-cloud AS's internal routers: one edge
+// and one core router per metro, connected by client-owned /31s, with the
+// home metro acting as the hub for inter-metro links.
+//
+// The edge/core split matters for inference realism: a traceroute entering an
+// AS crosses the edge router (whose incoming interface is the CBI) and then
+// the core router (a client-addressed hop), so when Amazon supplied the
+// interconnect /31 the naive border walk of §4.1 lands one segment too deep —
+// exactly the Fig. 2 ambiguity the verification stage must repair.
+func (b *builder) buildClientFabric() {
+	for i := range b.t.ASes {
+		as := &b.t.ASes[i]
+		if as.Type == model.ASCloud {
+			continue
+		}
+		as.EdgeByMetro = make(map[geo.MetroID]model.RouterID, len(as.Metros))
+		for mi, metro := range as.Metros {
+			fac := as.Facilities[mi]
+			edge := b.newRouter(as.Index, fac, metro, model.RoleBorder)
+			core := b.newRouter(as.Index, model.NoFacility, metro, model.RoleInternal)
+			as.EdgeByMetro[metro] = edge
+			as.CoreByMetro[metro] = core
+
+			// Loopbacks: the stable, client-owned addresses used for DNS
+			// names, alias resolution, and occasional third-party replies.
+			lb := b.asInfraAlloc(as.Index, 32)
+			b.newIface(core, lb.Addr, model.IfLoopback, as.Index)
+			elb := b.asInfraAlloc(as.Index, 32)
+			b.newIface(edge, elb.Addr, model.IfLoopback, as.Index)
+
+			// Edge->core subnet: the core's incoming interface on inbound
+			// paths.
+			sub := b.asInfraAlloc(as.Index, 31)
+			b.newIface(edge, sub.Addr, model.IfInternal, as.Index)
+			b.newIface(core, sub.Addr+1, model.IfInternal, as.Index)
+		}
+		// Inter-metro star: home core to every other metro's core.
+		home := as.HomeMetro
+		for _, metro := range as.Metros {
+			if metro == home {
+				continue
+			}
+			sub := b.asInfraAlloc(as.Index, 31)
+			b.newIface(as.CoreByMetro[home], sub.Addr, model.IfInternal, as.Index)
+			b.newIface(as.CoreByMetro[metro], sub.Addr+1, model.IfInternal, as.Index)
+		}
+	}
+
+	// Realise every AS-relationship edge as a router-level link so that
+	// traceroute paths beyond the cloud border cross plausible hops with
+	// real addresses.
+	for i := range b.t.ASes {
+		as := &b.t.ASes[i]
+		if as.Type == model.ASCloud {
+			continue
+		}
+		for _, prov := range as.Providers {
+			if b.t.ASes[prov].Type == model.ASCloud {
+				continue
+			}
+			b.realiseRelLink(prov, as.Index, false)
+		}
+		for _, peer := range as.Peers {
+			if peer < as.Index || b.t.ASes[peer].Type == model.ASCloud {
+				continue // one realisation per pair
+			}
+			b.realiseRelLink(as.Index, peer, true)
+		}
+	}
+	b.t.ExternalVP = b.externalVP
+	b.t.HostRespProb = b.cfg.HostRespProb
+}
+
+// realiseRelLink creates the router-level link for the AS edge a-b, where a
+// is the provider (or the lower-index peer). The provider allocates the
+// interconnection subnet, so b's incoming interface carries an a-owned
+// address — the mid-path address sharing noted in §4.1 (footnote 6).
+func (b *builder) realiseRelLink(a, bi model.ASIndex, isPeer bool) {
+	if _, exists := b.t.RelLinkBetween(a, bi); exists {
+		return
+	}
+	asA, asB := &b.t.ASes[a], &b.t.ASes[bi]
+
+	// Site the link: a metro both networks are present in, else the
+	// provider's metro closest to the customer's home (the customer
+	// backhauls to it).
+	metro := geo.None
+	for _, ma := range asA.Metros {
+		for _, mb := range asB.Metros {
+			if ma == mb {
+				metro = ma
+				break
+			}
+		}
+		if metro != geo.None {
+			break
+		}
+	}
+	rtt := rttIntraMetro
+	aMetro, bMetro := metro, metro
+	if metro == geo.None {
+		aMetro = b.world.ClosestMetro(asB.HomeMetro, asA.Metros)
+		bMetro = asB.HomeMetro
+		rtt = b.world.PropagationRTTms(aMetro, bMetro) + rttIntraMetro
+	}
+
+	aRouter := asA.CoreByMetro[aMetro]
+	bRouter := asB.EdgeByMetro[bMetro]
+	sub := b.asInfraAlloc(a, 31)
+	aIface := b.newIface(aRouter, sub.Addr, model.IfInterconnect, a)
+	bIface := b.newIface(bRouter, sub.Addr+1, model.IfInterconnect, a)
+
+	idx := int32(len(b.t.RelLinks))
+	b.t.RelLinks = append(b.t.RelLinks, model.RelLink{
+		A: a, B: bi,
+		ARouter: aRouter, BRouter: bRouter,
+		AIface: aIface, BIface: bIface,
+		RTTms: rtt, IsPeerLink: isPeer,
+	})
+	b.t.RegisterRelLink(idx)
+}

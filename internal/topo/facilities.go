@@ -1,0 +1,106 @@
+package topo
+
+import (
+	"fmt"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/model"
+	"cloudmap/internal/rng"
+)
+
+// buildFacilities creates colocation facilities in every metro, decides where
+// IXPs and cloud exchanges operate, and picks the metros where Amazon is
+// native. Facility names follow the colo-provider style ("Equinix IAD2");
+// provider names are fictional.
+func (b *builder) buildFacilities() {
+	providers := []string{"Coloco", "Interlink", "DataVault", "MetroEdge", "NorthPoint"}
+	for _, m := range b.world.Metros {
+		n := b.r.IntRange(b.cfg.FacilitiesPerMetroMin, b.cfg.FacilitiesPerMetroMax)
+		for i := 0; i < n; i++ {
+			id := model.FacilityID(len(b.t.Facilities))
+			b.t.Facilities = append(b.t.Facilities, model.Facility{
+				ID:    id,
+				Name:  fmt.Sprintf("%s %s%d", rng.Pick(b.r, providers), upper(m.Code), i+1),
+				Metro: m.ID,
+				IXP:   model.NoIXP,
+			})
+			b.facByMetro[m.ID] = append(b.facByMetro[m.ID], id)
+		}
+	}
+
+	// IXPs: at most one per metro (plus a few multi-metro ones), hosted in
+	// the metro's first facility.
+	var ixpMetros []geo.MetroID
+	for _, m := range b.world.Metros {
+		if b.r.Bool(b.cfg.IXPFraction) {
+			ixpMetros = append(ixpMetros, m.ID)
+		}
+	}
+	for i, metro := range ixpMetros {
+		id := model.IXPID(len(b.t.IXPs))
+		fac := b.facByMetro[metro][0]
+		ixp := model.IXP{
+			ID:         id,
+			Name:       fmt.Sprintf("%s-IX", upper(b.world.Metro(metro).Code)),
+			Metros:     []geo.MetroID{metro},
+			Prefix:     b.ixpPool.MustAlloc(22),
+			Facilities: []model.FacilityID{fac},
+		}
+		// A few IXPs span multiple metros; the paper excludes them from
+		// anchor generation because their LAN cannot be pinned to one metro.
+		if i < b.cfg.MultiMetroIXPs && i+1 < len(ixpMetros) {
+			other := ixpMetros[(i+7)%len(ixpMetros)]
+			if other != metro {
+				ixp.Metros = append(ixp.Metros, other)
+				ixp.Facilities = append(ixp.Facilities, b.facByMetro[other][0])
+			}
+		}
+		b.t.IXPs = append(b.t.IXPs, ixp)
+		for _, f := range ixp.Facilities {
+			b.t.Facilities[f].IXP = id
+		}
+	}
+}
+
+// amazonMetroPlan selects the metros where Amazon is native: all 15 region
+// metros plus AmazonNativeMetros more, preferring metros that host IXPs.
+func (b *builder) amazonMetroPlan() []geo.MetroID {
+	selected := map[geo.MetroID]bool{}
+	var out []geo.MetroID
+	for _, r := range b.amazonRegion {
+		if !selected[r.Metro] {
+			selected[r.Metro] = true
+			out = append(out, r.Metro)
+		}
+	}
+	// Prefer IXP metros for the expansion beyond region metros.
+	var candidates []geo.MetroID
+	for _, m := range b.world.Metros {
+		if !selected[m.ID] {
+			candidates = append(candidates, m.ID)
+		}
+	}
+	// Stable order, then shuffle deterministically.
+	b.r.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	want := b.cfg.AmazonNativeMetros
+	for _, m := range candidates {
+		if len(out)-15 >= want {
+			break
+		}
+		selected[m] = true
+		out = append(out, m)
+	}
+	return out
+}
+
+func upper(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}

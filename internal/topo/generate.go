@@ -1,0 +1,260 @@
+package topo
+
+import (
+	"fmt"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/model"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/rng"
+)
+
+// Address plan. The simulator owns the whole IPv4 space, so superblocks are
+// chosen to resemble reality (cloud blocks, an RIR-style client pool, an IXP
+// LAN pool) while staying disjoint by construction.
+var (
+	amazonServiceBlock = netblock.MustParsePrefix("52.0.0.0/11")
+	amazonService2     = netblock.MustParsePrefix("54.0.0.0/12")
+	// amazonInfraBGP holds backbone interfaces that ARE announced in BGP;
+	// amazonInfraWhois holds the Direct-Connect interconnect pool and the
+	// rest of the backbone, which is allocated to Amazon in WHOIS but never
+	// announced (this drives Table 1's BGP%/WHOIS% split for ABIs).
+	amazonInfraBGP   = netblock.MustParsePrefix("176.32.0.0/15")
+	amazonInfraWhois = netblock.MustParsePrefix("52.92.0.0/14")
+
+	cloudBlocks = map[string][2]netblock.Prefix{
+		"microsoft": {netblock.MustParsePrefix("13.64.0.0/11"), netblock.MustParsePrefix("104.40.0.0/14")},
+		"google":    {netblock.MustParsePrefix("35.192.0.0/12"), netblock.MustParsePrefix("108.170.0.0/16")},
+		"ibm":       {netblock.MustParsePrefix("169.44.0.0/14"), netblock.MustParsePrefix("169.60.0.0/16")},
+		"oracle":    {netblock.MustParsePrefix("129.144.0.0/12"), netblock.MustParsePrefix("138.1.0.0/16")},
+	}
+
+	ixpBlock           = netblock.MustParsePrefix("185.0.0.0/10")
+	clientServiceBlock = netblock.MustParsePrefix("64.0.0.0/3")
+	clientInfraBlock   = netblock.MustParsePrefix("96.0.0.0/6")
+)
+
+// builder carries generation state.
+type builder struct {
+	cfg   Config
+	world *geo.World
+	r     *rng.Rand
+	t     *model.Topology
+
+	svcPool      *netblock.Pool // client service space
+	infraPool    *netblock.Pool // client infrastructure space
+	ixpPool      *netblock.Pool
+	nextASN      model.ASN
+	orgByName    map[string]model.OrgIndex
+	amazonRegion []geo.Region
+
+	// cloud pools
+	cloudSvcPool   map[model.CloudID]*netblock.Pool
+	cloudInfraPool map[model.CloudID]*netblock.Pool
+	// amazonWhoisPool is the unannounced Amazon pool (DX interconnects and
+	// most backbone interfaces).
+	amazonWhoisPool *netblock.Pool
+
+	// per-AS scratch
+	peerSpecs []peerSpec
+
+	// facilities by metro for quick lookup
+	facByMetro map[geo.MetroID][]model.FacilityID
+	// amazonNative facilities (subset of all facilities)
+	amazonNative []model.FacilityID
+
+	// externalVP is the access AS hosting the public-Internet vantage point
+	// used by the reachability heuristic (the "University of Oregon" node).
+	externalVP model.ASIndex
+
+	// infraCur holds per-AS infrastructure allocators.
+	infraCur map[model.ASIndex]*netblock.Pool
+
+	// ps holds lazily created interconnection plumbing.
+	ps *peeringState
+
+	// nativeByCloud lists the facilities where each cloud is native.
+	nativeByCloud map[model.CloudID][]model.FacilityID
+}
+
+// peerSpec records the peering plan drawn for one Amazon peer AS before the
+// AS itself exists.
+type peerSpec struct {
+	profile  int // index into cfg.PeerProfiles
+	as       model.ASIndex
+	nPublic  int
+	nPhys    int
+	nVPI     int
+	heavy    bool // drawn into the heavy tail
+	multiVPI bool
+}
+
+// Generate builds a topology from the configuration.
+func Generate(cfg Config) (*model.Topology, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("topo: non-positive scale %v", cfg.Scale)
+	}
+	if cfg.PeerProfiles == nil {
+		cfg.PeerProfiles = builtinProfiles()
+	}
+	world := geo.NewWorld()
+	b := &builder{
+		cfg:            cfg,
+		world:          world,
+		r:              rng.New(cfg.Seed),
+		amazonRegion:   geo.AmazonRegions(world),
+		orgByName:      make(map[string]model.OrgIndex),
+		facByMetro:     make(map[geo.MetroID][]model.FacilityID),
+		svcPool:        netblock.NewPool(clientServiceBlock),
+		infraPool:      netblock.NewPool(clientInfraBlock),
+		ixpPool:        netblock.NewPool(ixpBlock),
+		cloudSvcPool:   make(map[model.CloudID]*netblock.Pool),
+		cloudInfraPool: make(map[model.CloudID]*netblock.Pool),
+		nextASN:        100,
+		t: &model.Topology{
+			World:       world,
+			Seed:        cfg.Seed,
+			Ownership:   netblock.NewTrie(),
+			IfaceByAddr: make(map[netblock.IP]model.IfaceID),
+		},
+	}
+
+	b.buildFacilities()
+	b.buildClouds()
+	b.buildASPopulation()
+	b.buildRelationships()
+	b.buildClientFabric()
+	b.buildAmazonPeerings()
+	b.buildOtherCloudPeerings()
+	b.buildIXPMembership()
+	b.assignCollectors()
+
+	if err := b.t.Validate(); err != nil {
+		return nil, fmt.Errorf("topo: generated topology invalid: %w", err)
+	}
+	return b.t, nil
+}
+
+// --- low-level entity constructors -------------------------------------
+
+func (b *builder) org(name string) model.OrgIndex {
+	if idx, ok := b.orgByName[name]; ok {
+		return idx
+	}
+	idx := model.OrgIndex(len(b.t.Orgs))
+	b.t.Orgs = append(b.t.Orgs, model.Org{Index: idx, Name: name})
+	b.orgByName[name] = idx
+	return idx
+}
+
+func (b *builder) newAS(name string, orgName string, typ model.ASType, asn model.ASN) *model.AS {
+	if asn == 0 {
+		asn = b.nextASN
+		b.nextASN++
+	}
+	org := b.org(orgName)
+	idx := model.ASIndex(len(b.t.ASes))
+	b.t.ASes = append(b.t.ASes, model.AS{
+		Index:       idx,
+		ASN:         asn,
+		Name:        name,
+		Org:         org,
+		Type:        typ,
+		CoreByMetro: make(map[geo.MetroID]model.RouterID),
+		RespProb:    b.r.Range(b.cfg.RouterRespProbMin, b.cfg.RouterRespProbMax),
+	})
+	b.t.Orgs[org].ASes = append(b.t.Orgs[org].ASes, idx)
+	return &b.t.ASes[idx]
+}
+
+func (b *builder) newRouter(as model.ASIndex, fac model.FacilityID, metro geo.MetroID, role model.RouterRole) model.RouterID {
+	id := model.RouterID(len(b.t.Routers))
+	mode := b.drawIPIDMode()
+	b.t.Routers = append(b.t.Routers, model.Router{
+		ID: id, AS: as, Facility: fac, Metro: metro, Role: role,
+		IPID:     mode,
+		IPIDRate: b.r.Range(20, 600), // background packets/sec feeding the counter
+		IPIDBase: uint32(b.r.Uint64() & 0xffff),
+	})
+	b.t.ASes[as].Routers = append(b.t.ASes[as].Routers, id)
+	return id
+}
+
+func (b *builder) drawIPIDMode() model.IPIDMode {
+	x := b.r.Float64()
+	switch {
+	case x < b.cfg.IPIDSharedFrac:
+		return model.IPIDShared
+	case x < b.cfg.IPIDSharedFrac+b.cfg.IPIDPerIfaceFrac:
+		return model.IPIDPerInterface
+	case x < b.cfg.IPIDSharedFrac+b.cfg.IPIDPerIfaceFrac+b.cfg.IPIDRandomFrac:
+		return model.IPIDRandom
+	default:
+		return model.IPIDZero
+	}
+}
+
+// newIface attaches an interface to a router. Public addresses are indexed.
+func (b *builder) newIface(router model.RouterID, addr netblock.IP, kind model.IfaceKind, subnetOwner model.ASIndex) model.IfaceID {
+	id := model.IfaceID(len(b.t.Ifaces))
+	b.t.Ifaces = append(b.t.Ifaces, model.Iface{
+		ID: id, Addr: addr, Router: router, Kind: kind, SubnetOwner: subnetOwner,
+	})
+	b.t.Routers[router].Ifaces = append(b.t.Routers[router].Ifaces, id)
+	if addr != netblock.Zero && !addr.IsPrivate() && !addr.IsShared() {
+		if prev, dup := b.t.IfaceByAddr[addr]; dup {
+			panic(fmt.Sprintf("topo: duplicate public address %v (ifaces %d, %d)", addr, prev, id))
+		}
+		b.t.IfaceByAddr[addr] = id
+	}
+	return id
+}
+
+// own records prefix delegation in the RIR table.
+func (b *builder) own(p netblock.Prefix, as model.ASIndex) {
+	b.t.Ownership.Insert(p, int32(as))
+}
+
+// allocService carves service space for an AS and records ownership.
+func (b *builder) allocService(as *model.AS, bits uint8) netblock.Prefix {
+	p := b.svcPool.MustAlloc(bits)
+	as.ServicePrefixes = append(as.ServicePrefixes, p)
+	b.own(p, as.Index)
+	return p
+}
+
+// allocInfra carves infrastructure space for an AS and records ownership.
+func (b *builder) allocInfra(as *model.AS, bits uint8) netblock.Prefix {
+	p := b.infraPool.MustAlloc(bits)
+	as.InfraPrefixes = append(as.InfraPrefixes, p)
+	b.own(p, as.Index)
+	return p
+}
+
+// asInfraAlloc carves a subnet from the AS's infrastructure space, growing
+// it with an extra prefix when the current one is exhausted (large transit
+// networks hold hundreds of interconnection subnets).
+func (b *builder) asInfraAlloc(as model.ASIndex, bits uint8) netblock.Prefix {
+	if b.infraCur == nil {
+		b.infraCur = make(map[model.ASIndex]*netblock.Pool)
+	}
+	pool, ok := b.infraCur[as]
+	if !ok {
+		a := &b.t.ASes[as]
+		if len(a.InfraPrefixes) == 0 {
+			b.allocInfra(a, 24)
+		}
+		pool = netblock.NewPool(a.InfraPrefixes[0])
+		b.infraCur[as] = pool
+	}
+	p, err := pool.Alloc(bits)
+	if err == nil {
+		return p
+	}
+	// Grow: delegate another infra prefix to the AS.
+	a := &b.t.ASes[as]
+	grown := b.allocInfra(a, 22)
+	pool = netblock.NewPool(grown)
+	b.infraCur[as] = pool
+	return pool.MustAlloc(bits)
+}

@@ -1,0 +1,679 @@
+package topo
+
+import (
+	"cloudmap/internal/geo"
+	"cloudmap/internal/model"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/rng"
+)
+
+type ixpMemberKey struct {
+	ixp model.IXPID
+	as  model.ASIndex
+}
+
+type portKey struct {
+	as  model.ASIndex
+	fac model.FacilityID
+}
+
+type transitKey struct {
+	as    model.ASIndex
+	fac   model.FacilityID
+	cloud model.CloudID
+}
+
+// peeringState holds lazily created interconnection plumbing.
+type peeringState struct {
+	amazonIXPIface map[model.IXPID][]model.IfaceID
+	memberIface    map[ixpMemberKey]model.IfaceID
+	ixpNextHost    map[model.IXPID]netblock.IP
+	exchangePort   map[portKey]model.IfaceID
+	// transitBorder caches dedicated big-transit border routers per
+	// (AS, facility, cloud).
+	transitBorder map[transitKey]model.RouterID
+	// dxgw holds per-border-router virtual-gateway interfaces for VPIs.
+	dxgw       map[model.RouterID][]model.IfaceID
+	amazonIXPs []model.IXPID // IXPs at Amazon-native facilities
+}
+
+func (b *builder) peeringState() *peeringState {
+	if b.ps != nil {
+		return b.ps
+	}
+	ps := &peeringState{
+		amazonIXPIface: make(map[model.IXPID][]model.IfaceID),
+		memberIface:    make(map[ixpMemberKey]model.IfaceID),
+		ixpNextHost:    make(map[model.IXPID]netblock.IP),
+		exchangePort:   make(map[portKey]model.IfaceID),
+		transitBorder:  make(map[transitKey]model.RouterID),
+	}
+	seen := map[model.IXPID]bool{}
+	for _, fac := range b.amazonNative {
+		ixp := b.t.Facilities[fac].IXP
+		if ixp != model.NoIXP && !seen[ixp] {
+			seen[ixp] = true
+			ps.amazonIXPs = append(ps.amazonIXPs, ixp)
+		}
+	}
+	b.ps = ps
+	return ps
+}
+
+// buildAmazonPeerings materialises the peering plan drawn in
+// buildASPopulation: for each peer AS, its public, private-physical, and VPI
+// interconnections with Amazon.
+func (b *builder) buildAmazonPeerings() {
+	amazon := b.t.Amazon()
+	for _, spec := range b.peerSpecs {
+		prof := b.cfg.PeerProfiles[spec.profile]
+
+		nPhys := spec.nPhys
+		if prof.BigTransit {
+			// Very large transit networks interconnect at many facilities
+			// (the paper's Pr-B group averages ~65 CBIs per AS).
+			nPhys = b.r.IntRange(8, 20)
+		}
+
+		// Some ground-truth VPIs serve a single cloud; the overlap method
+		// of §7.1 cannot see them, so they surface as Pr-nB-nV with
+		// Direct-Connect DNS names (§7.3). They are drawn out of the
+		// physical quota to keep per-AS interconnection counts stable.
+		nSingleVPI := 0
+		if !spec.multiVPI {
+			for i := 0; i < nPhys; i++ {
+				if b.r.Bool(b.cfg.SingleCloudVPIFraction) {
+					nSingleVPI++
+				}
+			}
+			nPhys -= nSingleVPI
+		}
+
+		usedFacs := map[model.FacilityID]bool{}
+		for i := 0; i < spec.nPublic; i++ {
+			b.addPublicPeering(amazon, spec.as)
+		}
+		for i := 0; i < nPhys; i++ {
+			b.addPrivatePeering(amazon, spec.as, prof.BigTransit, usedFacs)
+		}
+		for i := 0; i < spec.nVPI+nSingleVPI; i++ {
+			port := b.addVPIPeering(amazon, spec.as)
+			if spec.multiVPI && i < spec.nVPI {
+				b.addForeignVPIs(spec.as, port)
+			}
+		}
+	}
+}
+
+// addPublicPeering connects the peer to Amazon over an IXP LAN.
+func (b *builder) addPublicPeering(cloud *model.Cloud, peer model.ASIndex) {
+	ps := b.peeringState()
+	if len(ps.amazonIXPs) == 0 {
+		return
+	}
+	as := &b.t.ASes[peer]
+	// Networks overwhelmingly peer at their local exchange; remote public
+	// peering through layer-2 resellers is the exception.
+	ixps := make([]model.IXPID, len(ps.amazonIXPs))
+	copy(ixps, ps.amazonIXPs)
+	var ixp model.IXPID
+	if b.r.Bool(0.8) {
+		best, bestD := ixps[0], -1.0
+		for _, id := range ixps {
+			d := b.world.DistanceKm(as.HomeMetro, b.t.IXPs[id].Metros[0])
+			if bestD < 0 || d < bestD {
+				best, bestD = id, d
+			}
+		}
+		ixp = best
+	} else {
+		weights := make([]float64, len(ixps))
+		for i, id := range ixps {
+			d := b.world.DistanceKm(as.HomeMetro, b.t.IXPs[id].Metros[0])
+			weights[i] = 1.0 / (1.0 + d/200.0)
+		}
+		ixp = ixps[b.r.WeightedPick(weights)]
+	}
+	facility := b.amazonNativeFacilityWithIXP(ixp)
+	if facility == model.NoFacility {
+		return
+	}
+	facMetro := b.t.Facilities[facility].Metro
+
+	// Client side: the member's router. Members without presence in the
+	// IXP metro peer remotely through a layer-2 reseller (the ~1.5k remote
+	// IXP interfaces of §6.1).
+	clientMetro, remote := b.clientAttachment(as, facMetro)
+	clientRouter := as.EdgeByMetro[clientMetro]
+
+	memberIface := b.ixpMemberIface(ixp, peer, clientRouter)
+	amazonIfaces := b.amazonIXPIfacesAt(cloud, ixp, facility)
+
+	rtt := rttIntraFacility
+	if remote {
+		rtt = b.world.PropagationRTTms(facMetro, clientMetro) + b.r.Range(0.5, 2.0)
+	}
+	pid := model.PeeringID(len(b.t.Peerings))
+	b.t.Peerings = append(b.t.Peerings, model.Peering{
+		ID: pid, Cloud: cloud.ID, Peer: peer, Kind: model.PeeringPublicIXP,
+		Facility: facility, RegionIdx: b.amazonRegionForMetro(facMetro),
+		Remote: remote, RouterMetro: clientMetro,
+	})
+	// Amazon holds several ports on the exchange LAN (on different border
+	// routers); the member's single LAN interface exchanges traffic with
+	// all of them, which is why public CBIs show the highest ABI degrees
+	// in Fig. 7.
+	for _, amazonIface := range amazonIfaces {
+		b.addLink(pid, b.t.Ifaces[amazonIface].Router, clientRouter, amazonIface, memberIface, rtt)
+	}
+}
+
+// addPrivatePeering creates a cross-connect peering at an Amazon-native
+// facility, with 1-4 parallel links (LAG/ECMP bundles).
+func (b *builder) addPrivatePeering(cloud *model.Cloud, peer model.ASIndex, bigTransit bool, used map[model.FacilityID]bool) {
+	as := &b.t.ASes[peer]
+	facility := b.pickCloudFacility(cloud, as.HomeMetro, used)
+	if facility == model.NoFacility {
+		return
+	}
+	used[facility] = true
+	facMetro := b.t.Facilities[facility].Metro
+
+	var clientRouter model.RouterID
+	var remote bool
+	clientMetro := facMetro
+	if bigTransit {
+		clientRouter = b.transitBorderRouter(peer, facility, cloud.ID)
+	} else {
+		clientMetro, remote = b.clientAttachment(as, facMetro)
+		if !remote && b.r.Bool(b.cfg.RemotePrivateProb) {
+			remote = true
+			clientMetro = as.HomeMetro
+		}
+		clientRouter = as.EdgeByMetro[clientMetro]
+	}
+
+	nLinks := b.r.IntRange(1, 3)
+	if bigTransit {
+		nLinks = b.r.IntRange(2, 5)
+	}
+	pid := model.PeeringID(len(b.t.Peerings))
+	b.t.Peerings = append(b.t.Peerings, model.Peering{
+		ID: pid, Cloud: cloud.ID, Peer: peer, Kind: model.PeeringPrivatePhysical,
+		Facility: facility, RegionIdx: b.cloudRegionForMetro(cloud, facMetro),
+		Remote: remote, RouterMetro: clientMetro,
+	})
+	amazonRouter := b.pickBorderRouter(cloud, facility)
+	for l := 0; l < nLinks; l++ {
+		rtt := rttIntraFacility
+		if remote {
+			rtt = b.world.PropagationRTTms(facMetro, clientMetro) + b.r.Range(0.5, 2.0)
+		}
+		// Address sharing (§4.1/Fig. 2): occasionally Amazon supplies the
+		// /31, putting an Amazon-owned address on the client's router.
+		var sub netblock.Prefix
+		owner := peer
+		if cloud.Name == "amazon" && b.r.Bool(b.cfg.AmazonAllocatedSubnetProb) {
+			sub = b.amazonWhoisPool.MustAlloc(31)
+			owner = cloud.ASes[1]
+		} else {
+			sub = b.asInfraAlloc(peer, 31)
+		}
+		cIface := b.newIface(amazonRouter, sub.Addr, model.IfInterconnect, owner)
+		pIface := b.newIface(clientRouter, sub.Addr+1, model.IfInterconnect, owner)
+		b.addLink(pid, amazonRouter, clientRouter, cIface, pIface, rtt)
+
+		// Remote cross-connects ride dual-homed layer-2 partner circuits:
+		// the same client interface can reach a second Amazon facility.
+		if remote && !bigTransit && b.r.Bool(0.8) {
+			if second := b.secondaryFacility(facility, true); second != model.NoFacility {
+				secMetro := b.t.Facilities[second].Metro
+				rtt2 := b.world.PropagationRTTms(secMetro, clientMetro) + b.r.Range(0.5, 2.0)
+				sub2 := b.asInfraAlloc(peer, 31)
+				owner2 := peer
+				if cloud.Name == "amazon" && b.r.Bool(b.cfg.AmazonAllocatedSubnetProb) {
+					sub2 = b.amazonWhoisPool.MustAlloc(31)
+					owner2 = cloud.ASes[1]
+				}
+				router2 := b.pickBorderRouter(cloud, second)
+				cIface2 := b.newIface(router2, sub2.Addr, model.IfInterconnect, owner2)
+				b.addLink(pid, router2, clientRouter, cIface2, pIface, rtt2)
+			}
+		}
+	}
+}
+
+// addVPIPeering creates a virtual private interconnection over a cloud
+// exchange. It returns the client's exchange-port interface, which is shared
+// across every cloud the client reaches through that port (§7.1).
+func (b *builder) addVPIPeering(cloud *model.Cloud, peer model.ASIndex) model.IfaceID {
+	as := &b.t.ASes[peer]
+	facility := b.pickAmazonFacility(as.HomeMetro, nil)
+	facMetro := b.t.Facilities[facility].Metro
+
+	remote := b.r.Bool(b.cfg.RemoteVPIProb)
+	clientMetro := facMetro
+	if _, present := as.EdgeByMetro[facMetro]; !present {
+		remote = true
+	}
+	if remote {
+		clientMetro = b.world.ClosestMetro(facMetro, as.Metros)
+	}
+	clientRouter := as.EdgeByMetro[clientMetro]
+
+	port := b.exchangePortIface(peer, facility, clientRouter)
+	amazonRouter := b.pickBorderRouter(cloud, facility)
+	cIface := b.dxGatewayIface(cloud, amazonRouter)
+
+	rtt := rttIntraFacility
+	if remote {
+		rtt = b.world.PropagationRTTms(facMetro, clientMetro) + b.r.Range(1.0, 3.0)
+	}
+	pid := model.PeeringID(len(b.t.Peerings))
+	b.t.Peerings = append(b.t.Peerings, model.Peering{
+		ID: pid, Cloud: cloud.ID, Peer: peer, Kind: model.PeeringVPI,
+		Facility: facility, RegionIdx: b.amazonRegionForMetro(facMetro),
+		Remote: remote, RouterMetro: clientMetro, SharedPort: true,
+	})
+	b.addLink(pid, amazonRouter, clientRouter, cIface, port, rtt)
+
+	// Cloud-exchange fabrics span a metro, and layer-2 partner circuits are
+	// dual-homed: the same client port often reaches Amazon routers at a
+	// second facility (remote circuits: possibly in a different metro).
+	// These multi-homed ports are what stitch the §7.4 connectivity graph
+	// across facilities and regions.
+	if second := b.secondaryFacility(facility, remote); second != model.NoFacility && b.r.Bool(0.8) {
+		secMetro := b.t.Facilities[second].Metro
+		rtt2 := rttIntraMetro
+		if secMetro != clientMetro {
+			rtt2 = b.world.PropagationRTTms(secMetro, clientMetro) + b.r.Range(1.0, 3.0)
+		}
+		router2 := b.pickBorderRouter(cloud, second)
+		cIface2 := b.dxGatewayIface(cloud, router2)
+		b.addLink(pid, router2, clientRouter, cIface2, port, rtt2)
+	}
+	return port
+}
+
+// dxGatewayIface returns a virtual-gateway interface on the border router
+// for a VPI VLAN. Gateways are shared by a few customers each (about half
+// the draws reuse an existing one), so some appear single-organisation in
+// traceroutes — the paper's unmatched ABIs — while others serve several
+// clients.
+func (b *builder) dxGatewayIface(cloud *model.Cloud, router model.RouterID) model.IfaceID {
+	ps := b.peeringState()
+	existing := ps.dxgw[router]
+	if len(existing) > 0 && b.r.Bool(0.5) {
+		return rng.Pick(b.r, existing)
+	}
+	var addr netblock.IP
+	owner := cloud.ASes[0]
+	if cloud.Name == "amazon" && !b.r.Bool(0.45) {
+		// Most — not all — of the Direct Connect gateway space sits in the
+		// unannounced pool; some ranges are announced (Table 1's ABI
+		// BGP%/WHOIS% mix).
+		addr = b.amazonWhoisPool.MustAlloc(31).Addr
+		owner = cloud.ASes[1]
+	} else {
+		addr = b.cloudInfraPool[cloud.ID].MustAlloc(31).Addr
+	}
+	ifc := b.newIface(router, addr, model.IfInterconnect, owner)
+	if ps.dxgw == nil {
+		ps.dxgw = make(map[model.RouterID][]model.IfaceID)
+	}
+	ps.dxgw[router] = append(ps.dxgw[router], ifc)
+	return ifc
+}
+
+// secondaryFacility picks another Amazon-native facility for a dual-homed
+// exchange port: within the same metro for local ports, within reach of the
+// layer-2 partner (possibly another metro) for remote ones.
+func (b *builder) secondaryFacility(primary model.FacilityID, remote bool) model.FacilityID {
+	primMetro := b.t.Facilities[primary].Metro
+	var sameMetro, otherMetro []model.FacilityID
+	for _, fac := range b.amazonNative {
+		if fac == primary {
+			continue
+		}
+		if b.t.Facilities[fac].Metro == primMetro {
+			sameMetro = append(sameMetro, fac)
+		} else {
+			otherMetro = append(otherMetro, fac)
+		}
+	}
+	if !remote {
+		if len(sameMetro) == 0 {
+			return model.NoFacility
+		}
+		return rng.Pick(b.r, sameMetro)
+	}
+	// Remote circuits: prefer a different metro (that is what makes the
+	// peering remote in the first place), choosing the closest one.
+	if len(otherMetro) > 0 {
+		best := otherMetro[0]
+		bestD := b.world.DistanceKm(primMetro, b.t.Facilities[best].Metro)
+		for _, fac := range otherMetro[1:] {
+			d := b.world.DistanceKm(primMetro, b.t.Facilities[fac].Metro)
+			if d < bestD {
+				best, bestD = fac, d
+			}
+		}
+		return best
+	}
+	if len(sameMetro) > 0 {
+		return rng.Pick(b.r, sameMetro)
+	}
+	return model.NoFacility
+}
+
+// addForeignVPIs provisions VPIs from the same exchange port to other
+// clouds, with a mix calibrated to Table 4: almost all multi-cloud VPI users
+// include Microsoft, a fifth include Google, a few IBM, and none Oracle.
+func (b *builder) addForeignVPIs(peer model.ASIndex, port model.IfaceID) {
+	type draw struct {
+		name string
+		p    float64
+	}
+	draws := []draw{{"microsoft", 0.93}, {"google", 0.17}, {"ibm", 0.04}}
+	connected := false
+	for _, d := range draws {
+		if !b.r.Bool(d.p) {
+			continue
+		}
+		if b.addForeignVPI(d.name, peer, port) {
+			connected = true
+		}
+	}
+	if !connected {
+		b.addForeignVPI("microsoft", peer, port)
+	}
+}
+
+func (b *builder) addForeignVPI(cloudName string, peer model.ASIndex, port model.IfaceID) bool {
+	cloud, ok := b.t.CloudByName(cloudName)
+	if !ok {
+		return false
+	}
+	clientRouter := b.t.Ifaces[port].Router
+	clientMetro := b.t.Routers[clientRouter].Metro
+	// Find the cloud's native facility closest to the client's port.
+	facility := model.NoFacility
+	bestD := -1.0
+	for fi := range b.t.Facilities {
+		f := &b.t.Facilities[fi]
+		if !containsCloud(f.NativeClouds, cloud.ID) {
+			continue
+		}
+		d := b.world.DistanceKm(clientMetro, f.Metro)
+		if bestD < 0 || d < bestD {
+			facility, bestD = f.ID, d
+		}
+	}
+	if facility == model.NoFacility {
+		return false
+	}
+	facMetro := b.t.Facilities[facility].Metro
+	remote := facMetro != clientMetro
+	rtt := rttIntraFacility
+	if remote {
+		rtt = b.world.PropagationRTTms(facMetro, clientMetro) + b.r.Range(1.0, 3.0)
+	}
+	cloudAddr := b.cloudInfraPool[cloud.ID].MustAlloc(31).Addr
+	router := b.pickBorderRouter(cloud, facility)
+	cIface := b.newIface(router, cloudAddr, model.IfInterconnect, cloud.ASes[0])
+	pid := model.PeeringID(len(b.t.Peerings))
+	b.t.Peerings = append(b.t.Peerings, model.Peering{
+		ID: pid, Cloud: cloud.ID, Peer: peer, Kind: model.PeeringVPI,
+		Facility: facility, RegionIdx: b.cloudRegionForMetro(cloud, facMetro),
+		Remote: remote, RouterMetro: clientMetro, SharedPort: true,
+	})
+	b.addLink(pid, router, clientRouter, cIface, port, rtt)
+	return true
+}
+
+// buildOtherCloudPeerings gives every cloud (Amazon included) transit
+// connectivity: private peerings with every tier-1 and a sample of tier-2s,
+// so that probes can reach arbitrary destinations and foreign-cloud probing
+// (§7.1) works.
+func (b *builder) buildOtherCloudPeerings() {
+	var tier1, tier2 []model.ASIndex
+	for i := range b.t.ASes {
+		switch b.t.ASes[i].Type {
+		case model.ASTier1:
+			tier1 = append(tier1, b.t.ASes[i].Index)
+		case model.ASTier2:
+			tier2 = append(tier2, b.t.ASes[i].Index)
+		}
+	}
+	for ci := range b.t.Clouds {
+		cloud := &b.t.Clouds[ci]
+		targets := append([]model.ASIndex{}, tier1...)
+		targets = append(targets, rng.Sample(b.r, tier2, len(tier2)/3)...)
+		for _, peer := range targets {
+			if b.hasPeering(cloud.ID, peer) {
+				continue
+			}
+			used := map[model.FacilityID]bool{}
+			n := 1
+			if containsAS(tier1, peer) {
+				n = b.r.IntRange(2, 5)
+			}
+			for i := 0; i < n; i++ {
+				b.addPrivatePeering(cloud, peer, true, used)
+			}
+		}
+	}
+}
+
+func (b *builder) hasPeering(cloud model.CloudID, peer model.ASIndex) bool {
+	for i := range b.t.Peerings {
+		if b.t.Peerings[i].Cloud == cloud && b.t.Peerings[i].Peer == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// buildIXPMembership adds non-peer members to IXP LANs for realism (their
+// presence appears in the PeeringDB-like dataset used for pinning).
+func (b *builder) buildIXPMembership() {
+	for i := range b.t.IXPs {
+		ixp := &b.t.IXPs[i]
+		metro := ixp.Metros[0]
+		n := b.r.IntRange(2, 6)
+		added := 0
+		for j := range b.t.ASes {
+			if added >= n {
+				break
+			}
+			as := &b.t.ASes[j]
+			if as.Type == model.ASCloud || as.Type == model.ASEnterprise {
+				continue
+			}
+			if _, ok := as.EdgeByMetro[metro]; !ok {
+				continue
+			}
+			if b.memberOf(ixp.ID, as.Index) || !b.r.Bool(0.3) {
+				continue
+			}
+			b.ixpMemberIface(ixp.ID, as.Index, as.EdgeByMetro[metro])
+			added++
+		}
+	}
+}
+
+func (b *builder) memberOf(ixp model.IXPID, as model.ASIndex) bool {
+	_, ok := b.peeringState().memberIface[ixpMemberKey{ixp, as}]
+	return ok
+}
+
+// --- helpers ------------------------------------------------------------
+
+// clientAttachment decides where the client's router for a peering at
+// facMetro sits: locally if the client has presence there, otherwise at its
+// nearest metro (a remote peering over a layer-2 circuit).
+func (b *builder) clientAttachment(as *model.AS, facMetro geo.MetroID) (geo.MetroID, bool) {
+	if _, ok := as.EdgeByMetro[facMetro]; ok {
+		return facMetro, false
+	}
+	return b.world.ClosestMetro(facMetro, as.Metros), true
+}
+
+// pickAmazonFacility picks an Amazon-native facility, weighted toward the
+// client's home metro, excluding already-used ones.
+func (b *builder) pickAmazonFacility(home geo.MetroID, used map[model.FacilityID]bool) model.FacilityID {
+	return b.pickCloudFacility(b.t.Amazon(), home, used)
+}
+
+// pickCloudFacility picks one of the cloud's native facilities, weighted
+// toward the client's home metro.
+func (b *builder) pickCloudFacility(cloud *model.Cloud, home geo.MetroID, used map[model.FacilityID]bool) model.FacilityID {
+	var cands []model.FacilityID
+	var weights []float64
+	for _, fac := range b.nativeByCloud[cloud.ID] {
+		if used != nil && used[fac] {
+			continue
+		}
+		cands = append(cands, fac)
+		d := b.world.DistanceKm(home, b.t.Facilities[fac].Metro)
+		weights = append(weights, 1.0/(1.0+d/300.0))
+	}
+	if len(cands) == 0 {
+		return model.NoFacility
+	}
+	return cands[b.r.WeightedPick(weights)]
+}
+
+func (b *builder) amazonNativeFacilityWithIXP(ixp model.IXPID) model.FacilityID {
+	for _, fac := range b.amazonNative {
+		if b.t.Facilities[fac].IXP == ixp {
+			return fac
+		}
+	}
+	return model.NoFacility
+}
+
+func (b *builder) pickBorderRouter(cloud *model.Cloud, facility model.FacilityID) model.RouterID {
+	routers := cloud.BorderRouters[facility]
+	return routers[b.r.Intn(len(routers))]
+}
+
+// transitBorderRouter returns (creating on demand) the dedicated border
+// router a big transit network operates inside a cloud-native facility.
+// Routers are per cloud: dedicated interconnects to different clouds land on
+// different chassis, which keeps third-party replies from conflating them.
+func (b *builder) transitBorderRouter(peer model.ASIndex, facility model.FacilityID, cloud model.CloudID) model.RouterID {
+	ps := b.peeringState()
+	key := transitKey{peer, facility, cloud}
+	if r, ok := ps.transitBorder[key]; ok {
+		return r
+	}
+	metro := b.t.Facilities[facility].Metro
+	router := b.newRouter(peer, facility, metro, model.RoleBorder)
+	lb := b.asInfraAlloc(peer, 32)
+	b.newIface(router, lb.Addr, model.IfLoopback, peer)
+	ps.transitBorder[key] = router
+	return router
+}
+
+// ixpMemberIface returns (creating on demand) the member's address on the
+// IXP LAN and registers membership.
+func (b *builder) ixpMemberIface(ixp model.IXPID, as model.ASIndex, router model.RouterID) model.IfaceID {
+	ps := b.peeringState()
+	key := ixpMemberKey{ixp, as}
+	if ifc, ok := ps.memberIface[key]; ok {
+		return ifc
+	}
+	addr := b.nextIXPAddr(ixp)
+	ifc := b.newIface(router, addr, model.IfIXP, model.NoAS)
+	ps.memberIface[key] = ifc
+	b.t.IXPs[ixp].Members = append(b.t.IXPs[ixp].Members, as)
+	return ifc
+}
+
+// amazonIXPIfacesAt returns (creating on demand) the cloud's ports on the
+// exchange LAN: one per border router at the facility, up to three.
+func (b *builder) amazonIXPIfacesAt(cloud *model.Cloud, ixp model.IXPID, facility model.FacilityID) []model.IfaceID {
+	ps := b.peeringState()
+	if ifcs, ok := ps.amazonIXPIface[ixp]; ok {
+		return ifcs
+	}
+	routers := cloud.BorderRouters[facility]
+	n := len(routers)
+	if n > 3 {
+		n = 3
+	}
+	var ifcs []model.IfaceID
+	for i := 0; i < n; i++ {
+		addr := b.nextIXPAddr(ixp)
+		ifcs = append(ifcs, b.newIface(routers[i], addr, model.IfIXP, model.NoAS))
+	}
+	ps.amazonIXPIface[ixp] = ifcs
+	b.t.IXPs[ixp].Members = append(b.t.IXPs[ixp].Members, cloud.ASes[0])
+	return ifcs
+}
+
+func (b *builder) nextIXPAddr(ixp model.IXPID) netblock.IP {
+	ps := b.peeringState()
+	next, ok := ps.ixpNextHost[ixp]
+	if !ok {
+		next = b.t.IXPs[ixp].Prefix.Addr + 10
+	}
+	ps.ixpNextHost[ixp] = next + 1
+	return next
+}
+
+// exchangePortIface returns (creating on demand) the client's single
+// cloud-exchange port interface at a facility. Its address comes from the
+// client's own space; every VPI VLAN provisioned over the port answers with
+// this one address, which is what the §7.1 overlap method detects.
+func (b *builder) exchangePortIface(as model.ASIndex, facility model.FacilityID, router model.RouterID) model.IfaceID {
+	ps := b.peeringState()
+	key := portKey{as, facility}
+	if ifc, ok := ps.exchangePort[key]; ok {
+		return ifc
+	}
+	sub := b.asInfraAlloc(as, 31)
+	ifc := b.newIface(router, sub.Addr+1, model.IfInterconnect, as)
+	ps.exchangePort[key] = ifc
+	return ifc
+}
+
+func (b *builder) addLink(pid model.PeeringID, cloudRouter, peerRouter model.RouterID, cIface, pIface model.IfaceID, rtt float64) {
+	lid := model.LinkID(len(b.t.Links))
+	b.t.Links = append(b.t.Links, model.Link{
+		ID: lid, Peering: pid,
+		CloudRouter: cloudRouter, PeerRouter: peerRouter,
+		CloudIface: cIface, PeerIface: pIface, RTTms: rtt,
+	})
+	b.t.Peerings[pid].Links = append(b.t.Peerings[pid].Links, lid)
+}
+
+func (b *builder) cloudRegionForMetro(cloud *model.Cloud, metro geo.MetroID) int {
+	best, bestD := 0, -1.0
+	for i, r := range cloud.Regions {
+		d := b.world.DistanceKm(metro, r.Metro)
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func containsCloud(xs []model.CloudID, v model.CloudID) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAS(xs []model.ASIndex, v model.ASIndex) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,452 @@
+package topo
+
+import (
+	"fmt"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/model"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/rng"
+)
+
+// sizing per AS type: service prefix length, initial infra prefix length,
+// and geographic footprint.
+type asSizing struct {
+	svcBits, infraBits   uint8
+	metrosMin, metrosMax int
+}
+
+func sizingFor(t model.ASType) asSizing {
+	switch t {
+	case model.ASTier1:
+		return asSizing{15, 18, 18, 28}
+	case model.ASTier2:
+		return asSizing{16, 19, 5, 14}
+	case model.ASAccess:
+		return asSizing{17, 20, 1, 4}
+	case model.ASContent:
+		return asSizing{17, 20, 3, 8}
+	case model.ASEnterprise:
+		return asSizing{22, 23, 1, 1}
+	case model.ASEducation:
+		return asSizing{18, 22, 1, 1}
+	default:
+		return asSizing{22, 23, 1, 1}
+	}
+}
+
+// namePrefix gives each AS type a recognisable fictional operator name.
+func namePrefix(t model.ASType) string {
+	switch t {
+	case model.ASTier1:
+		return "globalnet"
+	case model.ASTier2:
+		return "transitco"
+	case model.ASAccess:
+		return "accessnet"
+	case model.ASContent:
+		return "contentcdn"
+	case model.ASEnterprise:
+		return "corp"
+	case model.ASEducation:
+		return "univ"
+	default:
+		return "as"
+	}
+}
+
+func dnsStyleFor(b *builder, t model.ASType) (model.DNSStyle, string) {
+	switch t {
+	case model.ASTier1, model.ASTier2:
+		return model.DNSAirport, "bb"
+	case model.ASAccess:
+		if b.r.Bool(0.7) {
+			return model.DNSCity, "net"
+		}
+		return model.DNSOpaque, "net"
+	case model.ASContent:
+		switch {
+		case b.r.Bool(0.3):
+			return model.DNSCity, "cdn"
+		case b.r.Bool(0.6):
+			return model.DNSOpaque, "cdn"
+		default:
+			return model.DNSNone, ""
+		}
+	case model.ASEducation:
+		return model.DNSCity, "edu"
+	default: // enterprises
+		if b.r.Bool(0.25) {
+			return model.DNSOpaque, "corp"
+		}
+		return model.DNSNone, ""
+	}
+}
+
+// buildASPopulation creates every non-cloud AS: the general population, the
+// Amazon-peer population drawn from the Table-6 profiles, the stub networks,
+// and the external vantage point.
+func (b *builder) buildASPopulation() {
+	cfg := b.cfg
+
+	// General population (not Amazon peers; they provide transit, targets,
+	// and background density).
+	counts := []struct {
+		t model.ASType
+		n int
+	}{
+		{model.ASTier1, cfg.NumTier1}, // tier1 count is NOT scaled below 8: the core must stay connected
+		{model.ASTier2, scaled(cfg.NumTier2, cfg.Scale, 6)},
+		{model.ASAccess, scaled(cfg.NumAccess, cfg.Scale, 10)},
+		{model.ASContent, scaled(cfg.NumContent, cfg.Scale, 5)},
+		{model.ASEnterprise, scaled(cfg.NumEnterprise, cfg.Scale, 8)},
+		{model.ASEducation, scaled(cfg.NumEducation, cfg.Scale, 3)},
+	}
+	if cfg.Scale < 1 {
+		counts[0].n = scaled(cfg.NumTier1, cfg.Scale, 8)
+	}
+	for _, c := range counts {
+		for i := 0; i < c.n; i++ {
+			b.newClientAS(c.t, false)
+		}
+	}
+
+	// Amazon peer ASes, drawn per profile. The profile index is stored so
+	// peering construction can apply the right template.
+	for pi, prof := range cfg.PeerProfiles {
+		n := scaled(prof.Count, cfg.Scale, 1)
+		for i := 0; i < n; i++ {
+			typ := rng.Pick(b.r, prof.ASTypes)
+			as := b.newClientAS(typ, prof.MultiCloudVPI || prof.VPIMax > 0)
+			spec := peerSpec{
+				profile:  pi,
+				as:       as,
+				nPublic:  intRange(b.r, prof.PublicMin, prof.PublicMax),
+				nPhys:    intRange(b.r, prof.PhysMin, prof.PhysMax),
+				nVPI:     intRange(b.r, prof.VPIMin, prof.VPIMax),
+				multiVPI: prof.MultiCloudVPI,
+			}
+			// A small heavy tail of peers (large CDNs and hosting networks)
+			// maintains an order of magnitude more interconnections.
+			if prof.HeavyTail && b.r.Bool(0.12) {
+				spec.heavy = true
+				spec.nPhys += b.r.IntRange(10, 40)
+			}
+			b.peerSpecs = append(b.peerSpecs, spec)
+		}
+	}
+
+	// Stub ASes: only reachable through transit; never peer with a cloud.
+	nStubs := scaled(cfg.NumStubs, cfg.Scale, 15)
+	stubTypes := []model.ASType{model.ASEnterprise, model.ASAccess, model.ASContent, model.ASEducation}
+	for i := 0; i < nStubs; i++ {
+		b.newClientAS(rng.Pick(b.r, stubTypes), false)
+	}
+
+	// The external vantage point: a university network from which the §5.1
+	// reachability heuristic probes candidate border interfaces.
+	vp := b.newClientAS(model.ASEducation, false)
+	b.t.ASes[vp].Name = "univ-vantage"
+	b.t.ASes[vp].FiltersExternal = false
+	b.externalVP = vp
+}
+
+func intRange(r *rng.Rand, lo, hi int) int {
+	if hi <= 0 {
+		return 0
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return r.IntRange(lo, hi)
+}
+
+// newClientAS creates a non-cloud AS with addresses, geography, and
+// measurement behaviour. vpiUser biases announcement behaviour: many VPI
+// users keep their space out of BGP entirely, which is what makes their
+// peerings "hidden".
+func (b *builder) newClientAS(typ model.ASType, vpiUser bool) model.ASIndex {
+	sz := sizingFor(typ)
+	n := len(b.t.ASes)
+	name := fmt.Sprintf("%s-%d", namePrefix(typ), n)
+	as := b.newAS(name, name+".example", typ, 0)
+
+	// A couple of percent of organisations run sibling ASes (the paper's
+	// ORG grouping exists for exactly this reason).
+	if b.r.Bool(0.02) && typ != model.ASEnterprise {
+		sib := b.newAS(name+"-sib", name+".example", typ, 0)
+		sib.AnnouncesService = true
+		sib.AnnouncesInfra = true
+		sib.HomeMetro = geo.MetroID(b.r.Intn(len(b.world.Metros)))
+		sib.Metros = []geo.MetroID{sib.HomeMetro}
+		sibFacs := b.facByMetro[sib.HomeMetro]
+		sib.Facilities = []model.FacilityID{sibFacs[b.r.Intn(len(sibFacs))]}
+		b.allocService(sib, 22)
+		b.allocInfra(sib, 24)
+		// Re-take the pointer: newAS may have grown the slice.
+		as = &b.t.ASes[n]
+	}
+
+	// Geography: home metro weighted toward larger metros (those with more
+	// facilities), footprint spreading to nearby metros.
+	home := b.weightedMetro()
+	as.HomeMetro = home
+	nMetros := b.r.IntRange(sz.metrosMin, sz.metrosMax)
+	as.Metros = b.footprint(home, nMetros)
+	for _, m := range as.Metros {
+		facs := b.facByMetro[m]
+		as.Facilities = append(as.Facilities, facs[b.r.Intn(len(facs))])
+	}
+
+	// Addresses.
+	b.allocService(as, sz.svcBits)
+	b.allocInfra(as, sz.infraBits)
+
+	// Announcement behaviour. A slice of transit operators keeps router
+	// infrastructure in unannounced (WHOIS-only) space, which is what makes
+	// tools that consume only BGP mis-attribute their interfaces (§8).
+	as.AnnouncesService = true
+	switch typ {
+	case model.ASTier1, model.ASAccess:
+		as.AnnouncesInfra = true
+	case model.ASTier2:
+		as.AnnouncesInfra = b.r.Bool(0.85)
+	case model.ASContent:
+		as.AnnouncesInfra = b.r.Bool(0.8)
+	case model.ASEducation:
+		as.AnnouncesInfra = b.r.Bool(0.7)
+	default:
+		as.AnnouncesInfra = b.r.Bool(0.3)
+	}
+	if vpiUser && typ == model.ASEnterprise && b.r.Bool(0.6) {
+		// VPI-only deployments: nothing in BGP; reachable only over the
+		// interconnections themselves.
+		as.AnnouncesService = false
+		as.AnnouncesInfra = false
+	} else if typ == model.ASEnterprise && b.r.Bool(0.08) {
+		// Dark corporate space: delegated in WHOIS, absent from BGP.
+		as.AnnouncesService = false
+		as.AnnouncesInfra = false
+	}
+
+	if typ == model.ASEnterprise {
+		as.FiltersExternal = b.r.Bool(b.cfg.EnterpriseFilterProb)
+	}
+	as.DNSStyle, as.DNSDomain = dnsStyleFor(b, typ)
+	return as.Index
+}
+
+// weightedMetro picks a home metro, weighted by facility count so that big
+// interconnection hubs attract more networks.
+func (b *builder) weightedMetro() geo.MetroID {
+	weights := make([]float64, len(b.world.Metros))
+	for i, m := range b.world.Metros {
+		weights[i] = float64(len(b.facByMetro[m.ID]))
+	}
+	return geo.MetroID(b.r.WeightedPick(weights))
+}
+
+// footprint returns n metros: the home metro plus its nearest neighbours,
+// with a little randomness so footprints are not identical.
+func (b *builder) footprint(home geo.MetroID, n int) []geo.MetroID {
+	if n <= 1 {
+		return []geo.MetroID{home}
+	}
+	candidates := make([]geo.MetroID, 0, len(b.world.Metros))
+	for _, m := range b.world.Metros {
+		if m.ID != home {
+			candidates = append(candidates, m.ID)
+		}
+	}
+	b.world.SortByDistance(home, candidates)
+	out := []geo.MetroID{home}
+	idx := 0
+	for len(out) < n && idx < len(candidates) {
+		// Skip occasionally so footprints differ between same-home ASes.
+		if b.r.Bool(0.25) {
+			idx++
+			continue
+		}
+		out = append(out, candidates[idx])
+		idx++
+	}
+	for len(out) < n && len(out) <= len(candidates) {
+		out = append(out, candidates[len(out)-1])
+	}
+	return out
+}
+
+// buildRelationships wires the provider/customer/peer graph with
+// Gao-Rexford-style structure: a tier-1 clique on top, tier-2 transit below,
+// and everything else multihomed into the transit layer.
+func (b *builder) buildRelationships() {
+	var tier1, tier2 []model.ASIndex
+	for i := range b.t.ASes {
+		as := &b.t.ASes[i]
+		if as.Type == model.ASCloud {
+			continue
+		}
+		switch as.Type {
+		case model.ASTier1:
+			tier1 = append(tier1, as.Index)
+		case model.ASTier2:
+			tier2 = append(tier2, as.Index)
+		}
+	}
+
+	// Tier-1 full mesh (settlement-free peering).
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			b.addPeer(tier1[i], tier1[j])
+		}
+	}
+
+	// Tier-2: customers of 2-3 tier-1s, with some lateral peering.
+	for _, t2 := range tier2 {
+		for _, p := range rng.Sample(b.r, tier1, b.r.IntRange(2, 3)) {
+			b.addProvider(t2, p)
+		}
+	}
+	for i := 0; i < len(tier2); i++ {
+		for j := i + 1; j < len(tier2); j++ {
+			if b.r.Bool(0.08) {
+				b.addPeer(tier2[i], tier2[j])
+			}
+		}
+	}
+
+	// Everyone else: 1-3 providers drawn from tier-2 (preferring nearby
+	// ones) with a tier-1 sprinkled in for larger networks. Access
+	// networks also resell transit to small local customers.
+	var access []model.ASIndex
+	for i := range b.t.ASes {
+		if b.t.ASes[i].Type == model.ASAccess {
+			access = append(access, b.t.ASes[i].Index)
+		}
+	}
+	for i := range b.t.ASes {
+		as := &b.t.ASes[i]
+		switch as.Type {
+		case model.ASCloud, model.ASTier1, model.ASTier2:
+			continue
+		}
+		n := 1
+		switch as.Type {
+		case model.ASContent:
+			n = b.r.IntRange(2, 3)
+		case model.ASAccess:
+			n = b.r.IntRange(1, 3)
+		default:
+			n = b.r.IntRange(1, 2)
+		}
+		providers := b.nearestTransits(as.HomeMetro, tier2, n)
+		if (as.Type == model.ASContent || as.Type == model.ASAccess) && b.r.Bool(0.3) && len(tier1) > 0 {
+			providers = append(providers, rng.Pick(b.r, tier1))
+		}
+		// Small enterprises and schools often sit behind a local access
+		// network rather than a transit provider.
+		if (as.Type == model.ASEnterprise || as.Type == model.ASEducation) &&
+			len(access) > 0 && b.r.Bool(0.35) {
+			local := b.nearestTransits(as.HomeMetro, access, 1)
+			if len(local) > 0 && local[0] != as.Index {
+				providers = providers[:len(providers)-1] // swap one in
+				providers = append(providers, local[0])
+			}
+		}
+		for _, p := range providers {
+			b.addProvider(as.Index, p)
+		}
+	}
+}
+
+// nearestTransits picks n transit providers, weighted toward those whose
+// home metro is close to the customer.
+func (b *builder) nearestTransits(home geo.MetroID, transits []model.ASIndex, n int) []model.ASIndex {
+	if len(transits) == 0 {
+		return nil
+	}
+	weights := make([]float64, len(transits))
+	for i, t := range transits {
+		d := b.world.DistanceKm(home, b.t.ASes[t].HomeMetro)
+		weights[i] = 1.0 / (1.0 + d/500.0)
+	}
+	chosen := map[int]bool{}
+	var out []model.ASIndex
+	for len(out) < n && len(out) < len(transits) {
+		i := b.r.WeightedPick(weights)
+		if chosen[i] {
+			continue
+		}
+		chosen[i] = true
+		out = append(out, transits[i])
+	}
+	return out
+}
+
+func (b *builder) addProvider(customer, provider model.ASIndex) {
+	if customer == provider {
+		return
+	}
+	c, p := &b.t.ASes[customer], &b.t.ASes[provider]
+	for _, existing := range c.Providers {
+		if existing == provider {
+			return
+		}
+	}
+	c.Providers = append(c.Providers, provider)
+	p.Customers = append(p.Customers, customer)
+}
+
+func (b *builder) addPeer(a, bIdx model.ASIndex) {
+	if a == bIdx {
+		return
+	}
+	x, y := &b.t.ASes[a], &b.t.ASes[bIdx]
+	for _, existing := range x.Peers {
+		if existing == bIdx {
+			return
+		}
+	}
+	x.Peers = append(x.Peers, bIdx)
+	y.Peers = append(y.Peers, a)
+}
+
+// assignCollectors marks the ASes exporting full tables to the route
+// collectors. BGP-visible peer profiles need a collector inside their
+// customer cone; the general feeds go to a sample of transit networks.
+func (b *builder) assignCollectors() {
+	var transits []model.ASIndex
+	for i := range b.t.ASes {
+		switch b.t.ASes[i].Type {
+		case model.ASTier1, model.ASTier2:
+			transits = append(transits, b.t.ASes[i].Index)
+		}
+	}
+	n := scaled(b.cfg.CollectorFeeds, b.cfg.Scale, 4)
+	for _, idx := range rng.Sample(b.r, transits, n) {
+		b.t.ASes[idx].CollectorFeed = true
+	}
+	// BGP-visible profiles: make sure a collector sees their announcements
+	// of Amazon routes, either because they feed a collector themselves or
+	// because a customer does.
+	for _, spec := range b.peerSpecs {
+		if !b.cfg.PeerProfiles[spec.profile].BGPVisible {
+			continue
+		}
+		as := &b.t.ASes[spec.as]
+		if as.CollectorFeed {
+			continue
+		}
+		if b.r.Bool(0.5) {
+			as.CollectorFeed = true
+			continue
+		}
+		if len(as.Customers) > 0 {
+			b.t.ASes[rng.Pick(b.r, as.Customers)].CollectorFeed = true
+		} else {
+			as.CollectorFeed = true
+		}
+	}
+}
+
+var _ = netblock.Zero

@@ -1,0 +1,352 @@
+package topo
+
+import (
+	"testing"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/model"
+	"cloudmap/internal/netblock"
+)
+
+func genSmall(t *testing.T, seed uint64) *model.Topology {
+	t.Helper()
+	cfg := SmallConfig()
+	cfg.Seed = seed
+	tp, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestGenerateValidates(t *testing.T) {
+	tp := genSmall(t, 1)
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := genSmall(t, 7)
+	b := genSmall(t, 7)
+	ca, cb := a.Count(), b.Count()
+	if ca != cb {
+		t.Fatalf("same seed produced different topologies: %+v vs %+v", ca, cb)
+	}
+	// Spot-check address assignment.
+	for i := 0; i < len(a.Ifaces) && i < 500; i++ {
+		if a.Ifaces[i].Addr != b.Ifaces[i].Addr {
+			t.Fatalf("iface %d address differs across runs", i)
+		}
+	}
+	c := genSmall(t, 8)
+	if a.Count() == c.Count() {
+		t.Log("warning: different seeds produced identical counts (possible but unlikely)")
+	}
+}
+
+func TestCloudsPresent(t *testing.T) {
+	tp := genSmall(t, 1)
+	for _, name := range []string{"amazon", "microsoft", "google", "ibm", "oracle"} {
+		c, ok := tp.CloudByName(name)
+		if !ok {
+			t.Fatalf("cloud %s missing", name)
+		}
+		if len(c.Regions) == 0 {
+			t.Errorf("cloud %s has no regions", name)
+		}
+		if len(c.BorderRouters) == 0 {
+			t.Errorf("cloud %s has no border routers", name)
+		}
+	}
+	amazon := tp.Amazon()
+	if len(amazon.Regions) != 15 {
+		t.Errorf("amazon has %d regions, want 15", len(amazon.Regions))
+	}
+	if len(amazon.ASes) < 2 {
+		t.Errorf("amazon should have sibling ASNs, got %d", len(amazon.ASes))
+	}
+	// All Amazon ASes share one ORG (the paper's ORG-based border walk
+	// depends on this).
+	org := tp.ASes[amazon.ASes[0]].Org
+	for _, as := range amazon.ASes {
+		if tp.ASes[as].Org != org {
+			t.Errorf("amazon AS %d has different org", tp.ASes[as].ASN)
+		}
+	}
+}
+
+func TestPeeringKindsAllPresent(t *testing.T) {
+	tp := genSmall(t, 1)
+	amazon := tp.Amazon()
+	kinds := map[model.PeeringKind]int{}
+	remote := 0
+	for i := range tp.Peerings {
+		p := &tp.Peerings[i]
+		if p.Cloud != amazon.ID {
+			continue
+		}
+		kinds[p.Kind]++
+		if p.Remote {
+			remote++
+		}
+	}
+	for _, k := range []model.PeeringKind{model.PeeringPublicIXP, model.PeeringPrivatePhysical, model.PeeringVPI} {
+		if kinds[k] == 0 {
+			t.Errorf("no Amazon peerings of kind %v", k)
+		}
+	}
+	if remote == 0 {
+		t.Error("no remote peerings generated")
+	}
+}
+
+func TestVPISharedPorts(t *testing.T) {
+	tp := genSmall(t, 1)
+	amazon := tp.Amazon()
+	// Some exchange ports must be shared between Amazon and another cloud:
+	// that is the ground truth behind Table 4.
+	portClouds := map[model.IfaceID]map[model.CloudID]bool{}
+	for i := range tp.Peerings {
+		p := &tp.Peerings[i]
+		if p.Kind != model.PeeringVPI {
+			continue
+		}
+		for _, l := range p.Links {
+			ifc := tp.Links[l].PeerIface
+			if portClouds[ifc] == nil {
+				portClouds[ifc] = map[model.CloudID]bool{}
+			}
+			portClouds[ifc][p.Cloud] = true
+		}
+	}
+	multi, amazonOnly := 0, 0
+	for _, clouds := range portClouds {
+		if len(clouds) >= 2 {
+			multi++
+		} else if clouds[amazon.ID] {
+			amazonOnly++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-cloud VPI ports (Table 4 would be empty)")
+	}
+	if amazonOnly == 0 {
+		t.Error("no single-cloud VPIs (the paper's undercount scenario is missing)")
+	}
+	// Oracle must never share a port with Amazon (Table 4 reports zero).
+	oracle, _ := tp.CloudByName("oracle")
+	for _, clouds := range portClouds {
+		if clouds[amazon.ID] && clouds[oracle.ID] {
+			t.Error("oracle shares a VPI port with amazon; Table 4 expects none")
+		}
+	}
+}
+
+func TestAddressDelegationConsistent(t *testing.T) {
+	tp := genSmall(t, 1)
+	// Every public interface address must be owned (per the RIR table) by
+	// its SubnetOwner AS.
+	checked := 0
+	for i := range tp.Ifaces {
+		ifc := &tp.Ifaces[i]
+		if ifc.Addr == netblock.Zero || ifc.Addr.IsPrivate() || ifc.Addr.IsShared() {
+			continue
+		}
+		if ifc.Kind == model.IfIXP {
+			// IXP LAN space is not delegated to any AS.
+			if owner := tp.AddrOwner(ifc.Addr); owner != model.NoAS {
+				t.Errorf("IXP address %v owned by AS %d", ifc.Addr, owner)
+			}
+			continue
+		}
+		if ifc.SubnetOwner == model.NoAS {
+			continue
+		}
+		owner := tp.AddrOwner(ifc.Addr)
+		if owner != ifc.SubnetOwner {
+			t.Errorf("iface %d addr %v: RIR owner %d != subnet owner %d",
+				i, ifc.Addr, owner, ifc.SubnetOwner)
+			if checked++; checked > 5 {
+				t.Fatal("too many ownership mismatches")
+			}
+		}
+	}
+}
+
+func TestAddressSharingAmbiguityExists(t *testing.T) {
+	tp := genSmall(t, 1)
+	amazon := tp.Amazon()
+	// Some private links must carry Amazon-owned subnets on client routers
+	// (the Fig. 2 ambiguity); most must be client-owned.
+	amazonOwned, clientOwned := 0, 0
+	for i := range tp.Links {
+		l := &tp.Links[i]
+		p := &tp.Peerings[l.Peering]
+		if p.Cloud != amazon.ID || p.Kind != model.PeeringPrivatePhysical {
+			continue
+		}
+		ifc := &tp.Ifaces[l.PeerIface]
+		if tp.IsCloudAS(amazon, ifc.SubnetOwner) {
+			amazonOwned++
+		} else {
+			clientOwned++
+		}
+	}
+	if amazonOwned == 0 {
+		t.Error("no Amazon-allocated interconnect subnets; Fig. 2 ambiguity missing")
+	}
+	if clientOwned < amazonOwned {
+		t.Errorf("client-owned (%d) should dominate amazon-owned (%d)", clientOwned, amazonOwned)
+	}
+}
+
+func TestRelationshipsAcyclic(t *testing.T) {
+	tp := genSmall(t, 2)
+	// The provider graph must be acyclic (no AS is its own indirect
+	// provider), or valley-free routing breaks.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make([]int, len(tp.ASes))
+	var visit func(model.ASIndex) bool
+	visit = func(as model.ASIndex) bool {
+		switch state[as] {
+		case grey:
+			return false
+		case black:
+			return true
+		}
+		state[as] = grey
+		for _, p := range tp.ASes[as].Providers {
+			if !visit(p) {
+				return false
+			}
+		}
+		state[as] = black
+		return true
+	}
+	for i := range tp.ASes {
+		if !visit(model.ASIndex(i)) {
+			t.Fatalf("provider cycle through AS %s", tp.ASes[i].Name)
+		}
+	}
+}
+
+func TestEveryASHasTransitOrIsTop(t *testing.T) {
+	tp := genSmall(t, 3)
+	for i := range tp.ASes {
+		as := &tp.ASes[i]
+		if as.Type == model.ASCloud || as.Type == model.ASTier1 {
+			continue
+		}
+		if len(as.Providers) == 0 {
+			t.Errorf("AS %s (%v) has no providers", as.Name, as.Type)
+		}
+	}
+}
+
+func TestCollectorFeedsExist(t *testing.T) {
+	tp := genSmall(t, 1)
+	n := 0
+	for i := range tp.ASes {
+		if tp.ASes[i].CollectorFeed {
+			n++
+		}
+	}
+	if n < 3 {
+		t.Errorf("only %d collector feeds", n)
+	}
+}
+
+func TestIXPStructure(t *testing.T) {
+	tp := genSmall(t, 1)
+	multi := 0
+	for i := range tp.IXPs {
+		ixp := &tp.IXPs[i]
+		if ixp.Prefix.Bits != 22 {
+			t.Errorf("IXP %s prefix %v not /22", ixp.Name, ixp.Prefix)
+		}
+		if len(ixp.Metros) > 1 {
+			multi++
+		}
+		for j := i + 1; j < len(tp.IXPs); j++ {
+			if ixp.Prefix.Overlaps(tp.IXPs[j].Prefix) {
+				t.Errorf("IXP prefixes overlap: %v %v", ixp.Prefix, tp.IXPs[j].Prefix)
+			}
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-metro IXPs (the paper excludes 10 such IXPs; we model a few)")
+	}
+}
+
+func TestExternalVPExists(t *testing.T) {
+	tp := genSmall(t, 1)
+	if tp.ExternalVP == model.NoAS || tp.ExternalVP == 0 {
+		t.Fatal("external vantage point not set")
+	}
+	as := &tp.ASes[tp.ExternalVP]
+	if as.FiltersExternal {
+		t.Error("vantage point AS filters external probes")
+	}
+	if len(as.Providers) == 0 {
+		t.Error("vantage point has no transit")
+	}
+}
+
+func TestBigTransitHasManyLinks(t *testing.T) {
+	tp := genSmall(t, 1)
+	amazon := tp.Amazon()
+	linksPerAS := map[model.ASIndex]int{}
+	for i := range tp.Links {
+		p := &tp.Peerings[tp.Links[i].Peering]
+		if p.Cloud == amazon.ID {
+			linksPerAS[p.Peer]++
+		}
+	}
+	max := 0
+	for _, n := range linksPerAS {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 8 {
+		t.Errorf("largest Amazon peer has only %d links; big transits should have many", max)
+	}
+}
+
+func TestGenerateRejectsBadScale(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}
+
+func TestAmazonNativeFacilitiesSpanMetros(t *testing.T) {
+	tp := genSmall(t, 1)
+	amazon := tp.Amazon()
+	metros := map[geo.MetroID]bool{}
+	for fac := range amazon.BorderRouters {
+		metros[tp.Facilities[fac].Metro] = true
+	}
+	if len(metros) < 20 {
+		t.Errorf("amazon native in only %d metros", len(metros))
+	}
+}
+
+func TestIPIDModesMixed(t *testing.T) {
+	tp := genSmall(t, 1)
+	modes := map[model.IPIDMode]int{}
+	for i := range tp.Routers {
+		modes[tp.Routers[i].IPID]++
+	}
+	for _, m := range []model.IPIDMode{model.IPIDShared, model.IPIDPerInterface, model.IPIDRandom, model.IPIDZero} {
+		if modes[m] == 0 {
+			t.Errorf("no routers with IPID mode %d", m)
+		}
+	}
+}

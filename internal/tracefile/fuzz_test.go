@@ -1,0 +1,33 @@
+package tracefile
+
+import (
+	"strings"
+	"testing"
+
+	"cloudmap/internal/probe"
+)
+
+// FuzzRead checks that arbitrary input never panics the reader and that
+// every record it accepts is well-formed.
+func FuzzRead(f *testing.F) {
+	f.Add("# cloudmap tracefile v1\nT amazon/0 1.2.3.4 0 10.0.0.1/250,*\n")
+	f.Add("# cloudmap tracefile v1\nT microsoft/7 9.9.9.9 1 *\n")
+	f.Add("garbage\n")
+	f.Add("# cloudmap tracefile v1\nT a/0 1.1.1.1 0 1.1.1.2/0\nT b/1 2.2.2.2 2 *\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		err := Read(strings.NewReader(input), func(tr probe.Trace) {
+			if tr.Src.Region < 0 {
+				t.Fatal("negative region accepted")
+			}
+			if tr.Status > probe.StatusLoop {
+				t.Fatal("invalid status accepted")
+			}
+			for _, h := range tr.Hops {
+				if h.RTTms < 0 {
+					t.Fatal("negative RTT accepted")
+				}
+			}
+		})
+		_ = err
+	})
+}

@@ -1,0 +1,171 @@
+// Package tracefile stores traceroute campaigns on disk and replays them —
+// the role scamper's warts files play in the paper's workflow (§3: 16 days
+// of probing are collected once, then analysed many times).
+//
+// The format is a compact line-oriented text format, one record per trace:
+//
+//	T <cloud>/<region> <dst> <status> <hop>[,<hop>...]
+//
+// where each hop is either "*" (unresponsive) or "<addr>/<rtt-µs>". Lines
+// beginning with '#' are comments; the header records a format version.
+// Text keeps the files greppable and diffable; gzip-ing them externally is
+// cheap because addresses repeat heavily.
+package tracefile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/probe"
+)
+
+// version is bumped when the record layout changes.
+const version = 1
+
+// Writer streams traces to an output.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes the header and returns a Writer. Callers must Flush.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# cloudmap tracefile v%d\n", version); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one trace. The first error sticks and is returned by Flush.
+func (w *Writer) Write(tr probe.Trace) {
+	if w.err != nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "T %s/%d %s %d ", tr.Src.Cloud, tr.Src.Region, tr.Dst, tr.Status)
+	for i, h := range tr.Hops {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if !h.Responsive() {
+			b.WriteByte('*')
+			continue
+		}
+		fmt.Fprintf(&b, "%s/%d", h.Addr, int64(h.RTTms*1000))
+	}
+	b.WriteByte('\n')
+	_, w.err = w.w.WriteString(b.String())
+}
+
+// Flush drains buffers and reports the first write error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Sink returns a probe.TraceSink that records into the writer (so a
+// campaign can be stored and consumed simultaneously via Tee).
+func (w *Writer) Sink() probe.TraceSink {
+	return func(tr probe.Trace) { w.Write(tr) }
+}
+
+// Tee fans one trace stream out to several sinks.
+func Tee(sinks ...probe.TraceSink) probe.TraceSink {
+	return func(tr probe.Trace) {
+		for _, s := range sinks {
+			s(tr)
+		}
+	}
+}
+
+// Read replays every trace in the input into sink. It validates the header
+// and fails on the first malformed record, reporting its line number.
+func Read(r io.Reader, sink probe.TraceSink) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.HasPrefix(text, "#") {
+			if !sawHeader {
+				if !strings.Contains(text, "cloudmap tracefile") {
+					return fmt.Errorf("tracefile: line %d: not a tracefile header", line)
+				}
+				sawHeader = true
+			}
+			continue
+		}
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		tr, err := parseRecord(text)
+		if err != nil {
+			return fmt.Errorf("tracefile: line %d: %w", line, err)
+		}
+		sink(tr)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("tracefile: %w", err)
+	}
+	if !sawHeader && line > 0 {
+		return fmt.Errorf("tracefile: missing header")
+	}
+	return nil
+}
+
+func parseRecord(text string) (probe.Trace, error) {
+	var tr probe.Trace
+	fields := strings.Fields(text)
+	if len(fields) < 4 || fields[0] != "T" {
+		return tr, fmt.Errorf("malformed record %q", text)
+	}
+	slash := strings.LastIndexByte(fields[1], '/')
+	if slash < 0 {
+		return tr, fmt.Errorf("malformed source %q", fields[1])
+	}
+	region, err := strconv.Atoi(fields[1][slash+1:])
+	if err != nil {
+		return tr, fmt.Errorf("malformed region in %q", fields[1])
+	}
+	tr.Src = probe.VMRef{Cloud: fields[1][:slash], Region: region}
+	if tr.Dst, err = netblock.ParseIP(fields[2]); err != nil {
+		return tr, err
+	}
+	status, err := strconv.Atoi(fields[3])
+	if err != nil || status < 0 || status > int(probe.StatusLoop) {
+		return tr, fmt.Errorf("bad status %q", fields[3])
+	}
+	tr.Status = probe.Status(status)
+	if len(fields) < 5 {
+		return tr, nil // zero-hop trace
+	}
+	for _, hop := range strings.Split(fields[4], ",") {
+		if hop == "*" {
+			tr.Hops = append(tr.Hops, probe.Hop{})
+			continue
+		}
+		hs := strings.SplitN(hop, "/", 2)
+		if len(hs) != 2 {
+			return tr, fmt.Errorf("malformed hop %q", hop)
+		}
+		addr, err := netblock.ParseIP(hs[0])
+		if err != nil {
+			return tr, err
+		}
+		us, err := strconv.ParseInt(hs[1], 10, 64)
+		if err != nil || us < 0 {
+			return tr, fmt.Errorf("malformed hop RTT %q", hop)
+		}
+		tr.Hops = append(tr.Hops, probe.Hop{Addr: addr, RTTms: float64(us) / 1000})
+	}
+	return tr, nil
+}

@@ -1,0 +1,160 @@
+package tracefile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/probe"
+)
+
+func sample() []probe.Trace {
+	return []probe.Trace{
+		{
+			Src: probe.VMRef{Cloud: "amazon", Region: 3},
+			Dst: netblock.MustParseIP("64.1.2.1"),
+			Hops: []probe.Hop{
+				{Addr: netblock.MustParseIP("10.0.0.1"), RTTms: 0.25},
+				{},
+				{Addr: netblock.MustParseIP("176.32.0.2"), RTTms: 1.302},
+			},
+			Status: probe.StatusGapLimit,
+		},
+		{
+			Src:    probe.VMRef{Cloud: "microsoft", Region: 0},
+			Dst:    netblock.MustParseIP("96.0.0.1"),
+			Hops:   nil,
+			Status: probe.StatusCompleted,
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sample()
+	for _, tr := range in {
+		w.Write(tr)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out []probe.Trace
+	if err := Read(&buf, func(tr probe.Trace) { out = append(out, tr) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d traces, want %d", len(out), len(in))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.Src != b.Src || a.Dst != b.Dst || a.Status != b.Status || len(a.Hops) != len(b.Hops) {
+			t.Fatalf("trace %d differs: %+v vs %+v", i, a, b)
+		}
+		for h := range a.Hops {
+			if a.Hops[h].Addr != b.Hops[h].Addr {
+				t.Fatalf("trace %d hop %d addr differs", i, h)
+			}
+			// RTT survives at microsecond precision.
+			if math.Abs(a.Hops[h].RTTms-b.Hops[h].RTTms) > 0.001 {
+				t.Fatalf("trace %d hop %d RTT differs: %v vs %v", i, h, a.Hops[h].RTTms, b.Hops[h].RTTms)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(cloudIdx uint8, region uint8, dst uint32, addrs []uint32, status uint8) bool {
+		clouds := []string{"amazon", "microsoft", "google"}
+		tr := probe.Trace{
+			Src:    probe.VMRef{Cloud: clouds[int(cloudIdx)%3], Region: int(region)},
+			Dst:    netblock.IP(dst),
+			Status: probe.Status(status % 3),
+		}
+		for i, a := range addrs {
+			if i%4 == 3 {
+				tr.Hops = append(tr.Hops, probe.Hop{})
+			} else {
+				tr.Hops = append(tr.Hops, probe.Hop{Addr: netblock.IP(a), RTTms: float64(a%100000) / 1000})
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		w.Write(tr)
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		var got []probe.Trace
+		if err := Read(&buf, func(tr probe.Trace) { got = append(got, tr) }); err != nil {
+			return false
+		}
+		if len(got) != 1 {
+			return false
+		}
+		b := got[0]
+		if b.Src != tr.Src || b.Dst != tr.Dst || b.Status != tr.Status || len(b.Hops) != len(tr.Hops) {
+			return false
+		}
+		for i := range tr.Hops {
+			if tr.Hops[i].Addr != b.Hops[i].Addr {
+				return false
+			}
+			if math.Abs(tr.Hops[i].RTTms-b.Hops[i].RTTms) > 0.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not a tracefile\n",
+		"# cloudmap tracefile v1\nT bogus\n",
+		"# cloudmap tracefile v1\nT amazon/x 1.2.3.4 0 *\n",
+		"# cloudmap tracefile v1\nT amazon/0 1.2.3.999 0 *\n",
+		"# cloudmap tracefile v1\nT amazon/0 1.2.3.4 9 *\n",
+		"# cloudmap tracefile v1\nT amazon/0 1.2.3.4 0 1.2.3.4\n",
+		"# cloudmap tracefile v1\nT amazon/0 1.2.3.4 0 1.2.3.4/-5\n",
+	}
+	for _, c := range cases {
+		if err := Read(strings.NewReader(c), func(probe.Trace) {}); err == nil {
+			t.Errorf("accepted garbage: %q", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# cloudmap tracefile v1\n\n# comment\nT amazon/0 1.2.3.4 0 *\n"
+	n := 0
+	if err := Read(strings.NewReader(ok), func(probe.Trace) { n++ }); err != nil || n != 1 {
+		t.Errorf("rejected valid file: %v (n=%d)", err, n)
+	}
+}
+
+func TestTee(t *testing.T) {
+	var a, b int
+	sink := Tee(func(probe.Trace) { a++ }, func(probe.Trace) { b++ })
+	sink(probe.Trace{})
+	sink(probe.Trace{})
+	if a != 2 || b != 2 {
+		t.Fatalf("tee delivered %d/%d", a, b)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	if err := Read(strings.NewReader(""), func(probe.Trace) {}); err != nil {
+		t.Fatalf("empty input rejected: %v", err)
+	}
+}

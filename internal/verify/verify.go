@@ -1,0 +1,297 @@
+// Package verify resolves the ambiguity of candidate interconnection
+// segments (§5): three heuristics confirm inferred ABIs (IXP-client, hybrid
+// interface, public reachability), and MIDAR alias sets determine router
+// ownership so mislabeled interfaces can be corrected (§5.2).
+package verify
+
+import (
+	"sort"
+
+	"cloudmap/internal/border"
+	"cloudmap/internal/midar"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/registry"
+)
+
+// Evidence is a bitmask of the heuristics confirming an ABI.
+type Evidence uint8
+
+// Heuristic evidence bits, ordered by the paper's confidence ranking.
+const (
+	EvIXP Evidence = 1 << iota
+	EvHybrid
+	EvReachability
+)
+
+// Options toggles individual heuristics (for the ablation benches).
+type Options struct {
+	UseIXP          bool
+	UseHybrid       bool
+	UseReachability bool
+	UseAliasSets    bool
+}
+
+// DefaultOptions enables everything, as the paper does.
+func DefaultOptions() Options {
+	return Options{UseIXP: true, UseHybrid: true, UseReachability: true, UseAliasSets: true}
+}
+
+// HeuristicCount pairs ABI and CBI confirmation counts (Table 2 cells).
+type HeuristicCount struct {
+	ABIs, CBIs int
+}
+
+// Result is the verified view of the border inference.
+type Result struct {
+	// EvidenceFor maps each candidate ABI to the heuristics confirming it.
+	EvidenceFor map[netblock.IP]Evidence
+
+	// Individual and Cumulative mirror Table 2's two rows, keyed by
+	// heuristic name ("ixp", "hybrid", "reachable").
+	Individual map[string]HeuristicCount
+	Cumulative map[string]HeuristicCount
+
+	// UnconfirmedABIs were matched by no heuristic (the paper's 0.37k
+	// single-organisation interconnects).
+	UnconfirmedABIs int
+
+	// Corrections applied by the alias-set stage (§5.2; the paper reports
+	// 18 ABI->CBI, 2 CBI->ABI, 25 CBI->CBI).
+	ABIToCBI, CBIToABI, CBIOwnerChange int
+
+	// AliasSetsUsed is the number of alias sets with a clear majority
+	// owner; MajorityShare counts sets where one AS owns >50% of members.
+	AliasSetsUsed int
+
+	// Final, corrected view.
+	Segments []border.Segment
+	ABIs     map[netblock.IP]registry.Annotation
+	CBIs     map[netblock.IP]registry.Annotation
+	// OwnerASN is the final AS attribution of every CBI (annotation,
+	// possibly overridden by alias majority).
+	OwnerASN map[netblock.IP]registry.ASN
+}
+
+// Reachability is the measurement callback for the §5.1 reachability
+// heuristic: it probes an address from the public-Internet vantage point.
+type Reachability func(netblock.IP) bool
+
+// Run applies the verification pipeline to a border inference.
+func Run(inf *border.Inference, reg *registry.Registry, reach Reachability, aliases []midar.AliasSet, opts Options) *Result {
+	res := &Result{
+		EvidenceFor: map[netblock.IP]Evidence{},
+		Individual:  map[string]HeuristicCount{},
+		Cumulative:  map[string]HeuristicCount{},
+		ABIs:        map[netblock.IP]registry.Annotation{},
+		CBIs:        map[netblock.IP]registry.Annotation{},
+		OwnerASN:    map[netblock.IP]registry.ASN{},
+	}
+
+	// Candidate ABIs in deterministic order.
+	cands := inf.CandidateABIs()
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+
+	// --- §5.1 heuristics -------------------------------------------------
+	cbiReachable := map[netblock.IP]bool{}
+	if opts.UseReachability {
+		for cbi := range inf.CBIs {
+			cbiReachable[cbi] = reach(cbi)
+		}
+	}
+
+	confirmedCBIs := func(ev Evidence) map[netblock.IP]struct{} {
+		set := map[netblock.IP]struct{}{}
+		for abi, got := range res.EvidenceFor {
+			if got&ev == 0 && ev != 0 {
+				continue
+			}
+			if got == 0 {
+				continue
+			}
+			for cbi := range inf.ABIs[abi].CBIs {
+				set[cbi] = struct{}{}
+			}
+		}
+		return set
+	}
+
+	// Individual counts need per-heuristic tallies; cumulative applies them
+	// in confidence order.
+	type heuristic struct {
+		name  string
+		ev    Evidence
+		check func(abi netblock.IP, ai *border.ABIInfo) bool
+	}
+	heuristics := []heuristic{}
+	if opts.UseIXP {
+		heuristics = append(heuristics, heuristic{"ixp", EvIXP, func(_ netblock.IP, ai *border.ABIInfo) bool {
+			for cbi := range ai.CBIs {
+				if inf.CBIs[cbi] != nil && inf.CBIs[cbi].Ann.IXP >= 0 {
+					return true
+				}
+			}
+			return false
+		}})
+	}
+	if opts.UseHybrid {
+		heuristics = append(heuristics, heuristic{"hybrid", EvHybrid, func(_ netblock.IP, ai *border.ABIInfo) bool {
+			return ai.CloudNext && len(ai.NextOrgs) > 0
+		}})
+	}
+	if opts.UseReachability {
+		heuristics = append(heuristics, heuristic{"reachable", EvReachability, func(abi netblock.IP, ai *border.ABIInfo) bool {
+			if reach(abi) {
+				return false // a publicly reachable "ABI" is suspect, not confirmed
+			}
+			for cbi := range ai.CBIs {
+				if cbiReachable[cbi] {
+					return true
+				}
+			}
+			return false
+		}})
+	}
+
+	for _, h := range heuristics {
+		count := HeuristicCount{}
+		cbis := map[netblock.IP]struct{}{}
+		for _, abi := range cands {
+			ai := inf.ABIs[abi]
+			if !h.check(abi, ai) {
+				continue
+			}
+			count.ABIs++
+			for cbi := range ai.CBIs {
+				cbis[cbi] = struct{}{}
+			}
+			res.EvidenceFor[abi] |= h.ev
+		}
+		count.CBIs = len(cbis)
+		res.Individual[h.name] = count
+
+		// Cumulative after applying this and all prior heuristics.
+		cumABIs := 0
+		for _, got := range res.EvidenceFor {
+			if got != 0 {
+				cumABIs++
+			}
+		}
+		res.Cumulative[h.name] = HeuristicCount{ABIs: cumABIs, CBIs: len(confirmedCBIs(0))}
+	}
+	for _, abi := range cands {
+		if res.EvidenceFor[abi] == 0 {
+			res.UnconfirmedABIs++
+		}
+	}
+
+	// --- §5.2 alias-set ownership ----------------------------------------
+	abiSet := map[netblock.IP]bool{}
+	for _, abi := range cands {
+		abiSet[abi] = true
+	}
+	demoted := map[netblock.IP]bool{} // ABI -> relabelled to CBI
+	promoted := map[netblock.IP]registry.Annotation{}
+	ownerOverride := map[netblock.IP]registry.ASN{}
+
+	if opts.UseAliasSets {
+		for _, set := range aliases {
+			ownerASN, ok := majorityOwner(set, reg)
+			if !ok {
+				continue
+			}
+			res.AliasSetsUsed++
+			ownerIsAmazon := reg.AmazonASNs[ownerASN]
+			for _, addr := range set {
+				switch {
+				case abiSet[addr] && !ownerIsAmazon:
+					// An inferred ABI on a client-owned router: the Fig. 2
+					// shift. Relabel and move the segment one hop up.
+					if !demoted[addr] {
+						demoted[addr] = true
+						res.ABIToCBI++
+						ownerOverride[addr] = ownerASN
+					}
+				case !abiSet[addr] && inf.CBIs[addr] != nil && ownerIsAmazon:
+					if _, done := promoted[addr]; !done {
+						promoted[addr] = inf.CBIs[addr].Ann
+						res.CBIToABI++
+					}
+				case !abiSet[addr] && inf.CBIs[addr] != nil && !ownerIsAmazon:
+					if inf.CBIs[addr].Ann.ASN != 0 && inf.CBIs[addr].Ann.ASN != ownerASN {
+						res.CBIOwnerChange++
+						ownerOverride[addr] = ownerASN
+					}
+				}
+			}
+		}
+	}
+
+	// --- assemble the corrected view --------------------------------------
+	segSeen := map[border.Segment]bool{}
+	addSeg := func(s border.Segment) {
+		if !segSeen[s] {
+			segSeen[s] = true
+			res.Segments = append(res.Segments, s)
+		}
+	}
+	for seg, si := range inf.Segments {
+		abi, cbi := seg.ABI, seg.CBI
+		if demoted[abi] {
+			// The true segment is the preceding one: prev -> abi.
+			if si.PrevABI != netblock.Zero {
+				addSeg(border.Segment{ABI: si.PrevABI, CBI: abi})
+				res.ABIs[si.PrevABI] = reg.Annotate(si.PrevABI)
+			}
+			res.CBIs[abi] = reg.Annotate(abi)
+			// The old "CBI" remains a client interface one hop deeper; it
+			// stays in the CBI inventory but the segment is corrected.
+			res.CBIs[cbi] = inf.CBIs[cbi].Ann
+			continue
+		}
+		if _, isPromoted := promoted[cbi]; isPromoted {
+			// The "CBI" is on an Amazon router (e.g. a third-party reply):
+			// discard the segment; the interface joins the ABI side.
+			res.ABIs[cbi] = inf.CBIs[cbi].Ann
+			continue
+		}
+		addSeg(seg)
+		res.ABIs[abi] = inf.ABIs[abi].Ann
+		res.CBIs[cbi] = inf.CBIs[cbi].Ann
+	}
+	sort.Slice(res.Segments, func(i, j int) bool {
+		if res.Segments[i].ABI != res.Segments[j].ABI {
+			return res.Segments[i].ABI < res.Segments[j].ABI
+		}
+		return res.Segments[i].CBI < res.Segments[j].CBI
+	})
+
+	for cbi, ann := range res.CBIs {
+		if asn, ok := ownerOverride[cbi]; ok {
+			res.OwnerASN[cbi] = asn
+		} else {
+			res.OwnerASN[cbi] = ann.ASN
+		}
+	}
+	return res
+}
+
+// majorityOwner returns the AS owning a strict majority of an alias set's
+// member addresses (by annotation), as §5.2 requires.
+func majorityOwner(set midar.AliasSet, reg *registry.Registry) (registry.ASN, bool) {
+	counts := map[registry.ASN]int{}
+	total := 0
+	for _, addr := range set {
+		ann := reg.Annotate(addr)
+		if ann.ASN == 0 {
+			continue
+		}
+		counts[ann.ASN]++
+		total++
+	}
+	for asn, n := range counts {
+		if 2*n > total {
+			return asn, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,105 @@
+package vpi_test
+
+import (
+	"sync"
+	"testing"
+
+	"cloudmap"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/vpi"
+)
+
+var (
+	once sync.Once
+	res  *cloudmap.Result
+	err  error
+)
+
+func setup(t *testing.T) *cloudmap.Result {
+	t.Helper()
+	once.Do(func() {
+		cfg := cloudmap.SmallConfig()
+		cfg.SkipBdrmap = true
+		res, err = cloudmap.Run(cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPoolContents(t *testing.T) {
+	r := setup(t)
+	pool := vpi.Pool(r.Border)
+	if len(pool) == 0 {
+		t.Fatal("empty pool")
+	}
+	inPool := make(map[netblock.IP]bool, len(pool))
+	for i := 1; i < len(pool); i++ {
+		if pool[i-1] >= pool[i] {
+			t.Fatal("pool not sorted/deduplicated")
+		}
+	}
+	for _, ip := range pool {
+		inPool[ip] = true
+	}
+	// Every non-IXP CBI and its +1 neighbour must be in the pool.
+	for addr, ci := range r.Border.CBIs {
+		if ci.Ann.IXP >= 0 {
+			continue
+		}
+		if !inPool[addr] || !inPool[addr+1] {
+			t.Fatalf("pool missing CBI %v or its +1", addr)
+		}
+		if ci.SampleDst != netblock.Zero && !inPool[ci.SampleDst] {
+			t.Fatalf("pool missing sample destination %v", ci.SampleDst)
+		}
+	}
+}
+
+func TestDetectCumulativeMonotone(t *testing.T) {
+	r := setup(t)
+	v := r.VPI
+	if len(v.Order) != 4 {
+		t.Fatalf("probed %d clouds", len(v.Order))
+	}
+	prev := 0
+	for _, c := range v.Order {
+		if v.Cumulative[c] < prev {
+			t.Fatalf("cumulative shrank at %s", c)
+		}
+		if v.Cumulative[c] < len(v.Pairwise[c]) {
+			t.Fatalf("cumulative below pairwise at %s", c)
+		}
+		prev = v.Cumulative[c]
+	}
+	if v.Cumulative[v.Order[len(v.Order)-1]] != len(v.VPICBIs) {
+		t.Fatal("final cumulative != union size")
+	}
+}
+
+func TestOverlapsAreAmazonCBIs(t *testing.T) {
+	r := setup(t)
+	for addr := range r.VPI.VPICBIs {
+		ci, ok := r.Border.CBIs[addr]
+		if !ok {
+			t.Fatalf("VPI CBI %v is not an Amazon CBI", addr)
+		}
+		if ci.Ann.IXP >= 0 {
+			t.Fatalf("VPI CBI %v is an IXP interface", addr)
+		}
+		if !r.VPI.IsVPI(addr) {
+			t.Fatal("IsVPI inconsistent with VPICBIs")
+		}
+	}
+	if r.VPI.IsVPI(netblock.MustParseIP("203.0.113.1")) {
+		t.Error("IsVPI matched an unknown address")
+	}
+}
+
+func TestDetectRejectsUnknownCloud(t *testing.T) {
+	r := setup(t)
+	if _, err := vpi.Detect(r.System.Prober, r.System.Registry, r.Border, []string{"nimbus"}); err == nil {
+		t.Fatal("unknown cloud accepted")
+	}
+}

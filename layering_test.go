@@ -1,0 +1,62 @@
+package cloudmap
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestInferenceNeverImportsGroundTruth enforces the repository's central
+// honesty rule: the inference packages must work from measurements and
+// public datasets alone. Any import of internal/model (ground truth) or
+// internal/topo (the generator) from non-test inference code would let the
+// pipeline cheat; this test makes such a change fail CI.
+func TestInferenceNeverImportsGroundTruth(t *testing.T) {
+	inferencePkgs := []string{
+		"internal/border",
+		"internal/verify",
+		"internal/pinning",
+		"internal/vpi",
+		"internal/grouping",
+		"internal/icg",
+		"internal/bdrmap",
+	}
+	forbidden := []string{
+		"cloudmap/internal/model",
+		"cloudmap/internal/topo",
+		"cloudmap/internal/route",
+	}
+	fset := token.NewFileSet()
+	for _, pkg := range inferencePkgs {
+		entries, err := os.ReadDir(pkg)
+		if err != nil {
+			t.Fatalf("read %s: %v", pkg, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(pkg, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			for _, imp := range f.Imports {
+				impPath, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				for _, bad := range forbidden {
+					if impPath == bad {
+						t.Errorf("%s imports %s: inference code must not see ground truth", path, bad)
+					}
+				}
+			}
+		}
+	}
+}

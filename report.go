@@ -1,0 +1,65 @@
+package cloudmap
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudmap/internal/report"
+)
+
+// WriteFigureData dumps the raw series behind every figure (4a, 4b, 5, 6,
+// 7a, 7b) as CSV files into dir, ready for gnuplot/matplotlib.
+func (r *Result) WriteFigureData(dir string) error {
+	return report.WriteCSV(dir, r.Pinning, r.Groups, r.Graph)
+}
+
+// Report renders the full evaluation — every table and figure of the paper —
+// as text.
+func (r *Result) Report() string {
+	var b strings.Builder
+
+	b.WriteString("=== cloudmap: Amazon peering fabric reproduction ===\n\n")
+	s := r.Border.Stats
+	fmt.Fprintf(&b, "campaign: %d traceroutes; %.1f%% completed; %.1f%% left Amazon; excluded: %d loops, %d gaps, %d dst-CBI, %d dups\n",
+		s.Traces, 100*float64(s.Completed)/float64(maxInt(s.Traces, 1)),
+		100*float64(s.LeftCloud)/float64(maxInt(s.Traces, 1)),
+		s.ExcludedLoop, s.ExcludedGap, s.ExcludedDst, s.ExcludedDup)
+	fmt.Fprintf(&b, "peer ASes: %d after round 1, %d final\n\n",
+		r.Round1PeerASes, len(r.Border.PeerASNs()))
+
+	b.WriteString(report.Table1(r.Round1ABIs, r.Round1CBIs, r.Border.BreakdownABIs(), r.Border.BreakdownCBIs()))
+	b.WriteString("\n")
+	b.WriteString(report.Table2(r.Verified, len(r.Border.CandidateABIs())))
+	b.WriteString("\n")
+	b.WriteString(report.Table3(r.Pinning))
+	b.WriteString(report.PinningEval(r.PinningCV, r.Pinning, len(r.System.Registry.AmazonListedCities)))
+	b.WriteString("\n")
+	b.WriteString(report.Fig4(r.Pinning))
+	b.WriteString("\n")
+	b.WriteString(report.Fig5(r.Pinning))
+	b.WriteString("\n")
+	b.WriteString(report.Table4(r.VPI))
+	b.WriteString("\n")
+	b.WriteString(report.Table5(r.Groups))
+	b.WriteString("\n")
+	b.WriteString(report.Table6(r.Groups))
+	fmt.Fprintf(&b, "\nBGP coverage: %d reported, %d found + %d via siblings (%.1f%%); %d peerings beyond BGP\n",
+		r.Groups.BGPReported, r.Groups.BGPFound, r.Groups.BGPSiblings, r.Groups.CoveragePct, r.Groups.BeyondBGP)
+	fmt.Fprintf(&b, "Direct-Connect DNS evidence on Pr-nB CBIs: %d dx-keyword names, %d VLAN tags\n\n",
+		r.Groups.DXNames, r.Groups.VLANNames)
+	b.WriteString(report.Fig6(r.Groups))
+	b.WriteString("\n")
+	b.WriteString(report.Fig7(r.Graph))
+	if r.Bdrmap != nil {
+		b.WriteString("\n")
+		b.WriteString(report.Bdrmap(r.Bdrmap))
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

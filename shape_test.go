@@ -1,0 +1,80 @@
+package cloudmap
+
+import "testing"
+
+// TestMediumScaleShape re-asserts the paper's headline shapes at 5x the unit
+// -test scale, where scale-dependent effects (giant component, VPI share,
+// group balance) are much closer to their paper values. It runs for tens of
+// seconds and is skipped under -short.
+func TestMediumScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale shape check skipped in -short mode")
+	}
+	cfg := MediumConfig()
+	cfg.SkipBdrmap = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expansion probing must contribute a double-digit CBI share (§4.2).
+	r1, final := res.Round1CBIs.Total, res.Border.BreakdownCBIs().Total
+	if growth := float64(final-r1) / float64(r1); growth < 0.05 {
+		t.Errorf("expansion grew CBIs only %.1f%%", 100*growth)
+	}
+
+	// Verification confirms most but not all ABIs (Table 2: 87.8%).
+	total := len(res.Border.CandidateABIs())
+	confirmed := float64(total-res.Verified.UnconfirmedABIs) / float64(total)
+	if confirmed < 0.8 || confirmed > 0.99 {
+		t.Errorf("confirmed ABI share %.1f%%; paper: 87.8%%", 100*confirmed)
+	}
+
+	// VPI share in the paper's band (Table 4: 20.23%).
+	vpiShare := float64(len(res.VPI.VPICBIs)) / float64(res.VPI.AmazonNonIXPCBIs)
+	if vpiShare < 0.08 || vpiShare > 0.35 {
+		t.Errorf("VPI share %.1f%%; paper: 20.2%%", 100*vpiShare)
+	}
+	if n := len(res.VPI.Pairwise["oracle"]); n != 0 {
+		t.Errorf("oracle overlap %d; paper: 0", n)
+	}
+
+	// Hidden share near a third (§7.2: 33.3%).
+	if res.Groups.HiddenShare < 0.2 || res.Groups.HiddenShare > 0.5 {
+		t.Errorf("hidden share %.1f%%; paper: 33.3%%", 100*res.Groups.HiddenShare)
+	}
+
+	// Aggregate ordering of Table 5 and the per-AS CBI gradient.
+	g := res.Groups
+	if !(g.Aggregates["Pb"].ASes > g.Aggregates["Pr-nB"].ASes &&
+		g.Aggregates["Pr-nB"].ASes > g.Aggregates["Pr-B"].ASes) {
+		t.Errorf("Table 5 AS ordering broken: %+v", g.Aggregates)
+	}
+	prBperAS := float64(g.Aggregates["Pr-B"].CBIs) / float64(g.Aggregates["Pr-B"].ASes)
+	pbPerAS := float64(g.Aggregates["Pb"].CBIs) / float64(g.Aggregates["Pb"].ASes)
+	if prBperAS < 5*pbPerAS {
+		t.Errorf("CBIs/AS gradient too flat: Pr-B %.1f vs Pb %.1f", prBperAS, pbPerAS)
+	}
+
+	// Giant component at medium scale (measured ~50-65%; paper 92% at 1.0).
+	if res.Graph.LargestCCFrac < 0.35 {
+		t.Errorf("largest CC %.1f%% at medium scale", 100*res.Graph.LargestCCFrac)
+	}
+
+	// Pinning: high-precision CV, coverage in a broad band around the
+	// paper's 50%/80% (metro / incl. region).
+	if res.PinningCV.Precision < 0.85 {
+		t.Errorf("CV precision %.2f", res.PinningCV.Precision)
+	}
+	metroCov := float64(len(res.Pinning.Metro)) / float64(res.Pinning.TotalIfaces)
+	if metroCov < 0.3 || metroCov > 0.9 {
+		t.Errorf("metro coverage %.1f%%", 100*metroCov)
+	}
+
+	// BGP badly under-reports the fabric (§7.3): beyond-BGP peerings must
+	// dwarf the BGP-visible ones.
+	if res.Groups.BeyondBGP < 5*res.Groups.BGPReported {
+		t.Errorf("beyond-BGP %d vs reported %d; expected a large multiple",
+			res.Groups.BeyondBGP, res.Groups.BGPReported)
+	}
+}
