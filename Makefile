@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full gate: vet + build + race tests + fuzz smoke (see scripts/check.sh).
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+fuzz:
+	sh scripts/check.sh 30

@@ -12,10 +12,16 @@
 //	res, err := cloudmap.Run(cloudmap.SmallConfig())
 //
 // after which res holds every table and figure of the paper's evaluation.
+// RunPipeline is the staged form of the same run: an explicit stage DAG
+// with per-stage metrics, context cancellation, tracefile checkpointing of
+// the probing campaigns, resume from stored traces, and a JSON run
+// manifest.
 package cloudmap
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"cloudmap/internal/bdrmap"
 	"cloudmap/internal/border"
@@ -58,8 +64,8 @@ type Config struct {
 	// Bdrmap tunes the §8 baseline.
 	Bdrmap bdrmap.Config
 	// Workers parallelises the probing campaigns across goroutines
-	// (results stay byte-identical to a sequential run). <=1 means
-	// sequential.
+	// (results stay byte-identical to a sequential run). <=0 defaults to
+	// runtime.GOMAXPROCS(0); 1 means sequential.
 	Workers int
 	// RecordTraces, when non-nil, receives a copy of every Amazon-campaign
 	// traceroute (rounds 1 and 2) — wire it to a tracefile.Writer to
@@ -150,83 +156,29 @@ type Result struct {
 	Bdrmap     *bdrmap.Comparison
 }
 
-// Run executes the full pipeline.
-func Run(cfg Config) (*Result, error) {
-	sys, err := NewSystem(cfg)
-	if err != nil {
-		return nil, err
+// withDefaults is the one place run-time defaults are applied: every entry
+// point (Run, RunOn, RunPipeline) normalises its Config here before use.
+func (cfg Config) withDefaults() Config {
+	if cfg.CVFolds <= 0 {
+		cfg.CVFolds = 10
 	}
-	return RunOn(sys, cfg)
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg
+}
+
+// Run executes the full pipeline. The staged form with telemetry,
+// checkpointing, and cancellation is RunPipeline; Run keeps the
+// one-call-no-options interface.
+func Run(cfg Config) (*Result, error) {
+	res, _, err := RunPipeline(context.Background(), nil, cfg, RunOptions{})
+	return res, err
 }
 
 // RunOn executes the pipeline over an existing system (lets callers reuse
 // one simulated world across ablation runs).
 func RunOn(sys *System, cfg Config) (*Result, error) {
-	res := &Result{System: sys, Config: cfg}
-	if cfg.CVFolds <= 0 {
-		cfg.CVFolds = 10
-	}
-
-	// §3 + §4.1: round-1 campaign from all Amazon regions.
-	inf := border.New(sys.Registry, "amazon")
-	vms := sys.Prober.VMs("amazon")
-	sink := probe.TraceSink(inf.Consume)
-	if cfg.RecordTraces != nil {
-		record := cfg.RecordTraces
-		sink = func(tr probe.Trace) {
-			record(tr)
-			inf.Consume(tr)
-		}
-	}
-	targets := probe.Round1Targets(sys.Topology, probe.Round1Options{IncludePrivate: cfg.IncludePrivateTargets})
-	if err := sys.Prober.CampaignParallel(vms, targets, cfg.Workers, sink); err != nil {
-		return nil, fmt.Errorf("cloudmap: round 1: %w", err)
-	}
-	res.Round1ABIs = inf.BreakdownABIs()
-	res.Round1CBIs = inf.BreakdownCBIs()
-	res.Round1PeerASes = len(inf.PeerASNs())
-
-	// §4.2: expansion probing.
-	if !cfg.SkipExpansion {
-		inf.BeginRound2()
-		exp := probe.ExpansionTargets(inf.CandidateCBIs())
-		if err := sys.Prober.CampaignParallel(vms, exp, cfg.Workers, sink); err != nil {
-			return nil, fmt.Errorf("cloudmap: round 2: %w", err)
-		}
-	}
-	res.Border = inf
-
-	// §5.2 prerequisite: alias resolution over all candidate interfaces.
-	if !cfg.SkipAliasResolution {
-		aliasTargets := append(inf.CandidateABIs(), inf.CandidateCBIs()...)
-		res.Aliases = midar.Resolve(sys.Prober, vms, aliasTargets, cfg.Midar)
-	}
-
-	// §5: heuristics + alias corrections.
-	res.Verified = verify.Run(inf, sys.Registry, sys.Prober.ReachableFromVP, res.Aliases, cfg.Verify)
-
-	// §6: pinning + §6.2 cross-validation.
-	res.Pinning = pinning.Run(res.Verified, inf, sys.Registry, sys.Prober, res.Aliases, cfg.Pinning)
-	res.PinningCV = pinning.CrossValidate(res.Pinning, res.Aliases, cfg.CVFolds, 0.7, cfg.Topology.Seed)
-
-	// §7.1: VPI detection from foreign clouds.
-	res.VPI = detectVPIs(sys, res, cfg.VPIClouds)
-
-	// §7.2-7.3: peering classification.
-	res.Groups = classifyPeerings(sys, res)
-
-	// §7.4: interface connectivity graph.
-	res.Graph = buildICG(res)
-
-	// §8: bdrmap baseline.
-	if !cfg.SkipBdrmap {
-		runs, err := bdrmap.Run(sys.Prober, sys.Registry, "amazon", cfg.Bdrmap)
-		if err != nil {
-			return nil, fmt.Errorf("cloudmap: bdrmap: %w", err)
-		}
-		res.BdrmapRuns = runs
-		cmp := bdrmap.Compare(runs, res.Verified, sys.Registry)
-		res.Bdrmap = &cmp
-	}
-	return res, nil
+	res, _, err := RunPipeline(context.Background(), sys, cfg, RunOptions{})
+	return res, err
 }

@@ -1,6 +1,7 @@
 package cloudmap
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 var (
 	runOnce sync.Once
 	runRes  *Result
+	runRep  *RunReport
 	runErr  error
 )
 
@@ -17,12 +19,19 @@ var (
 func smallRun(t *testing.T) *Result {
 	t.Helper()
 	runOnce.Do(func() {
-		runRes, runErr = Run(SmallConfig())
+		runRes, runRep, runErr = RunPipeline(context.Background(), nil, SmallConfig(), RunOptions{})
 	})
 	if runErr != nil {
 		t.Fatal(runErr)
 	}
 	return runRes
+}
+
+// smallReport returns the RunReport of the shared small run.
+func smallReport(t *testing.T) *RunReport {
+	t.Helper()
+	smallRun(t)
+	return runRep
 }
 
 func TestPipelineEndToEnd(t *testing.T) {

@@ -6,14 +6,21 @@
 // Usage:
 //
 //	cloudmap [-scale small|medium|paper] [-seed N] [-skip-bdrmap] [-o report.txt]
+//	         [-checkpoint-dir DIR] [-resume] [-metrics-out m.json]
+//
+// The run is interruptible: Ctrl-C cancels the pipeline promptly, and with
+// -checkpoint-dir the probing campaigns are persisted as they run, so a
+// second invocation with -resume replays the stored traces instead of
+// re-probing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"runtime"
+	"os/signal"
 	"time"
 
 	"cloudmap"
@@ -23,11 +30,14 @@ import (
 func main() {
 	scale := flag.String("scale", "small", "topology scale: small, medium, or paper")
 	seed := flag.Uint64("seed", 1, "generation seed")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel probing workers (output is identical regardless)")
+	workers := flag.Int("workers", 0, "parallel probing workers; <=0 uses all CPUs (output is identical regardless)")
 	skipBdrmap := flag.Bool("skip-bdrmap", false, "skip the §8 bdrmap baseline")
 	out := flag.String("o", "", "also write the report to this file")
 	traces := flag.String("traces", "", "archive the Amazon campaign to this tracefile")
 	csvDir := flag.String("csv", "", "dump figure data as CSV files into this directory")
+	checkpointDir := flag.String("checkpoint-dir", "", "persist probing rounds and the run manifest in this directory")
+	resume := flag.Bool("resume", false, "replay complete campaign checkpoints from -checkpoint-dir instead of re-probing")
+	metricsOut := flag.String("metrics-out", "", "write the run manifest (per-stage timings, allocations, counters) as JSON to this file")
 	flag.Parse()
 
 	var cfg cloudmap.Config
@@ -60,9 +70,34 @@ func main() {
 		cfg.RecordTraces = w.Sink()
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	res, err := cloudmap.Run(cfg)
+	res, rep, err := cloudmap.RunPipeline(ctx, nil, cfg, cloudmap.RunOptions{
+		CheckpointDir: *checkpointDir,
+		Resume:        *resume,
+	})
+	if rep != nil && *metricsOut != "" {
+		f, merr := os.Create(*metricsOut)
+		if merr == nil {
+			merr = rep.WriteManifestJSON(f)
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+		}
+		if merr != nil {
+			log.Printf("metrics: %v", merr)
+		} else {
+			fmt.Printf("run manifest written to %s\n", *metricsOut)
+		}
+	}
 	if err != nil {
+		// rep is nil when the run was rejected before any stage started
+		// (bad options, incompatible checkpoint dir) — no checkpoints then.
+		if *checkpointDir != "" && rep != nil {
+			log.Printf("run did not finish; partial checkpoints kept in %s", *checkpointDir)
+		}
 		log.Fatal(err)
 	}
 	if traceWriter != nil {

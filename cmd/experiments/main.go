@@ -6,14 +6,16 @@
 // Usage:
 //
 //	experiments [-scale paper] [-seed N] [-o experiments_report.txt]
+//	            [-checkpoint-dir DIR] [-resume] [-metrics-out m.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"runtime"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -25,8 +27,11 @@ import (
 func main() {
 	scale := flag.String("scale", "paper", "topology scale: small, medium, or paper")
 	seed := flag.Uint64("seed", 1, "generation seed")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel probing workers (output is identical regardless)")
+	workers := flag.Int("workers", 0, "parallel probing workers; <=0 uses all CPUs (output is identical regardless)")
 	out := flag.String("o", "experiments_report.txt", "write the full report here")
+	checkpointDir := flag.String("checkpoint-dir", "", "persist probing rounds and the run manifest in this directory")
+	resume := flag.Bool("resume", false, "replay complete campaign checkpoints from -checkpoint-dir instead of re-probing")
+	metricsOut := flag.String("metrics-out", "", "write the run manifest (per-stage timings, counters) as JSON to this file")
 	flag.Parse()
 
 	var cfg cloudmap.Config
@@ -43,8 +48,24 @@ func main() {
 	cfg.Topology.Seed = *seed
 	cfg.Workers = *workers
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	res, err := cloudmap.Run(cfg)
+	res, rep, err := cloudmap.RunPipeline(ctx, nil, cfg, cloudmap.RunOptions{
+		CheckpointDir: *checkpointDir,
+		Resume:        *resume,
+	})
+	if rep != nil && *metricsOut != "" {
+		if f, merr := os.Create(*metricsOut); merr != nil {
+			log.Printf("metrics: %v", merr)
+		} else {
+			if merr := rep.WriteManifestJSON(f); merr != nil {
+				log.Printf("metrics: %v", merr)
+			}
+			f.Close()
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

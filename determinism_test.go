@@ -1,6 +1,9 @@
 package cloudmap
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestEndToEndDeterminism runs the complete pipeline twice with the same
 // seed and requires byte-identical reports: generation, forwarding, probing
@@ -15,6 +18,7 @@ func TestEndToEndDeterminism(t *testing.T) {
 	}
 	cfg := SmallConfig()
 	cfg.Topology.Seed = 777
+	cfg.Workers = 1 // explicit: Workers<=0 now defaults to all CPUs
 
 	a, err := Run(cfg)
 	if err != nil {
@@ -52,13 +56,34 @@ func TestEndToEndDeterminism(t *testing.T) {
 		t.Fatalf("reports diverge at byte %d:\nrun A: ...%s...\nrun B: ...%s...", at, ra[lo:hiA], rb[lo:hiB])
 	}
 
-	// Parallel probing must not change anything either.
+	// Parallel probing must not change anything either; this run also
+	// writes campaign checkpoints for the resume leg below.
 	cfg.Workers = 4
-	c, err := Run(cfg)
+	dir := t.TempDir()
+	c, _, err := RunPipeline(context.Background(), nil, cfg, RunOptions{CheckpointDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Report() != ra {
 		t.Fatal("parallel-worker run diverged from sequential run")
+	}
+
+	// A resumed run — probing rounds replayed from the stored tracefiles
+	// instead of re-probed — must be byte-identical too.
+	d, rep, err := RunPipeline(context.Background(), nil, cfg, RunOptions{CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := 0
+	for _, st := range rep.Manifest.Stages {
+		if st.Status == "resumed" {
+			resumed++
+		}
+	}
+	if resumed != 2 {
+		t.Fatalf("%d stages resumed from checkpoint, want campaign and expansion", resumed)
+	}
+	if d.Report() != ra {
+		t.Fatal("resumed run diverged from fresh run")
 	}
 }

@@ -1,0 +1,316 @@
+// Package metrics provides the lightweight instrumentation layer used by the
+// pipeline runner: named counters, gauges, and log-bucketed histograms with
+// p50/p95/p99 summaries, all exportable as JSON.
+//
+// Everything on the observation path is lock-free (atomic adds and CAS
+// loops), so probing campaigns can bump counters per trace without
+// contending: a Counter.Add is one atomic add, a Histogram.Observe is two
+// atomic adds plus two bounded CAS loops. Registry lookups take a mutex and
+// should be hoisted out of hot loops (look the instrument up once, then
+// observe through the returned pointer).
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically adjusted integer (atomic).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-write-wins float value (atomic).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets is one bucket per power of two: bucket i counts observations v
+// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). Bucket 0 counts zeros.
+const histBuckets = 65
+
+// Histogram accumulates non-negative int64 observations (durations in
+// nanoseconds, sizes, counts) into power-of-two buckets. Quantiles are
+// estimated by linear interpolation inside the selected bucket, clamped to
+// the observed min/max, so they are exact at the distribution's edges and
+// within a factor of two elsewhere — plenty for stage-level telemetry, at a
+// per-observation cost low enough for per-trace use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value; negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+	if h.count.Add(1) == 1 {
+		// First observation seeds min/max; racing observers correct below.
+		h.min.Store(v)
+		h.max.Store(v)
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// HistogramSummary is the JSON-exported digest of a histogram.
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Summary digests the histogram. Concurrent Observe calls may leave the
+// digest internally off by a few observations; summaries are meant to be
+// taken after (or between) measurement phases.
+func (h *Histogram) Summary() HistogramSummary {
+	n := h.count.Load()
+	if n == 0 {
+		return HistogramSummary{}
+	}
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	s := HistogramSummary{
+		Count: n,
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+		Mean:  float64(h.sum.Load()) / float64(n),
+	}
+	s.P50 = quantile(counts[:], n, 0.50, s.Min, s.Max)
+	s.P95 = quantile(counts[:], n, 0.95, s.Min, s.Max)
+	s.P99 = quantile(counts[:], n, 0.99, s.Min, s.Max)
+	return s
+}
+
+// quantile locates the bucket holding the q-th observation and interpolates
+// linearly across the bucket's value range.
+func quantile(counts []int64, n int64, q float64, min, max int64) int64 {
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := bucketBounds(i)
+			frac := float64(rank-cum-1) / float64(c)
+			v := lo + int64(frac*float64(hi-lo))
+			if v < min {
+				v = min
+			}
+			if v > max {
+				v = max
+			}
+			return v
+		}
+		cum += c
+	}
+	return max
+}
+
+// bucketBounds returns the inclusive value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i >= 63 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1)<<i - 1
+}
+
+// Registry is a namespace of instruments. Lookups get-or-create and are
+// mutex-guarded; the returned instruments are lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time JSON-marshallable view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64            `json:"counters,omitempty"`
+	Gauges     map[string]float64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSummary, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.Summary()
+		}
+	}
+	return s
+}
+
+// Scope filters a snapshot down to instruments whose name starts with
+// prefix, stripping the prefix from the returned names. Empty sections stay
+// nil so they marshal away.
+func (s Snapshot) Scope(prefix string) Snapshot {
+	out := Snapshot{}
+	for name, v := range s.Counters {
+		if rest, ok := strings.CutPrefix(name, prefix); ok {
+			if out.Counters == nil {
+				out.Counters = make(map[string]int64)
+			}
+			out.Counters[rest] = v
+		}
+	}
+	for name, v := range s.Gauges {
+		if rest, ok := strings.CutPrefix(name, prefix); ok {
+			if out.Gauges == nil {
+				out.Gauges = make(map[string]float64)
+			}
+			out.Gauges[rest] = v
+		}
+	}
+	for name, v := range s.Histograms {
+		if rest, ok := strings.CutPrefix(name, prefix); ok {
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]HistogramSummary)
+			}
+			out.Histograms[rest] = v
+		}
+	}
+	return out
+}
+
+// Names lists every instrument name, sorted (for stable reports and tests).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes an indented JSON snapshot. Map keys marshal sorted, so
+// the output is deterministic for a given set of values.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

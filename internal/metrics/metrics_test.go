@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("traces")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	// Same name returns the same counter.
+	if r.Counter("traces") != c {
+		t.Fatal("lookup did not return the existing counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("share")
+	g.Set(0.42)
+	if v := g.Value(); v != 0.42 {
+		t.Fatalf("gauge = %v, want 0.42", v)
+	}
+	g.Set(-1.5)
+	if v := g.Value(); v != -1.5 {
+		t.Fatalf("gauge = %v, want -1.5", v)
+	}
+}
+
+func TestHistogramExactEdges(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-500.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 500.5", s.Mean)
+	}
+	// Log-bucketed quantiles are approximate: require the right bucket
+	// (within a factor of two of the true quantile).
+	checks := []struct {
+		got, want int64
+	}{{s.P50, 500}, {s.P95, 950}, {s.P99, 990}}
+	for _, c := range checks {
+		if c.got < c.want/2 || c.got > c.want*2 {
+			t.Errorf("quantile %d not within 2x of %d", c.got, c.want)
+		}
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("quantiles not monotone: %d %d %d", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramSingleValueAndClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(-5) // clamps to 0
+	h.Observe(0)
+	s := h.Summary()
+	if s.Count != 2 || s.Min != 0 || s.Max != 0 || s.P99 != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+
+	var one Histogram
+	one.ObserveDuration(3 * time.Millisecond)
+	s = one.Summary()
+	want := int64(3 * time.Millisecond)
+	if s.Min != want || s.Max != want || s.P50 != want || s.P99 != want {
+		t.Fatalf("single-value summary = %+v, want all %d", s, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Summary()
+	if s.Count != 2000 || s.Min != 0 || s.Max != 3499 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestEmptyHistogramSummary(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s != (HistogramSummary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSnapshotScopeAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("campaign.traces").Add(42)
+	r.Counter("expansion.traces").Add(7)
+	r.Gauge("campaign.rate").Set(1.5)
+	r.Histogram("campaign.hops").Observe(9)
+
+	scoped := r.Snapshot().Scope("campaign.")
+	if scoped.Counters["traces"] != 42 {
+		t.Fatalf("scoped counters = %v", scoped.Counters)
+	}
+	if _, leaked := scoped.Counters["expansion.traces"]; leaked {
+		t.Fatal("scope leaked foreign counter")
+	}
+	if scoped.Gauges["rate"] != 1.5 || scoped.Histograms["hops"].Count != 1 {
+		t.Fatalf("scoped snapshot = %+v", scoped)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, buf.String())
+	}
+	if back.Counters["campaign.traces"] != 42 || back.Histograms["campaign.hops"].P50 != 9 {
+		t.Fatalf("round-tripped snapshot = %+v", back)
+	}
+
+	names := r.Names()
+	if len(names) != 4 || names[0] != "campaign.hops" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -1,0 +1,263 @@
+// Package pipeline is an explicit stage-DAG runner for the reproduction's
+// workflow. The paper's pipeline is staged and restartable by design — 16
+// days of probing are collected once, then the §4–§8 inference stages are
+// re-run many times over the stored traces — so the orchestration layer
+// declares named stages with explicit dependencies instead of being one
+// opaque function. The runner contributes what a monolith cannot:
+//
+//   - per-stage wall-clock, allocation, and goroutine telemetry plus scoped
+//     counters/gauges/histograms (internal/metrics), exported as JSON;
+//   - context-based cancellation checked between stages and passed into each
+//     stage for prompt mid-stage aborts;
+//   - checkpoint/resume hooks: a stage that persisted its outputs can
+//     restore them instead of recomputing, which lets a run skip the
+//     expensive probing campaigns entirely.
+//
+// Stages share a caller-defined state type S; each stage reads the fields
+// its dependencies filled in and writes its own. Execution order is the
+// deterministic topological order of the declared DAG (insertion order
+// breaks ties), so same-seed runs remain byte-identical.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"cloudmap/internal/metrics"
+)
+
+// Stage is one named unit of work over the shared state S.
+type Stage[S any] struct {
+	// Name identifies the stage in metrics, manifests, and Needs lists.
+	Name string
+	// Needs lists stages that must have finished (run, resumed, or been
+	// skipped) before this one starts.
+	Needs []string
+	// Skip, when non-nil and true, marks the stage configuration-disabled:
+	// it is recorded as skipped and its dependents still run.
+	Skip func(s *S) bool
+	// Resume, when non-nil and resume mode is on, tries to restore the
+	// stage's outputs from a checkpoint. Returning true skips Run and
+	// records the stage as resumed; returning false falls through to Run.
+	Resume func(ctx context.Context, s *S, sc *StageContext) (bool, error)
+	// Run executes the stage.
+	Run func(ctx context.Context, s *S, sc *StageContext) error
+}
+
+// StageContext scopes instruments to the running stage: names are prefixed
+// "<stage>." in the shared registry and reported per stage.
+type StageContext struct {
+	stage string
+	reg   *metrics.Registry
+}
+
+// Counter returns a stage-scoped counter.
+func (sc *StageContext) Counter(name string) *metrics.Counter {
+	return sc.reg.Counter(sc.stage + "." + name)
+}
+
+// Gauge returns a stage-scoped gauge.
+func (sc *StageContext) Gauge(name string) *metrics.Gauge {
+	return sc.reg.Gauge(sc.stage + "." + name)
+}
+
+// Histogram returns a stage-scoped histogram.
+func (sc *StageContext) Histogram(name string) *metrics.Histogram {
+	return sc.reg.Histogram(sc.stage + "." + name)
+}
+
+// Metrics exposes the unscoped registry (for cross-stage instruments).
+func (sc *StageContext) Metrics() *metrics.Registry { return sc.reg }
+
+// Status describes how a stage ended.
+type Status string
+
+// Stage outcomes.
+const (
+	// StatusOK: Run completed.
+	StatusOK Status = "ok"
+	// StatusResumed: outputs restored from checkpoint; Run skipped.
+	StatusResumed Status = "resumed"
+	// StatusSkipped: configuration-disabled via Skip.
+	StatusSkipped Status = "skipped"
+	// StatusFailed: Run or Resume returned an error.
+	StatusFailed Status = "failed"
+	// StatusNotRun: an earlier stage failed or the context was cancelled
+	// before this stage started.
+	StatusNotRun Status = "not-run"
+)
+
+// StageResult is the per-stage telemetry record (one manifest entry).
+type StageResult struct {
+	Name   string `json:"name"`
+	Status Status `json:"status"`
+	// WallMS is the stage wall-clock in milliseconds (fractional).
+	WallMS float64 `json:"wall_ms"`
+	// AllocBytes and Mallocs are process-wide allocation deltas across the
+	// stage (runtime.MemStats); with stages running one at a time they
+	// attribute to the stage.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Mallocs    uint64 `json:"mallocs"`
+	// Goroutines is the live goroutine count when the stage ended.
+	Goroutines int `json:"goroutines"`
+	// Counters, Gauges, and Histograms hold the stage-scoped instruments,
+	// prefix stripped.
+	Counters   map[string]int64                    `json:"counters,omitempty"`
+	Gauges     map[string]float64                  `json:"gauges,omitempty"`
+	Histograms map[string]metrics.HistogramSummary `json:"histograms,omitempty"`
+	Error      string                              `json:"error,omitempty"`
+
+	// Wall is the un-rounded duration (not marshalled; WallMS is).
+	Wall time.Duration `json:"-"`
+}
+
+// Options tunes one Run call.
+type Options struct {
+	// Resume consults each stage's Resume hook before running it.
+	Resume bool
+}
+
+// Runner owns an ordered set of stages and a metrics registry.
+type Runner[S any] struct {
+	stages []Stage[S]
+	byName map[string]int
+	reg    *metrics.Registry
+}
+
+// New returns a runner recording into reg (a fresh registry when nil).
+func New[S any](reg *metrics.Registry) *Runner[S] {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Runner[S]{byName: make(map[string]int), reg: reg}
+}
+
+// Metrics returns the runner's registry.
+func (r *Runner[S]) Metrics() *metrics.Registry { return r.reg }
+
+// Add registers a stage. Stage sets are static program structure, so
+// malformed registrations (empty or duplicate names, missing Run) panic.
+func (r *Runner[S]) Add(st Stage[S]) *Runner[S] {
+	if st.Name == "" {
+		panic("pipeline: stage with empty name")
+	}
+	if st.Run == nil {
+		panic(fmt.Sprintf("pipeline: stage %q has no Run", st.Name))
+	}
+	if _, dup := r.byName[st.Name]; dup {
+		panic(fmt.Sprintf("pipeline: duplicate stage %q", st.Name))
+	}
+	r.byName[st.Name] = len(r.stages)
+	r.stages = append(r.stages, st)
+	return r
+}
+
+// Order returns the execution order: Kahn's algorithm with insertion-order
+// tie-breaking, so the order is deterministic and respects every Needs edge.
+func (r *Runner[S]) Order() ([]string, error) {
+	indeg := make([]int, len(r.stages))
+	dependents := make([][]int, len(r.stages))
+	for i, st := range r.stages {
+		for _, need := range st.Needs {
+			j, ok := r.byName[need]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: stage %q needs unknown stage %q", st.Name, need)
+			}
+			if j == i {
+				return nil, fmt.Errorf("pipeline: stage %q needs itself", st.Name)
+			}
+			indeg[i]++
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	order := make([]string, 0, len(r.stages))
+	done := make([]bool, len(r.stages))
+	for len(order) < len(r.stages) {
+		advanced := false
+		for i := range r.stages {
+			if done[i] || indeg[i] > 0 {
+				continue
+			}
+			done[i] = true
+			order = append(order, r.stages[i].Name)
+			for _, d := range dependents[i] {
+				indeg[d]--
+			}
+			advanced = true
+		}
+		if !advanced {
+			return nil, fmt.Errorf("pipeline: dependency cycle among stages")
+		}
+	}
+	return order, nil
+}
+
+// Run executes every stage in DAG order over the shared state. It returns
+// one StageResult per registered stage in execution order; on failure or
+// cancellation the remaining stages are recorded as not-run and the error
+// wraps the failing stage's (so errors.Is sees context.Canceled through it).
+func (r *Runner[S]) Run(ctx context.Context, s *S, opts Options) ([]StageResult, error) {
+	order, err := r.Order()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]StageResult, 0, len(order))
+	fail := func(at int, err error) ([]StageResult, error) {
+		for _, name := range order[at:] {
+			results = append(results, StageResult{Name: name, Status: StatusNotRun})
+		}
+		return results, err
+	}
+	for oi, name := range order {
+		st := &r.stages[r.byName[name]]
+		if err := ctx.Err(); err != nil {
+			return fail(oi, fmt.Errorf("pipeline: cancelled before stage %q: %w", name, err))
+		}
+		if st.Skip != nil && st.Skip(s) {
+			results = append(results, StageResult{Name: name, Status: StatusSkipped})
+			continue
+		}
+
+		sc := &StageContext{stage: name, reg: r.reg}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+
+		status := StatusOK
+		var stageErr error
+		resumed := false
+		if opts.Resume && st.Resume != nil {
+			resumed, stageErr = st.Resume(ctx, s, sc)
+			if resumed && stageErr == nil {
+				status = StatusResumed
+			}
+		}
+		if stageErr == nil && !resumed {
+			stageErr = st.Run(ctx, s, sc)
+		}
+
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		res := StageResult{
+			Name:       name,
+			Status:     status,
+			Wall:       wall,
+			WallMS:     float64(wall) / float64(time.Millisecond),
+			AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
+			Mallocs:    m1.Mallocs - m0.Mallocs,
+			Goroutines: runtime.NumGoroutine(),
+		}
+		scoped := r.reg.Snapshot().Scope(name + ".")
+		res.Counters, res.Gauges, res.Histograms = scoped.Counters, scoped.Gauges, scoped.Histograms
+		if stageErr != nil {
+			res.Status = StatusFailed
+			res.Error = stageErr.Error()
+			results = append(results, res)
+			return fail(oi+1, fmt.Errorf("pipeline: stage %q: %w", name, stageErr))
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

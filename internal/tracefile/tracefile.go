@@ -7,15 +7,21 @@
 //	T <cloud>/<region> <dst> <status> <hop>[,<hop>...]
 //
 // where each hop is either "*" (unresponsive) or "<addr>/<rtt-µs>". Lines
-// beginning with '#' are comments; the header records a format version.
-// Text keeps the files greppable and diffable; gzip-ing them externally is
-// cheap because addresses repeat heavily.
+// beginning with '#' are comments; the header records a format version, and
+// a cleanly finished file ends with a "# complete <n>" trailer so readers
+// can tell a whole campaign from an interrupted one (checkpoint resume
+// depends on that distinction). Text keeps the files greppable and
+// diffable; addresses repeat heavily, so the optional gzip layer (sniffed
+// transparently on read, produced by NewGzipWriter or a ".gz" Create path)
+// compresses full-scale campaigns roughly an order of magnitude.
 package tracefile
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -26,19 +32,39 @@ import (
 // version is bumped when the record layout changes.
 const version = 1
 
+// trailerPrefix introduces the completeness trailer. It parses as a comment,
+// so files carrying it stay readable by older readers.
+const trailerPrefix = "# complete "
+
 // Writer streams traces to an output.
 type Writer struct {
 	w   *bufio.Writer
+	gz  *gzip.Writer // non-nil when writing a gzip stream
+	n   int          // records written
 	err error
 }
 
-// NewWriter writes the header and returns a Writer. Callers must Flush.
+// NewWriter writes the header and returns a Writer. Callers must Flush (or
+// Finish, which also writes the completeness trailer).
 func NewWriter(w io.Writer) (*Writer, error) {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "# cloudmap tracefile v%d\n", version); err != nil {
 		return nil, err
 	}
 	return &Writer{w: bw}, nil
+}
+
+// NewGzipWriter layers the tracefile stream over gzip. Callers must Close
+// (or Finish) to flush the gzip footer; Flush alone leaves a syncable but
+// unterminated stream.
+func NewGzipWriter(w io.Writer) (*Writer, error) {
+	gz := gzip.NewWriter(w)
+	tw, err := NewWriter(gz)
+	if err != nil {
+		return nil, err
+	}
+	tw.gz = gz
+	return tw, nil
 }
 
 // Write appends one trace. The first error sticks and is returned by Flush.
@@ -59,15 +85,117 @@ func (w *Writer) Write(tr probe.Trace) {
 		fmt.Fprintf(&b, "%s/%d", h.Addr, int64(h.RTTms*1000))
 	}
 	b.WriteByte('\n')
-	_, w.err = w.w.WriteString(b.String())
+	if _, w.err = w.w.WriteString(b.String()); w.err == nil {
+		w.n++
+	}
 }
 
-// Flush drains buffers and reports the first write error.
+// Count reports the number of records written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains buffers and reports the first write error. On a gzip stream
+// it emits a sync block so everything written so far is decodable, without
+// terminating the stream.
 func (w *Writer) Flush() error {
 	if w.err != nil {
 		return w.err
 	}
-	return w.w.Flush()
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	if w.gz != nil {
+		if err := w.gz.Flush(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish writes the completeness trailer and flushes. A file without the
+// trailer replays fine but reports Complete == false — the mark of an
+// interrupted campaign.
+func (w *Writer) Finish() error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := fmt.Fprintf(w.w, "%s%d\n", trailerPrefix, w.n); err != nil {
+		w.err = err
+		return err
+	}
+	return w.Close()
+}
+
+// Close flushes and, for gzip streams, writes the gzip footer. It does not
+// close the underlying io.Writer.
+func (w *Writer) Close() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			w.err = err
+			return err
+		}
+		w.gz = nil
+	}
+	return nil
+}
+
+// FileWriter couples a Writer to the file backing it.
+type FileWriter struct {
+	*Writer
+	f      *os.File
+	closed bool
+}
+
+// Create opens path for writing (truncating any previous content) and
+// returns a FileWriter; a ".gz" suffix selects the gzip layer. Callers end
+// the file with Finish (complete) or Close (partial but loadable).
+func Create(path string) (*FileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	var w *Writer
+	if strings.HasSuffix(path, ".gz") {
+		w, err = NewGzipWriter(f)
+	} else {
+		w, err = NewWriter(f)
+	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileWriter{Writer: w, f: f}, nil
+}
+
+// Finish writes the completeness trailer and closes the file.
+func (fw *FileWriter) Finish() error {
+	if fw.closed {
+		return fw.err
+	}
+	fw.closed = true
+	err := fw.Writer.Finish()
+	if cerr := fw.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close flushes what was written and closes the file without the trailer:
+// the file replays but scans as incomplete. Safe to call after Finish.
+func (fw *FileWriter) Close() error {
+	if fw.closed {
+		return fw.err
+	}
+	fw.closed = true
+	err := fw.Writer.Close()
+	if cerr := fw.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Sink returns a probe.TraceSink that records into the writer (so a
@@ -85,9 +213,57 @@ func Tee(sinks ...probe.TraceSink) probe.TraceSink {
 	}
 }
 
+// Summary describes a replayed stream.
+type Summary struct {
+	// Traces is the number of records delivered.
+	Traces int
+	// Complete reports whether the stream ended with a matching
+	// completeness trailer (an uninterrupted campaign).
+	Complete bool
+}
+
 // Read replays every trace in the input into sink. It validates the header
 // and fails on the first malformed record, reporting its line number.
 func Read(r io.Reader, sink probe.TraceSink) error {
+	_, err := Replay(r, sink)
+	return err
+}
+
+// Replay is Read plus a Summary: it transparently decompresses gzip input
+// (sniffing the magic bytes) and reports whether the stream carried a valid
+// completeness trailer.
+func Replay(r io.Reader, sink probe.TraceSink) (Summary, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return Summary{}, fmt.Errorf("tracefile: gzip: %w", err)
+		}
+		defer zr.Close()
+		return replay(zr, sink)
+	}
+	return replay(br, sink)
+}
+
+// ReplayFile replays the tracefile at path. The open error is returned
+// unwrapped-compatible (errors.Is(err, fs.ErrNotExist) works).
+func ReplayFile(path string, sink probe.TraceSink) (Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Summary{}, err
+	}
+	defer f.Close()
+	return Replay(f, sink)
+}
+
+// ScanFile validates the tracefile at path without delivering its traces —
+// the cheap completeness probe resume logic runs before deciding to replay.
+func ScanFile(path string) (Summary, error) {
+	return ReplayFile(path, func(probe.Trace) {})
+}
+
+func replay(r io.Reader, sink probe.TraceSink) (Summary, error) {
+	var sum Summary
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	line := 0
@@ -98,28 +274,43 @@ func Read(r io.Reader, sink probe.TraceSink) error {
 		if strings.HasPrefix(text, "#") {
 			if !sawHeader {
 				if !strings.Contains(text, "cloudmap tracefile") {
-					return fmt.Errorf("tracefile: line %d: not a tracefile header", line)
+					return sum, fmt.Errorf("tracefile: line %d: not a tracefile header", line)
 				}
 				sawHeader = true
+				continue
+			}
+			if rest, ok := strings.CutPrefix(text, trailerPrefix); ok {
+				n, err := strconv.Atoi(strings.TrimSpace(rest))
+				if err != nil {
+					return sum, fmt.Errorf("tracefile: line %d: malformed trailer %q", line, text)
+				}
+				if n != sum.Traces {
+					return sum, fmt.Errorf("tracefile: line %d: trailer claims %d traces, read %d", line, n, sum.Traces)
+				}
+				sum.Complete = true
 			}
 			continue
 		}
 		if strings.TrimSpace(text) == "" {
 			continue
 		}
+		if sum.Complete {
+			return sum, fmt.Errorf("tracefile: line %d: record after completeness trailer", line)
+		}
 		tr, err := parseRecord(text)
 		if err != nil {
-			return fmt.Errorf("tracefile: line %d: %w", line, err)
+			return sum, fmt.Errorf("tracefile: line %d: %w", line, err)
 		}
 		sink(tr)
+		sum.Traces++
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("tracefile: %w", err)
+		return sum, fmt.Errorf("tracefile: %w", err)
 	}
 	if !sawHeader && line > 0 {
-		return fmt.Errorf("tracefile: missing header")
+		return sum, fmt.Errorf("tracefile: missing header")
 	}
-	return nil
+	return sum, nil
 }
 
 func parseRecord(text string) (probe.Trace, error) {

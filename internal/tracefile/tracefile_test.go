@@ -2,7 +2,11 @@ package tracefile
 
 import (
 	"bytes"
+	"errors"
+	"io/fs"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -156,5 +160,148 @@ func TestTee(t *testing.T) {
 func TestEmptyFile(t *testing.T) {
 	if err := Read(strings.NewReader(""), func(probe.Trace) {}); err != nil {
 		t.Fatalf("empty input rejected: %v", err)
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewGzipWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sample()
+	for _, tr := range in {
+		w.Write(tr)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 || buf.Bytes()[0] != 0x1f || buf.Bytes()[1] != 0x8b {
+		t.Fatal("output is not a gzip stream")
+	}
+
+	// Replay sniffs the magic bytes; no caller-side decompression needed.
+	var out []probe.Trace
+	sum, err := Replay(&buf, func(tr probe.Trace) { out = append(out, tr) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) || sum.Traces != len(in) || !sum.Complete {
+		t.Fatalf("replay: %d traces, summary %+v", len(out), sum)
+	}
+	for i := range in {
+		if in[i].Src != out[i].Src || in[i].Dst != out[i].Dst || len(in[i].Hops) != len(out[i].Hops) {
+			t.Fatalf("trace %d differs after gzip round trip", i)
+		}
+	}
+}
+
+func TestTrailerCompleteness(t *testing.T) {
+	// Finish marks the stream complete.
+	var done bytes.Buffer
+	w, err := NewWriter(&done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range sample() {
+		w.Write(tr)
+	}
+	if w.Count() != len(sample()) {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Replay(bytes.NewReader(done.Bytes()), func(probe.Trace) {})
+	if err != nil || !sum.Complete || sum.Traces != 2 {
+		t.Fatalf("finished stream: %+v, %v", sum, err)
+	}
+
+	// Flush without Finish leaves a loadable but incomplete stream.
+	var partial bytes.Buffer
+	w2, err := NewWriter(&partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Write(sample()[0])
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err = Replay(bytes.NewReader(partial.Bytes()), func(probe.Trace) {})
+	if err != nil || sum.Complete || sum.Traces != 1 {
+		t.Fatalf("partial stream: %+v, %v", sum, err)
+	}
+
+	// A lying trailer is rejected, as is a record after the trailer.
+	bad := "# cloudmap tracefile v1\nT amazon/0 1.2.3.4 0 *\n# complete 5\n"
+	if _, err := Replay(strings.NewReader(bad), func(probe.Trace) {}); err == nil {
+		t.Error("mismatched trailer count accepted")
+	}
+	late := "# cloudmap tracefile v1\nT amazon/0 1.2.3.4 0 *\n# complete 1\nT amazon/0 1.2.3.5 0 *\n"
+	if _, err := Replay(strings.NewReader(late), func(probe.Trace) {}); err == nil {
+		t.Error("record after trailer accepted")
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+
+	// A ".gz" path selects the gzip layer transparently.
+	gzPath := filepath.Join(dir, "campaign.traces.gz")
+	fw, err := Create(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range sample() {
+		fw.Write(tr)
+	}
+	if err := fw.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ScanFile(gzPath)
+	if err != nil || !sum.Complete || sum.Traces != 2 {
+		t.Fatalf("scan: %+v, %v", sum, err)
+	}
+	n := 0
+	if _, err := ReplayFile(gzPath, func(probe.Trace) { n++ }); err != nil || n != 2 {
+		t.Fatalf("replay delivered %d traces: %v", n, err)
+	}
+
+	// Close without Finish: loadable partial checkpoint.
+	partPath := filepath.Join(dir, "partial.traces.gz")
+	pw, err := Create(partPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw.Write(sample()[0])
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	sum, err = ScanFile(partPath)
+	if err != nil || sum.Complete || sum.Traces != 1 {
+		t.Fatalf("partial scan: %+v, %v", sum, err)
+	}
+
+	// Plain (non-gz) path still works through the same helpers.
+	plainPath := filepath.Join(dir, "plain.traces")
+	pl, err := Create(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Write(sample()[1])
+	if err := pl.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(plainPath)
+	if err != nil || !strings.HasPrefix(string(raw), "# cloudmap tracefile") {
+		t.Fatalf("plain file not textual: %v %q", err, raw)
+	}
+
+	// Missing files surface fs.ErrNotExist for resume logic.
+	if _, err := ScanFile(filepath.Join(dir, "missing.traces.gz")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file error = %v", err)
 	}
 }

@@ -1,0 +1,546 @@
+package cloudmap
+
+// This file declares the paper's workflow as an explicit stage DAG over
+// internal/pipeline. The paper's method is staged and restartable — probing
+// is collected once (§3), then the §4–§8 inference stages are re-run many
+// times over the stored traces — and the DAG makes that structure
+// first-class: each stage is named, depends on the stages whose outputs it
+// reads, reports wall-clock/allocation/counter telemetry, and (for the two
+// probing rounds) checkpoints its traces through internal/tracefile so a
+// run can resume from stored probes and skip straight to inference.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"cloudmap/internal/bdrmap"
+	"cloudmap/internal/border"
+	"cloudmap/internal/metrics"
+	"cloudmap/internal/midar"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/pinning"
+	"cloudmap/internal/pipeline"
+	"cloudmap/internal/probe"
+	"cloudmap/internal/tracefile"
+	"cloudmap/internal/verify"
+)
+
+// RunOptions tunes RunPipeline beyond the pipeline Config.
+type RunOptions struct {
+	// CheckpointDir, when non-empty, persists the probing rounds as gzip
+	// tracefiles (campaign.traces.gz, expansion.traces.gz) plus the run
+	// manifest (manifest.json) in that directory.
+	CheckpointDir string
+	// Resume replays complete campaign checkpoints from CheckpointDir
+	// instead of re-probing; interrupted (trailer-less) checkpoints are
+	// re-probed from scratch and overwritten. Requires CheckpointDir.
+	Resume bool
+	// Metrics receives every stage's instruments; nil creates a private
+	// registry, exposed on the returned RunReport either way.
+	Metrics *metrics.Registry
+}
+
+// manifestVersion is bumped when the manifest schema changes.
+const manifestVersion = 1
+
+// Manifest is the machine-readable record of one pipeline run: enough to
+// regenerate benchmark trajectories mechanically and to validate that a
+// resume matches the run that wrote the checkpoints.
+type Manifest struct {
+	Version int `json:"version"`
+	// ConfigHash fingerprints every result-affecting Config field (the
+	// trace sink and worker count are excluded: neither changes output).
+	ConfigHash string `json:"config_hash"`
+	Seed       uint64 `json:"seed"`
+	Workers    int    `json:"workers"`
+	Resumed    bool   `json:"resumed"`
+	// Stages holds one telemetry entry per declared stage, in execution
+	// order: name, status, wall time, allocations, scoped counters.
+	Stages []pipeline.StageResult `json:"stages"`
+	// Summary carries the run's headline quantities (peer ASes, hidden
+	// share, VPI share, largest-CC fraction, pinning CV).
+	Summary map[string]float64 `json:"summary,omitempty"`
+}
+
+// RunReport bundles the observable side of a run: the manifest and the
+// metrics registry behind it.
+type RunReport struct {
+	Manifest Manifest
+	Metrics  *metrics.Registry
+}
+
+// WriteManifestJSON writes the manifest as indented JSON (the `-metrics-out`
+// document).
+func (r *RunReport) WriteManifestJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Manifest)
+}
+
+// StageNames lists the declared pipeline stages in execution order.
+func StageNames() []string {
+	order, err := newRunner(nil).Order()
+	if err != nil {
+		panic(err) // static stage set; unreachable
+	}
+	return order
+}
+
+// RunPipeline executes the pipeline as a stage DAG. sys may be nil (the
+// topo-gen stage then generates it from cfg). The context cancels the run
+// between stages and mid-campaign; on cancellation the error wraps
+// context.Canceled and any in-flight checkpoint is left on disk as a
+// loadable partial tracefile. The RunReport is returned even when the run
+// fails, recording how far it got.
+func RunPipeline(ctx context.Context, sys *System, cfg Config, opts RunOptions) (*Result, *RunReport, error) {
+	cfg = cfg.withDefaults()
+	if opts.Resume && opts.CheckpointDir == "" {
+		return nil, nil, fmt.Errorf("cloudmap: Resume requires CheckpointDir")
+	}
+	if opts.CheckpointDir != "" {
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("cloudmap: checkpoint dir: %w", err)
+		}
+	}
+	hash := configHash(cfg)
+	if opts.Resume {
+		if err := checkManifestCompatible(opts.CheckpointDir, hash); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	st := &pipeState{cfg: cfg, opts: opts, sys: sys}
+	stages, err := newRunner(reg).Run(ctx, st, pipeline.Options{Resume: opts.Resume})
+	rep := &RunReport{
+		Manifest: Manifest{
+			Version:    manifestVersion,
+			ConfigHash: hash,
+			Seed:       cfg.Topology.Seed,
+			Workers:    cfg.Workers,
+			Resumed:    opts.Resume,
+			Stages:     stages,
+			Summary:    st.summary,
+		},
+		Metrics: reg,
+	}
+	if opts.CheckpointDir != "" {
+		// Written even on failure: the manifest records how far the run got,
+		// and a later resume validates its config hash.
+		if werr := writeManifest(opts.CheckpointDir, rep); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		return nil, rep, err
+	}
+	return st.res, rep, nil
+}
+
+// pipeState is the shared state the stages read and write.
+type pipeState struct {
+	cfg  Config
+	opts RunOptions
+
+	sys *System
+	res *Result
+	inf *border.Inference
+	vms []probe.VMRef
+
+	// summary is filled by the evaluate stage and lands in the manifest.
+	summary map[string]float64
+}
+
+// newRunner declares the stage DAG. Insertion order is a valid topological
+// order and mirrors the paper's section order, so execution (and therefore
+// every deterministic artefact) matches the pre-DAG monolithic Run.
+func newRunner(reg *metrics.Registry) *pipeline.Runner[pipeState] {
+	// Adapters: stages are written as pipeState methods; method expressions
+	// put the receiver first, the runner wants the context first.
+	run := func(m func(*pipeState, context.Context, *pipeline.StageContext) error) func(context.Context, *pipeState, *pipeline.StageContext) error {
+		return func(ctx context.Context, s *pipeState, sc *pipeline.StageContext) error { return m(s, ctx, sc) }
+	}
+	resume := func(m func(*pipeState, context.Context, *pipeline.StageContext) (bool, error)) func(context.Context, *pipeState, *pipeline.StageContext) (bool, error) {
+		return func(ctx context.Context, s *pipeState, sc *pipeline.StageContext) (bool, error) { return m(s, ctx, sc) }
+	}
+
+	r := pipeline.New[pipeState](reg)
+	r.Add(pipeline.Stage[pipeState]{
+		Name: "topo-gen",
+		Run:  run((*pipeState).topoGen),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:   "campaign",
+		Needs:  []string{"topo-gen"},
+		Resume: resume((*pipeState).resumeCampaign),
+		Run:    run((*pipeState).campaign),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:  "border",
+		Needs: []string{"campaign"},
+		Run:   run((*pipeState).borderSnapshot),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:   "expansion",
+		Needs:  []string{"border"},
+		Skip:   func(s *pipeState) bool { return s.cfg.SkipExpansion },
+		Resume: resume((*pipeState).resumeExpansion),
+		Run:    run((*pipeState).expansion),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:  "alias",
+		Needs: []string{"expansion"},
+		Skip:  func(s *pipeState) bool { return s.cfg.SkipAliasResolution },
+		Run:   run((*pipeState).alias),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:  "verify",
+		Needs: []string{"alias"},
+		Run:   run((*pipeState).verify),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:  "pinning",
+		Needs: []string{"verify"},
+		Run:   run((*pipeState).pinning),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:  "vpi",
+		Needs: []string{"expansion"},
+		Run:   run((*pipeState).vpi),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:  "classify",
+		Needs: []string{"verify", "pinning", "vpi"},
+		Run:   run((*pipeState).classify),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:  "icg",
+		Needs: []string{"verify", "pinning"},
+		Run:   run((*pipeState).icg),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:  "bdrmap",
+		Needs: []string{"verify"},
+		Skip:  func(s *pipeState) bool { return s.cfg.SkipBdrmap },
+		Run:   run((*pipeState).bdrmapBaseline),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:  "evaluate",
+		Needs: []string{"classify", "icg", "bdrmap"},
+		Run:   run((*pipeState).evaluate),
+	})
+	return r
+}
+
+// topoGen generates the simulated world (unless the caller supplied one) and
+// builds the probing plane the later stages share.
+func (s *pipeState) topoGen(_ context.Context, sc *pipeline.StageContext) error {
+	if s.sys == nil {
+		sys, err := NewSystem(s.cfg)
+		if err != nil {
+			return err
+		}
+		s.sys = sys
+	}
+	s.res = &Result{System: s.sys, Config: s.cfg}
+	s.inf = border.New(s.sys.Registry, "amazon")
+	s.vms = s.sys.Prober.VMs("amazon")
+	sc.Counter("ases").Add(int64(len(s.sys.Topology.ASes)))
+	sc.Counter("routers").Add(int64(len(s.sys.Topology.Routers)))
+	sc.Counter("ifaces").Add(int64(len(s.sys.Topology.Ifaces)))
+	sc.Counter("vantage-points").Add(int64(len(s.vms)))
+	return nil
+}
+
+// roundSink builds the trace consumer for one probing round: stage counters
+// and the hop histogram (all atomic — the campaign hot path), the optional
+// caller archive sink, and border inference.
+func (s *pipeState) roundSink(sc *pipeline.StageContext) probe.TraceSink {
+	traces := sc.Counter("traces")
+	completed := sc.Counter("completed")
+	hops := sc.Histogram("hops-per-trace")
+	sink := func(tr probe.Trace) {
+		traces.Inc()
+		if tr.Status == probe.StatusCompleted {
+			completed.Inc()
+		}
+		hops.Observe(int64(len(tr.Hops)))
+		s.inf.Consume(tr)
+	}
+	if rec := s.cfg.RecordTraces; rec != nil {
+		inner := sink
+		sink = func(tr probe.Trace) {
+			rec(tr)
+			inner(tr)
+		}
+	}
+	return sink
+}
+
+// checkpointPath names a probing round's tracefile; "" when checkpointing
+// is off.
+func (s *pipeState) checkpointPath(stage string) string {
+	if s.opts.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(s.opts.CheckpointDir, stage+".traces.gz")
+}
+
+// probeRound runs one probing round, teeing traces into the stage's
+// checkpoint when enabled. On error (including cancellation) the partially
+// written checkpoint is flushed without its completeness trailer: loadable,
+// but marked interrupted so a resume re-probes instead of trusting it.
+func (s *pipeState) probeRound(ctx context.Context, sc *pipeline.StageContext, stage string, targets []netblock.IP) error {
+	sink := s.roundSink(sc)
+	var fw *tracefile.FileWriter
+	if path := s.checkpointPath(stage); path != "" {
+		var err error
+		if fw, err = tracefile.Create(path); err != nil {
+			return fmt.Errorf("checkpoint %s: %w", path, err)
+		}
+		record := fw.Sink()
+		inner := sink
+		sink = func(tr probe.Trace) {
+			record(tr)
+			inner(tr)
+		}
+	}
+	err := s.sys.Prober.CampaignParallelCtx(ctx, s.vms, targets, s.cfg.Workers, sink)
+	if fw != nil {
+		if err != nil {
+			fw.Close()
+		} else if cerr := fw.Finish(); cerr != nil {
+			err = fmt.Errorf("checkpoint %s: %w", s.checkpointPath(stage), cerr)
+		}
+	}
+	return err
+}
+
+// resumeRound replays a complete checkpoint into the round's sink. prepare
+// runs only once the checkpoint is known to be usable (e.g. BeginRound2).
+func (s *pipeState) resumeRound(stage string, sc *pipeline.StageContext, prepare func()) (bool, error) {
+	path := s.checkpointPath(stage)
+	if path == "" {
+		return false, nil
+	}
+	sum, err := tracefile.ScanFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if !sum.Complete {
+		// An interrupted campaign: fall through to live probing, which
+		// overwrites the partial file.
+		sc.Counter("checkpoint-partial").Inc()
+		return false, nil
+	}
+	if prepare != nil {
+		prepare()
+	}
+	if _, err := tracefile.ReplayFile(path, s.roundSink(sc)); err != nil {
+		return false, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	sc.Counter("replayed").Add(int64(sum.Traces))
+	return true, nil
+}
+
+// campaign is the §3 round-1 probing sweep from every Amazon region.
+func (s *pipeState) campaign(ctx context.Context, sc *pipeline.StageContext) error {
+	targets := probe.Round1Targets(s.sys.Topology, probe.Round1Options{IncludePrivate: s.cfg.IncludePrivateTargets})
+	sc.Counter("targets").Add(int64(len(targets)))
+	if err := s.probeRound(ctx, sc, "campaign", targets); err != nil {
+		return fmt.Errorf("round 1: %w", err)
+	}
+	return nil
+}
+
+func (s *pipeState) resumeCampaign(_ context.Context, sc *pipeline.StageContext) (bool, error) {
+	return s.resumeRound("campaign", sc, nil)
+}
+
+// borderSnapshot records the §4.1 round-1 view (Table 1's pre-expansion
+// rows) before expansion mutates the inference.
+func (s *pipeState) borderSnapshot(_ context.Context, sc *pipeline.StageContext) error {
+	s.res.Border = s.inf
+	s.res.Round1ABIs = s.inf.BreakdownABIs()
+	s.res.Round1CBIs = s.inf.BreakdownCBIs()
+	s.res.Round1PeerASes = len(s.inf.PeerASNs())
+	sc.Counter("abis").Add(int64(s.res.Round1ABIs.Total))
+	sc.Counter("cbis").Add(int64(s.res.Round1CBIs.Total))
+	sc.Counter("peer-ases").Add(int64(s.res.Round1PeerASes))
+	return nil
+}
+
+// expansion is the §4.2 round-2 sweep over every other address in each
+// candidate CBI's /24.
+func (s *pipeState) expansion(ctx context.Context, sc *pipeline.StageContext) error {
+	s.inf.BeginRound2()
+	exp := probe.ExpansionTargets(s.inf.CandidateCBIs())
+	sc.Counter("targets").Add(int64(len(exp)))
+	if err := s.probeRound(ctx, sc, "expansion", exp); err != nil {
+		return fmt.Errorf("round 2: %w", err)
+	}
+	sc.Counter("new-cbis").Add(int64(s.inf.BreakdownCBIs().Total - s.res.Round1CBIs.Total))
+	return nil
+}
+
+func (s *pipeState) resumeExpansion(_ context.Context, sc *pipeline.StageContext) (bool, error) {
+	return s.resumeRound("expansion", sc, s.inf.BeginRound2)
+}
+
+// alias is the §5.2 prerequisite: MIDAR-style alias resolution over all
+// candidate interfaces.
+func (s *pipeState) alias(_ context.Context, sc *pipeline.StageContext) error {
+	targets := append(s.inf.CandidateABIs(), s.inf.CandidateCBIs()...)
+	s.res.Aliases = midar.Resolve(s.sys.Prober, s.vms, targets, s.cfg.Midar)
+	sc.Counter("targets").Add(int64(len(targets)))
+	sc.Counter("alias-sets").Add(int64(len(s.res.Aliases)))
+	return nil
+}
+
+// verify applies the §5 heuristics and alias corrections.
+func (s *pipeState) verify(_ context.Context, sc *pipeline.StageContext) error {
+	s.res.Verified = verify.Run(s.inf, s.sys.Registry, s.sys.Prober.ReachableFromVP, s.res.Aliases, s.cfg.Verify)
+	total := len(s.inf.CandidateABIs())
+	sc.Counter("candidate-abis").Add(int64(total))
+	sc.Counter("confirmed-abis").Add(int64(total - s.res.Verified.UnconfirmedABIs))
+	sc.Counter("alias-corrections").Add(int64(s.res.Verified.ABIToCBI + s.res.Verified.CBIToABI + s.res.Verified.CBIOwnerChange))
+	return nil
+}
+
+// pinning runs §6 plus the §6.2 cross-validation.
+func (s *pipeState) pinning(_ context.Context, sc *pipeline.StageContext) error {
+	s.res.Pinning = pinning.Run(s.res.Verified, s.inf, s.sys.Registry, s.sys.Prober, s.res.Aliases, s.cfg.Pinning)
+	s.res.PinningCV = pinning.CrossValidate(s.res.Pinning, s.res.Aliases, s.cfg.CVFolds, 0.7, s.cfg.Topology.Seed)
+	sc.Counter("metro-pinned").Add(int64(len(s.res.Pinning.Metro)))
+	sc.Counter("total-ifaces").Add(int64(s.res.Pinning.TotalIfaces))
+	sc.Gauge("cv-precision").Set(s.res.PinningCV.Precision)
+	sc.Gauge("cv-recall").Set(s.res.PinningCV.Recall)
+	return nil
+}
+
+// vpi is the §7.1 multi-cloud overlap detection.
+func (s *pipeState) vpi(_ context.Context, sc *pipeline.StageContext) error {
+	s.res.VPI = detectVPIs(s.sys, s.res, s.cfg.VPIClouds)
+	sc.Counter("clouds").Add(int64(len(s.cfg.VPIClouds)))
+	sc.Counter("vpi-cbis").Add(int64(len(s.res.VPI.VPICBIs)))
+	return nil
+}
+
+// classify is the §7.2–7.3 peering classification.
+func (s *pipeState) classify(_ context.Context, sc *pipeline.StageContext) error {
+	s.res.Groups = classifyPeerings(s.sys, s.res)
+	sc.Counter("peer-ases").Add(int64(s.res.Groups.PeerASes))
+	sc.Gauge("hidden-share").Set(s.res.Groups.HiddenShare)
+	return nil
+}
+
+// icg is the §7.4 interface connectivity graph analysis.
+func (s *pipeState) icg(_ context.Context, sc *pipeline.StageContext) error {
+	s.res.Graph = buildICG(s.res)
+	sc.Counter("edges").Add(int64(s.res.Graph.Edges))
+	sc.Gauge("largest-cc-frac").Set(s.res.Graph.LargestCCFrac)
+	return nil
+}
+
+// bdrmapBaseline is the §8 comparison.
+func (s *pipeState) bdrmapBaseline(_ context.Context, sc *pipeline.StageContext) error {
+	runs, err := bdrmap.Run(s.sys.Prober, s.sys.Registry, "amazon", s.cfg.Bdrmap)
+	if err != nil {
+		return err
+	}
+	s.res.BdrmapRuns = runs
+	cmp := bdrmap.Compare(runs, s.res.Verified, s.sys.Registry)
+	s.res.Bdrmap = &cmp
+	sc.Counter("regions").Add(int64(len(runs)))
+	sc.Counter("flips").Add(int64(cmp.Flipped))
+	sc.Counter("multi-owner-cbis").Add(int64(cmp.MultiOwnerCBIs))
+	return nil
+}
+
+// evaluate digests the run's headline quantities into gauges and the
+// manifest summary.
+func (s *pipeState) evaluate(_ context.Context, sc *pipeline.StageContext) error {
+	fa, fc := s.inf.BreakdownABIs(), s.inf.BreakdownCBIs()
+	s.summary = map[string]float64{
+		"abis":            float64(fa.Total),
+		"cbis":            float64(fc.Total),
+		"peer_ases":       float64(len(s.inf.PeerASNs())),
+		"hidden_share":    s.res.Groups.HiddenShare,
+		"largest_cc_frac": s.res.Graph.LargestCCFrac,
+		"cv_precision":    s.res.PinningCV.Precision,
+		"cv_recall":       s.res.PinningCV.Recall,
+	}
+	if s.res.Pinning.TotalIfaces > 0 {
+		s.summary["metro_pinned_frac"] = float64(len(s.res.Pinning.Metro)) / float64(s.res.Pinning.TotalIfaces)
+	}
+	if s.res.VPI != nil && s.res.VPI.AmazonNonIXPCBIs > 0 {
+		s.summary["vpi_share"] = float64(len(s.res.VPI.VPICBIs)) / float64(s.res.VPI.AmazonNonIXPCBIs)
+	}
+	for k, v := range s.summary {
+		sc.Gauge(k).Set(v)
+	}
+	return nil
+}
+
+// configHash fingerprints the result-affecting part of a Config. The trace
+// sink is a function and Workers never changes output (parallel campaigns
+// are order-deterministic), so both are excluded — a checkpoint taken on an
+// 8-core box resumes on a 64-core one.
+func configHash(cfg Config) string {
+	cfg.RecordTraces = nil
+	cfg.Workers = 0
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", cfg)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// manifestPath names the manifest inside a checkpoint dir.
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+
+// checkManifestCompatible refuses to resume over checkpoints written by a
+// different configuration.
+func checkManifestCompatible(dir, hash string) error {
+	raw, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil // no manifest yet; stage checkpoints decide on their own
+		}
+		return fmt.Errorf("cloudmap: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("cloudmap: manifest: %w", err)
+	}
+	if m.ConfigHash != hash {
+		return fmt.Errorf("cloudmap: checkpoint dir %s was written with config hash %s, current config hashes to %s: refusing to resume", dir, m.ConfigHash, hash)
+	}
+	return nil
+}
+
+func writeManifest(dir string, rep *RunReport) error {
+	f, err := os.Create(manifestPath(dir))
+	if err != nil {
+		return fmt.Errorf("cloudmap: manifest: %w", err)
+	}
+	err = rep.WriteManifestJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("cloudmap: manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — the full local gate: vet, build, race-enabled tests, and a
+# short fuzz smoke over the parsers that consume untrusted input.
+# Usage: scripts/check.sh [fuzz-seconds]   (default 10)
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZ_SECONDS="${1:-10}"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race -short ./..."
+# -short keeps the race pass inside the default per-package timeout: the
+# multi-run determinism/resume tests are covered without -race by
+# 'make test'; the race-relevant concurrency (parallel campaigns, metrics
+# hot path, cancellation) all runs in short mode.
+go test -race -short -timeout 20m ./...
+
+echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
+go test -run '^$' -fuzz '^FuzzRead$' -fuzztime "${FUZZ_SECONDS}s" ./internal/tracefile
+go test -run '^$' -fuzz '^FuzzParseIP$' -fuzztime "${FUZZ_SECONDS}s" ./internal/netblock
+go test -run '^$' -fuzz '^FuzzParsePrefix$' -fuzztime "${FUZZ_SECONDS}s" ./internal/netblock
+
+echo "==> all checks passed"
