@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz
+.PHONY: build test check bench fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,12 @@ check:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Chaos smoke: the fault-injection acceptance tests — pinning precision
+# holds under the moderate plan, manifests record the degradation, and a
+# same-seed+same-plan replay is byte-identical.
+chaos:
+	$(GO) test -run 'TestChaos' -v -timeout 10m .
 
 fuzz:
 	sh scripts/check.sh 30

@@ -25,6 +25,7 @@ import (
 
 	"cloudmap/internal/bdrmap"
 	"cloudmap/internal/border"
+	"cloudmap/internal/faults"
 	"cloudmap/internal/midar"
 	"cloudmap/internal/model"
 	"cloudmap/internal/pinning"
@@ -63,6 +64,15 @@ type Config struct {
 	SkipBdrmap bool
 	// Bdrmap tunes the §8 baseline.
 	Bdrmap bdrmap.Config
+	// Faults, when non-nil, layers the deterministic fault model under the
+	// probing campaigns: ICMP rate limiters, bursty loss, link flaps, and
+	// region outages, all replayable from the plan+topology seed (see
+	// internal/faults). Nil probes a fault-free world.
+	Faults *faults.Plan
+	// Retry governs re-probing of fault-degraded traceroutes (attempts,
+	// virtual-time backoff, campaign retry budget). The zero value probes
+	// each target once.
+	Retry probe.RetryPolicy
 	// Workers parallelises the probing campaigns across goroutines
 	// (results stay byte-identical to a sequential run). <=0 defaults to
 	// runtime.GOMAXPROCS(0); 1 means sequential.
@@ -119,11 +129,17 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	reg := registry.Build(t, cfg.Topology.Seed)
 	fwd := route.NewForwarder(t)
+	pr := probe.NewProber(t, fwd)
+	inj, err := faults.New(cfg.Faults, t) // nil plan -> nil injector
+	if err != nil {
+		return nil, err
+	}
+	pr.SetFaults(inj)
 	return &System{
 		Topology:  t,
 		Registry:  reg,
 		Forwarder: fwd,
-		Prober:    probe.NewProber(t, fwd),
+		Prober:    pr,
 	}, nil
 }
 

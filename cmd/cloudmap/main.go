@@ -7,11 +7,19 @@
 //
 //	cloudmap [-scale small|medium|paper] [-seed N] [-skip-bdrmap] [-o report.txt]
 //	         [-checkpoint-dir DIR] [-resume] [-metrics-out m.json]
+//	         [-fault-plan plan.json] [-max-retries N] [-retry-budget N]
 //
 // The run is interruptible: Ctrl-C cancels the pipeline promptly, and with
 // -checkpoint-dir the probing campaigns are persisted as they run, so a
 // second invocation with -resume replays the stored traces instead of
 // re-probing.
+//
+// -fault-plan layers the deterministic fault model (ICMP rate limiting,
+// bursty loss, link flaps, region outages) under the campaigns; the same
+// seed and plan replay byte-identically. -max-retries re-probes
+// fault-degraded traceroutes with exponential virtual-time backoff, and
+// -retry-budget caps the total retries a campaign may spend (exhaustion is
+// fail-soft and recorded in the manifest's degradation section).
 package main
 
 import (
@@ -24,6 +32,8 @@ import (
 	"time"
 
 	"cloudmap"
+	"cloudmap/internal/faults"
+	"cloudmap/internal/probe"
 	"cloudmap/internal/tracefile"
 )
 
@@ -38,6 +48,9 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "persist probing rounds and the run manifest in this directory")
 	resume := flag.Bool("resume", false, "replay complete campaign checkpoints from -checkpoint-dir instead of re-probing")
 	metricsOut := flag.String("metrics-out", "", "write the run manifest (per-stage timings, allocations, counters) as JSON to this file")
+	faultPlan := flag.String("fault-plan", "", "inject faults from this JSON plan (see internal/faults and testdata/faultplans)")
+	maxRetries := flag.Int("max-retries", 0, "re-probe fault-degraded traceroutes up to N times (0 disables retries)")
+	retryBudget := flag.Int64("retry-budget", 0, "cap total retries per campaign; 0 means unlimited (fail-soft when exhausted)")
 	flag.Parse()
 
 	var cfg cloudmap.Config
@@ -54,6 +67,18 @@ func main() {
 	cfg.Topology.Seed = *seed
 	cfg.Workers = *workers
 	cfg.SkipBdrmap = *skipBdrmap
+	if *faultPlan != "" {
+		plan, err := faults.LoadPlan(*faultPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = plan
+	}
+	if *maxRetries > 0 {
+		cfg.Retry = probe.DefaultRetryPolicy()
+		cfg.Retry.MaxAttempts = *maxRetries + 1
+		cfg.Retry.Budget = *retryBudget
+	}
 
 	var traceWriter *tracefile.Writer
 	if *traces != "" {
@@ -108,6 +133,10 @@ func main() {
 	}
 	report := res.Report()
 	fmt.Print(report)
+	if d := rep.Manifest.Degradation; d != nil {
+		fmt.Printf("\nrun degraded: %.2f%% probe loss, %d retries spent, degraded stages %v, skipped stages %v\n",
+			d.ProbeLossPct, d.RetriesSpent, d.DegradedStages, d.SkippedStages)
+	}
 	fmt.Printf("\ntotal runtime: %v\n", time.Since(start).Round(time.Millisecond))
 
 	if *out != "" {

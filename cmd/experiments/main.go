@@ -7,6 +7,12 @@
 //
 //	experiments [-scale paper] [-seed N] [-o experiments_report.txt]
 //	            [-checkpoint-dir DIR] [-resume] [-metrics-out m.json]
+//	            [-fault-plan plan.json] [-max-retries N] [-retry-budget N]
+//
+// -fault-plan runs the reproduction under the deterministic fault model
+// (internal/faults) and -max-retries/-retry-budget set the probe retry
+// policy, so the paper-vs-measured comparison can be studied under
+// realistic measurement adversity.
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 
 	"cloudmap"
 	"cloudmap/internal/evaluate"
+	"cloudmap/internal/faults"
+	"cloudmap/internal/probe"
 	"cloudmap/internal/stats"
 )
 
@@ -32,6 +40,9 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "persist probing rounds and the run manifest in this directory")
 	resume := flag.Bool("resume", false, "replay complete campaign checkpoints from -checkpoint-dir instead of re-probing")
 	metricsOut := flag.String("metrics-out", "", "write the run manifest (per-stage timings, counters) as JSON to this file")
+	faultPlan := flag.String("fault-plan", "", "inject faults from this JSON plan (see internal/faults and testdata/faultplans)")
+	maxRetries := flag.Int("max-retries", 0, "re-probe fault-degraded traceroutes up to N times (0 disables retries)")
+	retryBudget := flag.Int64("retry-budget", 0, "cap total retries per campaign; 0 means unlimited (fail-soft when exhausted)")
 	flag.Parse()
 
 	var cfg cloudmap.Config
@@ -47,6 +58,18 @@ func main() {
 	}
 	cfg.Topology.Seed = *seed
 	cfg.Workers = *workers
+	if *faultPlan != "" {
+		plan, err := faults.LoadPlan(*faultPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = plan
+	}
+	if *maxRetries > 0 {
+		cfg.Retry = probe.DefaultRetryPolicy()
+		cfg.Retry.MaxAttempts = *maxRetries + 1
+		cfg.Retry.Budget = *retryBudget
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -91,12 +91,43 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// ObserveN records n identical observations of v in one shot (the bulk form
+// of Observe, for pre-aggregated distributions such as per-target attempt
+// counts). n <= 0 is a no-op.
+func (h *Histogram) ObserveN(v, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(n)
+	h.sum.Add(v * n)
+	if h.count.Add(n) == n {
+		h.min.Store(v)
+		h.max.Store(v)
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
 // HistogramSummary is the JSON-exported digest of a histogram.
 type HistogramSummary struct {
 	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
 	Min   int64   `json:"min"`
 	Max   int64   `json:"max"`
 	Mean  float64 `json:"mean"`
@@ -119,6 +150,7 @@ func (h *Histogram) Summary() HistogramSummary {
 	}
 	s := HistogramSummary{
 		Count: n,
+		Sum:   h.sum.Load(),
 		Min:   h.min.Load(),
 		Max:   h.max.Load(),
 		Mean:  float64(h.sum.Load()) / float64(n),

@@ -201,6 +201,32 @@ const (
 	RoleVMGateway                   // first hop above cloud VMs
 )
 
+// String returns a short role name (the grammar fault plans scope by).
+func (r RouterRole) String() string {
+	switch r {
+	case RoleInternal:
+		return "internal"
+	case RoleBackbone:
+		return "backbone"
+	case RoleBorder:
+		return "border"
+	case RoleVMGateway:
+		return "vm-gateway"
+	}
+	return fmt.Sprintf("routerrole(%d)", uint8(r))
+}
+
+// ParseRouterRole resolves a role name; it accepts exactly the strings
+// String produces.
+func ParseRouterRole(s string) (RouterRole, error) {
+	for _, r := range []RouterRole{RoleInternal, RoleBackbone, RoleBorder, RoleVMGateway} {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("model: unknown router role %q", s)
+}
+
 // IPIDMode describes how a router fills the IP-ID field of replies, which is
 // what MIDAR-style alias resolution keys on.
 type IPIDMode uint8

@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDegradeSkipsIntolerantStages: after a stage calls Degrade, stages
+// with ToleratePartial=false are recorded skipped-degraded (with the
+// upstream reasons) while tolerant stages still run.
+func TestDegradeSkipsIntolerantStages(t *testing.T) {
+	r := New[state](nil)
+	r.Add(Stage[state]{
+		Name:            "probe",
+		ToleratePartial: true,
+		Run: func(_ context.Context, s *state, sc *StageContext) error {
+			s.log = append(s.log, "probe")
+			sc.Degrade("lost 10% of probes")
+			return nil
+		},
+	})
+	r.Add(Stage[state]{
+		Name:            "tolerant",
+		Needs:           []string{"probe"},
+		ToleratePartial: true,
+		Run:             appendStage("tolerant").Run,
+	})
+	r.Add(Stage[state]{
+		Name:  "strict",
+		Needs: []string{"probe"},
+		Run:   appendStage("strict").Run,
+	})
+	r.Add(Stage[state]{
+		Name:            "after",
+		Needs:           []string{"strict"},
+		ToleratePartial: true,
+		Run:             appendStage("after").Run,
+	})
+
+	var s state
+	results, err := r.Run(context.Background(), &s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(s.log, ","); got != "probe,tolerant,after" {
+		t.Fatalf("execution = %s (strict must be skipped, its dependents must run)", got)
+	}
+	byName := map[string]StageResult{}
+	for _, res := range results {
+		byName[res.Name] = res
+	}
+	if pr := byName["probe"]; !pr.Degraded || len(pr.Notes) != 1 || pr.Notes[0] != "lost 10% of probes" {
+		t.Fatalf("probe result = %+v", pr)
+	}
+	if st := byName["strict"]; st.Status != StatusSkippedDegraded {
+		t.Fatalf("strict status = %s, want %s", st.Status, StatusSkippedDegraded)
+	} else if len(st.Notes) != 1 || !strings.Contains(st.Notes[0], "probe: lost 10% of probes") {
+		t.Fatalf("strict notes = %v (must name the degrading stage)", st.Notes)
+	}
+	if to := byName["tolerant"]; to.Status != StatusOK || to.Degraded {
+		t.Fatalf("tolerant result = %+v", to)
+	}
+	if af := byName["after"]; af.Status != StatusOK {
+		t.Fatalf("after status = %s", af.Status)
+	}
+}
+
+// TestNoDegradeRunsEverything: without a Degrade call the ToleratePartial
+// flag is inert.
+func TestNoDegradeRunsEverything(t *testing.T) {
+	r := New[state](nil)
+	r.Add(Stage[state]{Name: "a", ToleratePartial: true, Run: appendStage("a").Run})
+	r.Add(Stage[state]{Name: "b", Needs: []string{"a"}, Run: appendStage("b").Run})
+	var s state
+	results, err := r.Run(context.Background(), &s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Status != StatusOK || res.Degraded {
+			t.Fatalf("%s = %+v", res.Name, res)
+		}
+	}
+}
+
+// TestDegradeConcurrent: Degrade is callable from a stage's worker
+// goroutines (run with -race in CI).
+func TestDegradeConcurrent(t *testing.T) {
+	r := New[state](nil)
+	r.Add(Stage[state]{
+		Name:            "fan",
+		ToleratePartial: true,
+		Run: func(_ context.Context, _ *state, sc *StageContext) error {
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sc.Degrade("worker note")
+				}()
+			}
+			wg.Wait()
+			return nil
+		},
+	})
+	var s state
+	results, err := r.Run(context.Background(), &s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0].Notes) != 8 {
+		t.Fatalf("got %d notes, want 8", len(results[0].Notes))
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"cloudmap/internal/metrics"
@@ -38,6 +39,12 @@ type Stage[S any] struct {
 	// Skip, when non-nil and true, marks the stage configuration-disabled:
 	// it is recorded as skipped and its dependents still run.
 	Skip func(s *S) bool
+	// ToleratePartial declares that the stage produces meaningful output
+	// even when an earlier stage reported degraded (partial) results via
+	// StageContext.Degrade. Stages that do not tolerate partial inputs are
+	// recorded as skipped-degraded instead of running on data that would
+	// make their output misleading; their dependents still run.
+	ToleratePartial bool
 	// Resume, when non-nil and resume mode is on, tries to restore the
 	// stage's outputs from a checkpoint. Returning true skips Run and
 	// records the stage as resumed; returning false falls through to Run.
@@ -51,6 +58,25 @@ type Stage[S any] struct {
 type StageContext struct {
 	stage string
 	reg   *metrics.Registry
+
+	mu    sync.Mutex
+	notes []string
+}
+
+// Degrade records that the stage completed with partial results (probe
+// loss, exhausted retry budget, ...). The run continues, but subsequent
+// stages that declared ToleratePartial=false are skipped, and the reasons
+// surface in the stage's result notes. Safe for concurrent use.
+func (sc *StageContext) Degrade(reason string) {
+	sc.mu.Lock()
+	sc.notes = append(sc.notes, reason)
+	sc.mu.Unlock()
+}
+
+func (sc *StageContext) takeNotes() []string {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.notes
 }
 
 // Counter returns a stage-scoped counter.
@@ -82,6 +108,9 @@ const (
 	StatusResumed Status = "resumed"
 	// StatusSkipped: configuration-disabled via Skip.
 	StatusSkipped Status = "skipped"
+	// StatusSkippedDegraded: an earlier stage reported partial results and
+	// this stage declared it cannot tolerate them.
+	StatusSkippedDegraded Status = "skipped-degraded"
 	// StatusFailed: Run or Resume returned an error.
 	StatusFailed Status = "failed"
 	// StatusNotRun: an earlier stage failed or the context was cancelled
@@ -108,6 +137,10 @@ type StageResult struct {
 	Gauges     map[string]float64                  `json:"gauges,omitempty"`
 	Histograms map[string]metrics.HistogramSummary `json:"histograms,omitempty"`
 	Error      string                              `json:"error,omitempty"`
+	// Degraded marks a stage that reported partial results; Notes carries
+	// the reasons (or, for skipped-degraded stages, the upstream reasons).
+	Degraded bool     `json:"degraded,omitempty"`
+	Notes    []string `json:"notes,omitempty"`
 
 	// Wall is the un-rounded duration (not marshalled; WallMS is).
 	Wall time.Duration `json:"-"`
@@ -210,6 +243,7 @@ func (r *Runner[S]) Run(ctx context.Context, s *S, opts Options) ([]StageResult,
 		}
 		return results, err
 	}
+	var degradedBy []string // "stage: reason" entries, in stage order
 	for oi, name := range order {
 		st := &r.stages[r.byName[name]]
 		if err := ctx.Err(); err != nil {
@@ -217,6 +251,14 @@ func (r *Runner[S]) Run(ctx context.Context, s *S, opts Options) ([]StageResult,
 		}
 		if st.Skip != nil && st.Skip(s) {
 			results = append(results, StageResult{Name: name, Status: StatusSkipped})
+			continue
+		}
+		if len(degradedBy) > 0 && !st.ToleratePartial {
+			results = append(results, StageResult{
+				Name:   name,
+				Status: StatusSkippedDegraded,
+				Notes:  append([]string(nil), degradedBy...),
+			})
 			continue
 		}
 
@@ -251,6 +293,13 @@ func (r *Runner[S]) Run(ctx context.Context, s *S, opts Options) ([]StageResult,
 		}
 		scoped := r.reg.Snapshot().Scope(name + ".")
 		res.Counters, res.Gauges, res.Histograms = scoped.Counters, scoped.Gauges, scoped.Histograms
+		if notes := sc.takeNotes(); len(notes) > 0 {
+			res.Degraded = true
+			res.Notes = notes
+			for _, n := range notes {
+				degradedBy = append(degradedBy, name+": "+n)
+			}
+		}
 		if stageErr != nil {
 			res.Status = StatusFailed
 			res.Error = stageErr.Error()

@@ -25,15 +25,22 @@ type pingKey struct {
 
 func (p *Prober) pathInfo(vm route.VM, addr netblock.IP) pingInfo {
 	key := pingKey{vm.Cloud, int16(vm.Region), addr}
+	p.cacheMu.Lock()
+	if info, ok := p.pingCache[key]; ok {
+		p.cacheMu.Unlock()
+		return info
+	}
+	p.cacheMu.Unlock()
+	// Compute outside the lock: Trace is pure, and a duplicate computation
+	// under contention yields the identical value.
+	path := p.f.Trace(vm, addr)
+	info := pingInfo{ok: path.DstResponds, iface: path.DstIface, rtt: path.DstRTT}
+	p.cacheMu.Lock()
 	if p.pingCache == nil {
 		p.pingCache = make(map[pingKey]pingInfo)
 	}
-	if info, ok := p.pingCache[key]; ok {
-		return info
-	}
-	path := p.f.Trace(vm, addr)
-	info := pingInfo{ok: path.DstResponds, iface: path.DstIface, rtt: path.DstRTT}
 	p.pingCache[key] = info
+	p.cacheMu.Unlock()
 	return info
 }
 

@@ -11,7 +11,9 @@ package probe
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"cloudmap/internal/faults"
 	"cloudmap/internal/model"
 	"cloudmap/internal/netblock"
 	"cloudmap/internal/route"
@@ -76,8 +78,14 @@ type Prober struct {
 	loopProb       float64
 	thirdPartyFrac float64
 
-	// pingCache memoises reachability for ping/alias campaigns.
+	// pingCache memoises reachability for ping/alias campaigns. Guarded by
+	// cacheMu: ping and alias probes run from campaign worker goroutines.
+	cacheMu   sync.Mutex
 	pingCache map[pingKey]pingInfo
+
+	// inj, when non-nil, applies reply-level faults (rate limiting, bursty
+	// loss) and region outages; the forwarder handles link flaps.
+	inj *faults.Injector
 }
 
 // NewProber builds a prober over the topology.
@@ -104,6 +112,15 @@ func NewProber(t *model.Topology, f *route.Forwarder) *Prober {
 // Forwarder exposes the underlying forwarding plane (used by evaluation
 // code, never by inference).
 func (p *Prober) Forwarder() *route.Forwarder { return p.f }
+
+// SetFaults installs a fault injector on the prober AND its forwarder, so
+// reply-level faults and link flaps share one timeline. A nil injector
+// restores fault-free probing. Call before probing starts — the injector is
+// read without synchronisation.
+func (p *Prober) SetFaults(inj *faults.Injector) {
+	p.inj = inj
+	p.f.SetFaults(inj)
+}
 
 // vm resolves a VMRef against the topology.
 func (p *Prober) vm(ref VMRef) (route.VM, error) {
@@ -174,13 +191,33 @@ func (p *Prober) jitter(h uint64) float64 {
 	return -math.Log(u) * 0.12
 }
 
-// Traceroute issues one traceroute from the VM to dst.
+// Traceroute issues one traceroute from the VM to dst with the fault clock
+// at zero.
 func (p *Prober) Traceroute(ref VMRef, dst netblock.IP) (Trace, error) {
+	tr, _, err := p.TracerouteAt(ref, dst, 0)
+	return tr, err
+}
+
+// TracerouteAt issues one traceroute at virtual time tSec and reports what
+// the fault layer did to it: hop probes lost to bursty-loss windows or ICMP
+// rate limiters, link-flap truncation, or a whole-region outage (the probe
+// was never sent). Without an injector the trace is byte-identical to
+// Traceroute's and the stats carry only the probe count.
+func (p *Prober) TracerouteAt(ref VMRef, dst netblock.IP, tSec float64) (Trace, AttemptStats, error) {
 	vm, err := p.vm(ref)
 	if err != nil {
-		return Trace{}, err
+		return Trace{}, AttemptStats{}, err
 	}
-	path := p.f.Trace(vm, dst)
+	var st AttemptStats
+	if !p.inj.RegionUp(vm.Cloud, vm.Region, tSec) {
+		// The vantage region is down: nothing is sent. The attempt still
+		// yields a well-formed (all-star) trace so exhausted retries leave a
+		// replayable record in the campaign stream.
+		st.Outage = true
+		return Trace{Src: ref, Dst: dst, Status: StatusGapLimit, Hops: make([]Hop, gapLimit)}, st, nil
+	}
+	path := p.f.TraceAt(vm, dst, tSec)
+	st.Flapped = path.Truncated
 	tr := Trace{Src: ref, Dst: dst, Status: StatusGapLimit}
 	gap := 0
 	seen := make(map[netblock.IP]int, len(path.Hops))
@@ -190,11 +227,26 @@ func (p *Prober) Traceroute(ref VMRef, dst netblock.IP) (Trace, error) {
 		router := &p.t.Routers[iface.Router]
 		h := p.hash(uint64(hop.Iface), uint64(dst), uint64(vm.Cloud)<<8|uint64(vm.Region), uint64(hi))
 
+		st.Sent++
 		if !p.responds(router, dst, vm, hi) {
 			tr.Hops = append(tr.Hops, Hop{})
 			gap++
 			if gap >= gapLimit {
-				return tr, nil
+				return tr, st, nil
+			}
+			continue
+		}
+		// The router would answer; the fault layer may still eat the reply.
+		if v := p.inj.ReplyVerdict(router.ID, dst, hopSalt(vm, uint64(hi)), tSec); v != faults.VerdictOK {
+			if v == faults.VerdictLost {
+				st.Lost++
+			} else {
+				st.RateLimited++
+			}
+			tr.Hops = append(tr.Hops, Hop{})
+			gap++
+			if gap >= gapLimit {
+				return tr, st, nil
 			}
 			continue
 		}
@@ -212,13 +264,13 @@ func (p *Prober) Traceroute(ref VMRef, dst netblock.IP) (Trace, error) {
 			if prev.Responsive() {
 				tr.Hops = append(tr.Hops, Hop{Addr: prev.Addr, RTTms: hop.RTT + p.jitter(h)})
 				tr.Status = StatusLoop
-				return tr, nil
+				return tr, st, nil
 			}
 		}
 		if firstIdx, dup := seen[addr]; dup && firstIdx < len(tr.Hops)-1 {
 			tr.Status = StatusLoop
 			tr.Hops = append(tr.Hops, Hop{Addr: addr, RTTms: hop.RTT + p.jitter(h)})
-			return tr, nil
+			return tr, st, nil
 		}
 		seen[addr] = len(tr.Hops)
 		tr.Hops = append(tr.Hops, Hop{Addr: addr, RTTms: hop.RTT + p.jitter(h)})
@@ -226,10 +278,21 @@ func (p *Prober) Traceroute(ref VMRef, dst netblock.IP) (Trace, error) {
 
 	// Destination.
 	if path.DstResponds {
+		st.Sent++
 		responderOK := true
 		if path.DstIface != model.NoIface {
 			router := p.t.IfaceRouter(path.DstIface)
 			responderOK = p.responds(router, dst, vm, 99)
+			if responderOK {
+				switch p.inj.ReplyVerdict(router.ID, dst, hopSalt(vm, 0xdd57), tSec) {
+				case faults.VerdictLost:
+					st.Lost++
+					responderOK = false
+				case faults.VerdictRateLimited:
+					st.RateLimited++
+					responderOK = false
+				}
+			}
 		} else {
 			h := p.hash(uint64(dst), 0xdddd)
 			responderOK = unit(h) < 0.95
@@ -238,14 +301,20 @@ func (p *Prober) Traceroute(ref VMRef, dst netblock.IP) (Trace, error) {
 			h := p.hash(uint64(dst), uint64(vm.Cloud), 0xeeee)
 			tr.Hops = append(tr.Hops, Hop{Addr: dst, RTTms: path.DstRTT + p.jitter(h)})
 			tr.Status = StatusCompleted
-			return tr, nil
+			return tr, st, nil
 		}
 	}
 	// Pad the trailing gap as scamper would before giving up.
 	for i := 0; i < gapLimit-gap; i++ {
 		tr.Hops = append(tr.Hops, Hop{})
 	}
-	return tr, nil
+	return tr, st, nil
+}
+
+// hopSalt distinguishes fault draws for probes sharing a (router,
+// destination) pair: the vantage and hop (or destination marker) feed in.
+func hopSalt(vm route.VM, k uint64) uint64 {
+	return uint64(vm.Cloud)<<40 | uint64(vm.Region)<<32 | k
 }
 
 // Ping sends n echo probes to dst and returns the minimum observed RTT.

@@ -1,0 +1,333 @@
+package probe
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cloudmap/internal/netblock"
+)
+
+// AttemptStats reports what the fault layer did to one traceroute attempt.
+// Without an injector only Sent is non-zero.
+type AttemptStats struct {
+	Sent        int  // probe packets issued (hops plus destination)
+	Lost        int  // replies eaten by bursty-loss windows
+	RateLimited int  // replies eaten by router ICMP limiters
+	Outage      bool // the vantage region was down; nothing was sent
+	Flapped     bool // the path was truncated by a link flap
+}
+
+// Faulted reports whether the fault layer interfered with the attempt at
+// all — the retry trigger.
+func (s AttemptStats) Faulted() bool {
+	return s.Outage || s.Flapped || s.Lost > 0 || s.RateLimited > 0
+}
+
+// RetryPolicy governs re-probing of fault-degraded traceroutes. The zero
+// policy (normalised by withDefaults) probes each target exactly once.
+type RetryPolicy struct {
+	// MaxAttempts bounds attempts per probe, including the first.
+	MaxAttempts int `json:"max_attempts"`
+	// BackoffSec is the virtual-time delay before the first retry;
+	// BackoffFactor multiplies it for each further one.
+	BackoffSec    float64 `json:"backoff_sec"`
+	BackoffFactor float64 `json:"backoff_factor"`
+	// Budget caps total retries across a campaign (0 = unlimited). The
+	// budget is split evenly across work chunks so its effect does not
+	// depend on worker scheduling; exhausted chunks keep probing without
+	// retries (fail soft) and flag BudgetExhausted in the stats.
+	Budget int64 `json:"budget,omitempty"`
+}
+
+// DefaultRetryPolicy is the policy the CLIs install when -max-retries is
+// given without further tuning: three attempts, 1s/2s virtual backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BackoffSec: 1, BackoffFactor: 2}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BackoffSec <= 0 {
+		p.BackoffSec = 1
+	}
+	if p.BackoffFactor <= 0 {
+		p.BackoffFactor = 2
+	}
+	return p
+}
+
+// CampaignStats aggregates fault and retry telemetry over one campaign.
+// Every field is a sum (or max) of per-probe deterministic events, so stats
+// are identical across runs and worker counts.
+type CampaignStats struct {
+	Targets     int64 `json:"targets"`      // (vm, dst) pairs probed
+	Probes      int64 `json:"probes"`       // traceroute attempts, retries included
+	HopProbes   int64 `json:"hop_probes"`   // probe packets issued
+	Retries     int64 `json:"retries"`      // attempts beyond the first
+	Lost        int64 `json:"lost"`         // replies lost to bursty-loss windows
+	RateLimited int64 `json:"rate_limited"` // replies suppressed by ICMP limiters
+	Outages     int64 `json:"outages"`      // attempts refused by a region outage
+	Flapped     int64 `json:"flapped"`      // attempts truncated by a link flap
+	// Attempts[i] counts targets resolved with i+1 attempts.
+	Attempts []int64 `json:"attempts,omitempty"`
+	// BudgetExhausted is set when any chunk wanted a retry it could not
+	// afford; the campaign still completes (fail soft).
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
+}
+
+// Degraded reports whether the campaign saw any fault activity or ran out
+// of retry budget.
+func (s CampaignStats) Degraded() bool {
+	return s.Lost > 0 || s.RateLimited > 0 || s.Outages > 0 || s.Flapped > 0 || s.BudgetExhausted
+}
+
+func (s *CampaignStats) merge(o CampaignStats) {
+	s.Targets += o.Targets
+	s.Probes += o.Probes
+	s.HopProbes += o.HopProbes
+	s.Retries += o.Retries
+	s.Lost += o.Lost
+	s.RateLimited += o.RateLimited
+	s.Outages += o.Outages
+	s.Flapped += o.Flapped
+	for len(s.Attempts) < len(o.Attempts) {
+		s.Attempts = append(s.Attempts, 0)
+	}
+	for i, n := range o.Attempts {
+		s.Attempts[i] += n
+	}
+	s.BudgetExhausted = s.BudgetExhausted || o.BudgetExhausted
+}
+
+func (s *CampaignStats) observe(st AttemptStats) {
+	s.Probes++
+	s.HopProbes += int64(st.Sent)
+	s.Lost += int64(st.Lost)
+	s.RateLimited += int64(st.RateLimited)
+	if st.Outage {
+		s.Outages++
+	}
+	if st.Flapped {
+		s.Flapped++
+	}
+}
+
+// score ranks traces for retry selection: a completed trace beats any
+// incomplete one, then more responsive hops win.
+func score(t Trace) int {
+	s := 0
+	for _, h := range t.Hops {
+		if h.Responsive() {
+			s++
+		}
+	}
+	if t.Status == StatusCompleted {
+		s += 1 << 20
+	}
+	return s
+}
+
+// better keeps the higher-scoring of two attempts, preferring the earlier
+// one on ties so the choice is stable.
+func better(a, b Trace) Trace {
+	if score(b) > score(a) {
+		return b
+	}
+	return a
+}
+
+// traceRetry probes one target with retries. budget counts the retries this
+// chunk may still spend (nil = unlimited).
+func (p *Prober) traceRetry(ref VMRef, vmKey uint64, dst netblock.IP, pol RetryPolicy, epoch uint64, budget *int64, cs *CampaignStats) (Trace, error) {
+	tSec := p.inj.ScheduleSec(epoch, vmKey, dst)
+	best, st, err := p.TracerouteAt(ref, dst, tSec)
+	if err != nil {
+		return Trace{}, err
+	}
+	cs.Targets++
+	cs.observe(st)
+	attempts := 1
+	backoff := pol.BackoffSec
+	for attempts < pol.MaxAttempts && st.Faulted() {
+		if budget != nil {
+			if *budget <= 0 {
+				cs.BudgetExhausted = true
+				break
+			}
+			*budget--
+		}
+		tSec += backoff
+		backoff *= pol.BackoffFactor
+		tr, st2, err := p.TracerouteAt(ref, dst, tSec)
+		if err != nil {
+			return Trace{}, err
+		}
+		cs.Retries++
+		cs.observe(st2)
+		best = better(best, tr)
+		st = st2
+		attempts++
+	}
+	if len(cs.Attempts) < pol.MaxAttempts {
+		grown := make([]int64, pol.MaxAttempts)
+		copy(grown, cs.Attempts)
+		cs.Attempts = grown
+	}
+	cs.Attempts[attempts-1]++
+	return best, nil
+}
+
+// CampaignRetryCtx runs a campaign under the prober's fault injector with
+// per-probe retries. It delivers traces in exactly the order CampaignCtx
+// would and returns aggregate fault/retry stats; both the stream and the
+// stats are identical for any worker count. epoch separates the virtual
+// schedules of distinct probing rounds (round 1 vs. expansion), so a target
+// probed in both rounds lands at independent virtual times.
+//
+// With a nil injector and a single-attempt policy this degenerates to the
+// plain parallel campaign: every probe runs at virtual time zero and the
+// stats carry only probe counts.
+func (p *Prober) CampaignRetryCtx(ctx context.Context, vms []VMRef, targets []netblock.IP, workers int, pol RetryPolicy, epoch uint64, sink TraceSink) (CampaignStats, error) {
+	pol = pol.withDefaults()
+
+	type chunk struct {
+		vm       VMRef
+		from, to int // target index range
+	}
+	var chunks []chunk
+	for _, vm := range vms {
+		for from := 0; from < len(targets); from += campaignChunk {
+			to := from + campaignChunk
+			if to > len(targets) {
+				to = len(targets)
+			}
+			chunks = append(chunks, chunk{vm: vm, from: from, to: to})
+		}
+	}
+
+	// Budget shares: chunk i gets Budget/n, the first Budget%n chunks one
+	// extra, so the total is exact and independent of execution order.
+	chunkBudget := func(i int) *int64 {
+		if pol.Budget <= 0 {
+			return nil
+		}
+		n := int64(len(chunks))
+		share := pol.Budget / n
+		if int64(i) < pol.Budget%n {
+			share++
+		}
+		return &share
+	}
+
+	runChunk := func(c chunk, idx int) ([]Trace, CampaignStats, error) {
+		vm, err := p.vm(c.vm)
+		if err != nil {
+			return nil, CampaignStats{}, err
+		}
+		vmKey := uint64(vm.Cloud)<<16 | uint64(vm.Region)
+		budget := chunkBudget(idx)
+		var cs CampaignStats
+		out := make([]Trace, 0, c.to-c.from)
+		for _, dst := range targets[c.from:c.to] {
+			if err := ctx.Err(); err != nil {
+				return nil, cs, fmt.Errorf("probe: campaign interrupted: %w", err)
+			}
+			tr, err := p.traceRetry(c.vm, vmKey, dst, pol, epoch, budget, &cs)
+			if err != nil {
+				return nil, cs, err
+			}
+			out = append(out, tr)
+		}
+		return out, cs, nil
+	}
+
+	var total CampaignStats
+	if workers <= 1 {
+		for i, c := range chunks {
+			batch, cs, err := runChunk(c, i)
+			if err != nil {
+				return total, err
+			}
+			total.merge(cs)
+			for _, tr := range batch {
+				sink(tr)
+			}
+		}
+		return total, nil
+	}
+
+	type result struct {
+		traces []Trace
+		stats  CampaignStats
+	}
+	results := make([]chan result, len(chunks))
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+	var (
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				idx := int(next.Add(1)) - 1
+				if idx >= len(chunks) {
+					return
+				}
+				batch, cs, err := runChunk(chunks[idx], idx)
+				if err != nil {
+					setErr(err)
+					results[idx] <- result{}
+					return
+				}
+				results[idx] <- result{traces: batch, stats: cs}
+			}
+		}()
+	}
+
+deliver:
+	for i := range chunks {
+		var r result
+		select {
+		case r = <-results[i]:
+		case <-ctx.Done():
+			break deliver
+		}
+		if r.traces == nil {
+			break
+		}
+		total.merge(r.stats)
+		for _, tr := range r.traces {
+			sink(tr)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = fmt.Errorf("probe: campaign interrupted: %w", ctx.Err())
+	}
+	return total, firstErr
+}

@@ -10,6 +10,7 @@ package route
 import (
 	"sync"
 
+	"cloudmap/internal/faults"
 	"cloudmap/internal/geo"
 	"cloudmap/internal/model"
 	"cloudmap/internal/netblock"
@@ -42,6 +43,10 @@ type Forwarder struct {
 	// egressCache memoises egress decisions per (cloud, region, dstAS).
 	egressMu    sync.Mutex
 	egressCache map[egressKey]egressChoice
+
+	// inj, when non-nil, injects link flaps into path computation (TraceAt).
+	// All other fault dimensions are reply-level and live in the prober.
+	inj *faults.Injector
 }
 
 type egressKey struct {
@@ -119,6 +124,11 @@ func NewForwarder(t *model.Topology) *Forwarder {
 	}
 	return f
 }
+
+// SetFaults installs a fault injector; forwarding consults it for link
+// flaps. A nil injector restores fault-free forwarding. Call before probing
+// starts — the injector is read without synchronisation.
+func (f *Forwarder) SetFaults(inj *faults.Injector) { f.inj = inj }
 
 // AnnouncedOrigin returns the BGP origin AS for an address, mimicking a
 // longest-prefix lookup in the public table. ok is false for unannounced

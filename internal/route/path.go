@@ -37,6 +37,9 @@ type Path struct {
 	// owner), NoAS when unrouted.
 	DstAS  model.ASIndex
 	DstRTT float64
+	// Truncated marks a path cut short by an injected link flap (a
+	// transient condition worth retrying, unlike structurally dead space).
+	Truncated bool
 }
 
 // VM identifies a probing VM: a cloud region.
@@ -45,8 +48,18 @@ type VM struct {
 	Region int
 }
 
-// Trace computes the path a probe from the VM to dst would take.
+// Trace computes the path a probe from the VM to dst would take, with the
+// fault clock at zero (equivalent to TraceAt(vm, dst, 0)).
 func (f *Forwarder) Trace(vm VM, dst netblock.IP) Path {
+	return f.TraceAt(vm, dst, 0)
+}
+
+// TraceAt computes the path of a probe sent at virtual time tSec. With a
+// fault injector installed (SetFaults), an interconnection link that is
+// flapped at tSec drops the probe at the cloud border: the path truncates
+// after the border hop and the destination never answers. Fault windows are
+// long relative to RTTs, so the whole path is evaluated at the send time.
+func (f *Forwarder) TraceAt(vm VM, dst netblock.IP, tSec float64) Path {
 	t := f.t
 	c := &t.Clouds[vm.Cloud]
 	reg := &c.Regions[vm.Region]
@@ -86,7 +99,7 @@ func (f *Forwarder) Trace(vm VM, dst netblock.IP) Path {
 	p.Hops = append(p.Hops, HopTemplate{Iface: f.coreIncoming[reg.Backbone], RTT: rtt})
 
 	if t.IsCloudAS(c, dstOwner) {
-		return f.internalDelivery(p, rtt, c, srcMetro, dst)
+		return f.internalDelivery(p, rtt, c, srcMetro, dst, tSec)
 	}
 
 	// Choose the egress interconnection: first the AS path (cached per
@@ -156,6 +169,13 @@ func (f *Forwarder) Trace(vm VM, dst netblock.IP) Path {
 		p.Hops = append(p.Hops, HopTemplate{Iface: l.CloudIface, RTT: rtt})
 	}
 
+	// A flapped interconnection drops the probe at the cloud border: the
+	// path ends with the hops already collected.
+	if !f.inj.LinkUp(link, tSec) {
+		p.Truncated = true
+		return p
+	}
+
 	// Cross the interconnection: the client border router replies with its
 	// side of the link subnet (the CBI).
 	rtt += l.RTTms
@@ -204,7 +224,7 @@ func (f *Forwarder) pickLink(p *model.Peering, dst netblock.IP) model.LinkID {
 }
 
 // internalDelivery handles targets inside the probing cloud itself.
-func (f *Forwarder) internalDelivery(p Path, rtt float64, c *model.Cloud, srcMetro geo.MetroID, dst netblock.IP) Path {
+func (f *Forwarder) internalDelivery(p Path, rtt float64, c *model.Cloud, srcMetro geo.MetroID, dst netblock.IP, tSec float64) Path {
 	t := f.t
 	ifc, isIface := t.IfaceAt(dst)
 	if !isIface {
@@ -235,6 +255,10 @@ func (f *Forwarder) internalDelivery(p Path, rtt float64, c *model.Cloud, srcMet
 	l := &t.Links[link]
 	abi := f.borderIncoming(l.CloudRouter, 0)
 	p.Hops = append(p.Hops, HopTemplate{Iface: abi, RTT: rtt})
+	if !f.inj.LinkUp(link, tSec) {
+		p.Truncated = true
+		return p
+	}
 	rtt += l.RTTms
 	p.DstIface = ifc
 	p.DstAS = router.AS

@@ -1,19 +1,41 @@
 package tracefile
 
 import (
+	"bytes"
+	"compress/gzip"
 	"strings"
 	"testing"
 
 	"cloudmap/internal/probe"
 )
 
+// gzipped compresses a string (test seed helper).
+func gzipped(tb testing.TB, s string) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write([]byte(s)); err != nil {
+		tb.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzRead checks that arbitrary input never panics the reader and that
-// every record it accepts is well-formed.
+// every record it accepts is well-formed. The seed corpus includes whole and
+// truncated gzip streams so the sniffing and truncation paths stay fuzzed.
 func FuzzRead(f *testing.F) {
 	f.Add("# cloudmap tracefile v1\nT amazon/0 1.2.3.4 0 10.0.0.1/250,*\n")
 	f.Add("# cloudmap tracefile v1\nT microsoft/7 9.9.9.9 1 *\n")
 	f.Add("garbage\n")
 	f.Add("# cloudmap tracefile v1\nT a/0 1.1.1.1 0 1.1.1.2/0\nT b/1 2.2.2.2 2 *\n")
+	whole := gzipped(f, "# cloudmap tracefile v1\nT amazon/0 1.2.3.4 0 10.0.0.1/250,*\n# complete 1\n")
+	f.Add(string(whole))
+	for _, cut := range []int{3, len(whole) / 2, len(whole) - 4} {
+		f.Add(string(whole[:cut]))
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		err := Read(strings.NewReader(input), func(tr probe.Trace) {
 			if tr.Src.Region < 0 {

@@ -19,6 +19,7 @@ package tracefile
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -28,6 +29,12 @@ import (
 	"cloudmap/internal/netblock"
 	"cloudmap/internal/probe"
 )
+
+// ErrTruncated marks a stream that ended mid-record — typically a gzip
+// checkpoint cut off by a crash before the footer was flushed. Callers
+// detect it with errors.Is and treat the file like a trailer-less
+// (interrupted) checkpoint: re-probe rather than trust it.
+var ErrTruncated = errors.New("tracefile: truncated stream")
 
 // version is bumped when the record layout changes.
 const version = 1
@@ -237,6 +244,9 @@ func Replay(r io.Reader, sink probe.TraceSink) (Summary, error) {
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		zr, err := gzip.NewReader(br)
 		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return Summary{}, fmt.Errorf("%w: gzip header cut short: %w", ErrTruncated, err)
+			}
 			return Summary{}, fmt.Errorf("tracefile: gzip: %w", err)
 		}
 		defer zr.Close()
@@ -299,12 +309,23 @@ func replay(r io.Reader, sink probe.TraceSink) (Summary, error) {
 		}
 		tr, err := parseRecord(text)
 		if err != nil {
+			// A reader error (set before the scanner yields its partial
+			// final token) means the "malformed" record is really the stump
+			// of a truncated stream — diagnose the truncation, not the stump.
+			if rerr := sc.Err(); rerr != nil && errors.Is(rerr, io.ErrUnexpectedEOF) {
+				return sum, fmt.Errorf("%w: input ended after %d traces, mid-record: %w", ErrTruncated, sum.Traces, rerr)
+			}
 			return sum, fmt.Errorf("tracefile: line %d: %w", line, err)
 		}
 		sink(tr)
 		sum.Traces++
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			// A gzip (or raw) stream that stops mid-record: diagnose it as
+			// a truncated checkpoint instead of surfacing a bare EOF.
+			return sum, fmt.Errorf("%w: input ended after %d traces, mid-record: %w", ErrTruncated, sum.Traces, err)
+		}
 		return sum, fmt.Errorf("tracefile: %w", err)
 	}
 	if !sawHeader && line > 0 {

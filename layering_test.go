@@ -29,6 +29,9 @@ func TestInferenceNeverImportsGroundTruth(t *testing.T) {
 		"cloudmap/internal/model",
 		"cloudmap/internal/topo",
 		"cloudmap/internal/route",
+		// The fault fabric is part of the simulated measurement plane;
+		// inference must see its effects only through the traces.
+		"cloudmap/internal/faults",
 	}
 	fset := token.NewFileSet()
 	for _, pkg := range inferencePkgs {

@@ -23,6 +23,7 @@ import (
 
 	"cloudmap/internal/bdrmap"
 	"cloudmap/internal/border"
+	"cloudmap/internal/faults"
 	"cloudmap/internal/metrics"
 	"cloudmap/internal/midar"
 	"cloudmap/internal/netblock"
@@ -68,6 +69,32 @@ type Manifest struct {
 	// Summary carries the run's headline quantities (peer ASes, hidden
 	// share, VPI share, largest-CC fraction, pinning CV).
 	Summary map[string]float64 `json:"summary,omitempty"`
+	// Degradation records how the fault model affected the run; nil for
+	// fault-free runs (and absent from their JSON, keeping old manifests
+	// and new fault-free ones byte-compatible).
+	Degradation *DegradationReport `json:"degradation,omitempty"`
+}
+
+// DegradationReport is the manifest's account of a degraded run: how much
+// probing the fault layer ate, what the retry policy spent recovering, and
+// which stages ran on (or were skipped because of) partial data.
+type DegradationReport struct {
+	// ProbeLossPct is the percentage of issued probe packets whose replies
+	// the fault layer suppressed (bursty loss + rate limiting), across all
+	// probing rounds and retries.
+	ProbeLossPct float64 `json:"probe_loss_pct"`
+	// RetriesSpent counts traceroute re-attempts across all rounds.
+	RetriesSpent int64 `json:"retries_spent"`
+	// BudgetExhausted is set when some chunk wanted a retry it could not
+	// afford; the run still completed (fail soft).
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
+	// Rounds breaks the fault/retry telemetry down per probing round
+	// ("campaign", "expansion").
+	Rounds map[string]probe.CampaignStats `json:"rounds,omitempty"`
+	// DegradedStages lists stages that reported partial results;
+	// SkippedStages lists stages skipped because they cannot tolerate them.
+	DegradedStages []string `json:"degraded_stages,omitempty"`
+	SkippedStages  []string `json:"skipped_stages,omitempty"`
 }
 
 // RunReport bundles the observable side of a run: the manifest and the
@@ -111,8 +138,10 @@ func RunPipeline(ctx context.Context, sys *System, cfg Config, opts RunOptions) 
 		}
 	}
 	hash := configHash(cfg)
+	var prev *Manifest
 	if opts.Resume {
-		if err := checkManifestCompatible(opts.CheckpointDir, hash); err != nil {
+		var err error
+		if prev, err = loadCompatibleManifest(opts.CheckpointDir, hash); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -122,16 +151,20 @@ func RunPipeline(ctx context.Context, sys *System, cfg Config, opts RunOptions) 
 		reg = metrics.NewRegistry()
 	}
 	st := &pipeState{cfg: cfg, opts: opts, sys: sys}
+	if prev != nil && prev.Degradation != nil {
+		st.prevRounds = prev.Degradation.Rounds
+	}
 	stages, err := newRunner(reg).Run(ctx, st, pipeline.Options{Resume: opts.Resume})
 	rep := &RunReport{
 		Manifest: Manifest{
-			Version:    manifestVersion,
-			ConfigHash: hash,
-			Seed:       cfg.Topology.Seed,
-			Workers:    cfg.Workers,
-			Resumed:    opts.Resume,
-			Stages:     stages,
-			Summary:    st.summary,
+			Version:     manifestVersion,
+			ConfigHash:  hash,
+			Seed:        cfg.Topology.Seed,
+			Workers:     cfg.Workers,
+			Resumed:     opts.Resume,
+			Stages:      stages,
+			Summary:     st.summary,
+			Degradation: degradationReport(st, stages),
 		},
 		Metrics: reg,
 	}
@@ -160,6 +193,46 @@ type pipeState struct {
 
 	// summary is filled by the evaluate stage and lands in the manifest.
 	summary map[string]float64
+	// roundStats collects per-round fault/retry telemetry for the
+	// manifest's degradation report. prevRounds carries the previous run's
+	// telemetry (from the checkpoint dir's manifest) so a resumed round
+	// replays its degradation state along with its traces.
+	roundStats map[string]probe.CampaignStats
+	prevRounds map[string]probe.CampaignStats
+}
+
+// degradationReport assembles the manifest's degradation section; nil when
+// the fault layer never interfered and no stage degraded.
+func degradationReport(st *pipeState, stages []pipeline.StageResult) *DegradationReport {
+	rep := &DegradationReport{}
+	var sent, eaten int64
+	for round, cs := range st.roundStats {
+		if cs.Degraded() {
+			if rep.Rounds == nil {
+				rep.Rounds = make(map[string]probe.CampaignStats)
+			}
+			rep.Rounds[round] = cs
+		}
+		sent += cs.HopProbes
+		eaten += cs.Lost + cs.RateLimited
+		rep.RetriesSpent += cs.Retries
+		rep.BudgetExhausted = rep.BudgetExhausted || cs.BudgetExhausted
+	}
+	if sent > 0 {
+		rep.ProbeLossPct = 100 * float64(eaten) / float64(sent)
+	}
+	for _, sr := range stages {
+		switch {
+		case sr.Degraded:
+			rep.DegradedStages = append(rep.DegradedStages, sr.Name)
+		case sr.Status == pipeline.StatusSkippedDegraded:
+			rep.SkippedStages = append(rep.SkippedStages, sr.Name)
+		}
+	}
+	if len(rep.Rounds) == 0 && len(rep.DegradedStages) == 0 && len(rep.SkippedStages) == 0 && rep.RetriesSpent == 0 {
+		return nil
+	}
+	return rep
 }
 
 // newRunner declares the stage DAG. Insertion order is a valid topological
@@ -175,59 +248,75 @@ func newRunner(reg *metrics.Registry) *pipeline.Runner[pipeState] {
 		return func(ctx context.Context, s *pipeState, sc *pipeline.StageContext) (bool, error) { return m(s, ctx, sc) }
 	}
 
+	// Every stage except bdrmap tolerates degraded (partial) probing: the
+	// paper's own campaigns run against a lossy Internet, and the §4–§7
+	// inference degrades in recall, not correctness. The §8 bdrmap baseline
+	// is the exception — it issues its own fresh per-region traceroutes and
+	// comparing a fault-free baseline against a degraded inference would
+	// misattribute the gap, so it sits out degraded runs.
 	r := pipeline.New[pipeState](reg)
 	r.Add(pipeline.Stage[pipeState]{
-		Name: "topo-gen",
-		Run:  run((*pipeState).topoGen),
+		Name:            "topo-gen",
+		ToleratePartial: true,
+		Run:             run((*pipeState).topoGen),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:   "campaign",
-		Needs:  []string{"topo-gen"},
-		Resume: resume((*pipeState).resumeCampaign),
-		Run:    run((*pipeState).campaign),
+		Name:            "campaign",
+		Needs:           []string{"topo-gen"},
+		ToleratePartial: true,
+		Resume:          resume((*pipeState).resumeCampaign),
+		Run:             run((*pipeState).campaign),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:  "border",
-		Needs: []string{"campaign"},
-		Run:   run((*pipeState).borderSnapshot),
+		Name:            "border",
+		Needs:           []string{"campaign"},
+		ToleratePartial: true,
+		Run:             run((*pipeState).borderSnapshot),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:   "expansion",
-		Needs:  []string{"border"},
-		Skip:   func(s *pipeState) bool { return s.cfg.SkipExpansion },
-		Resume: resume((*pipeState).resumeExpansion),
-		Run:    run((*pipeState).expansion),
+		Name:            "expansion",
+		Needs:           []string{"border"},
+		ToleratePartial: true,
+		Skip:            func(s *pipeState) bool { return s.cfg.SkipExpansion },
+		Resume:          resume((*pipeState).resumeExpansion),
+		Run:             run((*pipeState).expansion),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:  "alias",
-		Needs: []string{"expansion"},
-		Skip:  func(s *pipeState) bool { return s.cfg.SkipAliasResolution },
-		Run:   run((*pipeState).alias),
+		Name:            "alias",
+		Needs:           []string{"expansion"},
+		ToleratePartial: true,
+		Skip:            func(s *pipeState) bool { return s.cfg.SkipAliasResolution },
+		Run:             run((*pipeState).alias),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:  "verify",
-		Needs: []string{"alias"},
-		Run:   run((*pipeState).verify),
+		Name:            "verify",
+		Needs:           []string{"alias"},
+		ToleratePartial: true,
+		Run:             run((*pipeState).verify),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:  "pinning",
-		Needs: []string{"verify"},
-		Run:   run((*pipeState).pinning),
+		Name:            "pinning",
+		Needs:           []string{"verify"},
+		ToleratePartial: true,
+		Run:             run((*pipeState).pinning),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:  "vpi",
-		Needs: []string{"expansion"},
-		Run:   run((*pipeState).vpi),
+		Name:            "vpi",
+		Needs:           []string{"expansion"},
+		ToleratePartial: true,
+		Run:             run((*pipeState).vpi),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:  "classify",
-		Needs: []string{"verify", "pinning", "vpi"},
-		Run:   run((*pipeState).classify),
+		Name:            "classify",
+		Needs:           []string{"verify", "pinning", "vpi"},
+		ToleratePartial: true,
+		Run:             run((*pipeState).classify),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:  "icg",
-		Needs: []string{"verify", "pinning"},
-		Run:   run((*pipeState).icg),
+		Name:            "icg",
+		Needs:           []string{"verify", "pinning"},
+		ToleratePartial: true,
+		Run:             run((*pipeState).icg),
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:  "bdrmap",
@@ -236,9 +325,10 @@ func newRunner(reg *metrics.Registry) *pipeline.Runner[pipeState] {
 		Run:   run((*pipeState).bdrmapBaseline),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:  "evaluate",
-		Needs: []string{"classify", "icg", "bdrmap"},
-		Run:   run((*pipeState).evaluate),
+		Name:            "evaluate",
+		Needs:           []string{"classify", "icg", "bdrmap"},
+		ToleratePartial: true,
+		Run:             run((*pipeState).evaluate),
 	})
 	return r
 }
@@ -252,6 +342,14 @@ func (s *pipeState) topoGen(_ context.Context, sc *pipeline.StageContext) error 
 			return err
 		}
 		s.sys = sys
+	} else {
+		// Caller-supplied system: the run's Config decides the fault plan
+		// (a nil plan yields a nil injector, i.e. fault-free probing).
+		inj, err := faults.New(s.cfg.Faults, s.sys.Topology)
+		if err != nil {
+			return err
+		}
+		s.sys.Prober.SetFaults(inj)
 	}
 	s.res = &Result{System: s.sys, Config: s.cfg}
 	s.inf = border.New(s.sys.Registry, "amazon")
@@ -297,11 +395,14 @@ func (s *pipeState) checkpointPath(stage string) string {
 	return filepath.Join(s.opts.CheckpointDir, stage+".traces.gz")
 }
 
-// probeRound runs one probing round, teeing traces into the stage's
-// checkpoint when enabled. On error (including cancellation) the partially
-// written checkpoint is flushed without its completeness trailer: loadable,
-// but marked interrupted so a resume re-probes instead of trusting it.
-func (s *pipeState) probeRound(ctx context.Context, sc *pipeline.StageContext, stage string, targets []netblock.IP) error {
+// probeRound runs one probing round under the retry policy, teeing traces
+// into the stage's checkpoint when enabled. epoch separates the virtual
+// fault-time schedules of the two rounds. On error (including cancellation)
+// the partially written checkpoint is flushed without its completeness
+// trailer: loadable, but marked interrupted so a resume re-probes instead
+// of trusting it. Fault/retry telemetry lands in the stage's instruments,
+// s.roundStats, and — when the round was degraded — a sc.Degrade note.
+func (s *pipeState) probeRound(ctx context.Context, sc *pipeline.StageContext, stage string, epoch uint64, targets []netblock.IP) error {
 	sink := s.roundSink(sc)
 	var fw *tracefile.FileWriter
 	if path := s.checkpointPath(stage); path != "" {
@@ -316,7 +417,7 @@ func (s *pipeState) probeRound(ctx context.Context, sc *pipeline.StageContext, s
 			inner(tr)
 		}
 	}
-	err := s.sys.Prober.CampaignParallelCtx(ctx, s.vms, targets, s.cfg.Workers, sink)
+	stats, err := s.sys.Prober.CampaignRetryCtx(ctx, s.vms, targets, s.cfg.Workers, s.cfg.Retry, epoch, sink)
 	if fw != nil {
 		if err != nil {
 			fw.Close()
@@ -324,7 +425,45 @@ func (s *pipeState) probeRound(ctx context.Context, sc *pipeline.StageContext, s
 			err = fmt.Errorf("checkpoint %s: %w", s.checkpointPath(stage), cerr)
 		}
 	}
+	s.recordRoundStats(sc, stage, stats)
 	return err
+}
+
+// recordRoundStats exports one round's fault/retry telemetry and flags the
+// stage degraded when the fault layer interfered.
+func (s *pipeState) recordRoundStats(sc *pipeline.StageContext, stage string, stats probe.CampaignStats) {
+	if s.roundStats == nil {
+		s.roundStats = make(map[string]probe.CampaignStats)
+	}
+	s.roundStats[stage] = stats
+	sc.Counter("probes").Add(stats.HopProbes)
+	if stats.Retries > 0 {
+		sc.Counter("retries").Add(stats.Retries)
+	}
+	if stats.Lost > 0 {
+		sc.Counter("faults-lost").Add(stats.Lost)
+	}
+	if stats.RateLimited > 0 {
+		sc.Counter("faults-rate-limited").Add(stats.RateLimited)
+	}
+	if stats.Outages > 0 {
+		sc.Counter("faults-outages").Add(stats.Outages)
+	}
+	if stats.Flapped > 0 {
+		sc.Counter("faults-flapped").Add(stats.Flapped)
+	}
+	attempts := sc.Histogram("attempts-per-target")
+	for i, n := range stats.Attempts {
+		attempts.ObserveN(int64(i+1), n)
+	}
+	if stats.Degraded() {
+		note := fmt.Sprintf("%s round: lost %d, rate-limited %d, outage attempts %d, flap-truncated %d of %d probes (%d retries spent)",
+			stage, stats.Lost, stats.RateLimited, stats.Outages, stats.Flapped, stats.HopProbes, stats.Retries)
+		if stats.BudgetExhausted {
+			note += ", retry budget exhausted"
+		}
+		sc.Degrade(note)
+	}
 }
 
 // resumeRound replays a complete checkpoint into the round's sink. prepare
@@ -337,6 +476,13 @@ func (s *pipeState) resumeRound(stage string, sc *pipeline.StageContext, prepare
 	sum, err := tracefile.ScanFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		if errors.Is(err, tracefile.ErrTruncated) {
+			// A checkpoint cut off mid-write (crashed run): treat it like a
+			// trailer-less file — fall through to live probing, which
+			// overwrites it.
+			sc.Counter("checkpoint-truncated").Inc()
 			return false, nil
 		}
 		return false, fmt.Errorf("checkpoint %s: %w", path, err)
@@ -354,6 +500,13 @@ func (s *pipeState) resumeRound(stage string, sc *pipeline.StageContext, prepare
 		return false, fmt.Errorf("checkpoint %s: %w", path, err)
 	}
 	sc.Counter("replayed").Add(int64(sum.Traces))
+	// A checkpoint from a degraded round replays degraded traces; restore
+	// the round's fault/retry telemetry from the manifest that accompanied
+	// it, so the resumed run re-raises the degradation (and keeps bdrmap
+	// sitting it out) instead of silently treating the data as clean.
+	if cs, ok := s.prevRounds[stage]; ok {
+		s.recordRoundStats(sc, stage, cs)
+	}
 	return true, nil
 }
 
@@ -361,7 +514,7 @@ func (s *pipeState) resumeRound(stage string, sc *pipeline.StageContext, prepare
 func (s *pipeState) campaign(ctx context.Context, sc *pipeline.StageContext) error {
 	targets := probe.Round1Targets(s.sys.Topology, probe.Round1Options{IncludePrivate: s.cfg.IncludePrivateTargets})
 	sc.Counter("targets").Add(int64(len(targets)))
-	if err := s.probeRound(ctx, sc, "campaign", targets); err != nil {
+	if err := s.probeRound(ctx, sc, "campaign", 1, targets); err != nil {
 		return fmt.Errorf("round 1: %w", err)
 	}
 	return nil
@@ -390,7 +543,7 @@ func (s *pipeState) expansion(ctx context.Context, sc *pipeline.StageContext) er
 	s.inf.BeginRound2()
 	exp := probe.ExpansionTargets(s.inf.CandidateCBIs())
 	sc.Counter("targets").Add(int64(len(exp)))
-	if err := s.probeRound(ctx, sc, "expansion", exp); err != nil {
+	if err := s.probeRound(ctx, sc, "expansion", 2, exp); err != nil {
 		return fmt.Errorf("round 2: %w", err)
 	}
 	sc.Counter("new-cbis").Add(int64(s.inf.BreakdownCBIs().Total - s.res.Round1CBIs.Total))
@@ -499,35 +652,43 @@ func (s *pipeState) evaluate(_ context.Context, sc *pipeline.StageContext) error
 // configHash fingerprints the result-affecting part of a Config. The trace
 // sink is a function and Workers never changes output (parallel campaigns
 // are order-deterministic), so both are excluded — a checkpoint taken on an
-// 8-core box resumes on a 64-core one.
+// 8-core box resumes on a 64-core one. The fault plan is a pointer, which
+// %#v would print as an address (different every run); it is folded in via
+// its canonical JSON instead.
 func configHash(cfg Config) string {
 	cfg.RecordTraces = nil
 	cfg.Workers = 0
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", cfg)))
+	planJSON, err := json.Marshal(cfg.Faults) // "null" for nil
+	if err != nil {
+		panic(fmt.Sprintf("cloudmap: fault plan not marshallable: %v", err)) // plain-data struct; unreachable
+	}
+	cfg.Faults = nil
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v|faults=%s", cfg, planJSON)))
 	return hex.EncodeToString(sum[:8])
 }
 
 // manifestPath names the manifest inside a checkpoint dir.
 func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
 
-// checkManifestCompatible refuses to resume over checkpoints written by a
-// different configuration.
-func checkManifestCompatible(dir, hash string) error {
+// loadCompatibleManifest reads the checkpoint dir's manifest, refusing to
+// resume over checkpoints written by a different configuration. A missing
+// manifest returns nil (stage checkpoints decide on their own).
+func loadCompatibleManifest(dir, hash string) (*Manifest, error) {
 	raw, err := os.ReadFile(manifestPath(dir))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return nil // no manifest yet; stage checkpoints decide on their own
+			return nil, nil
 		}
-		return fmt.Errorf("cloudmap: manifest: %w", err)
+		return nil, fmt.Errorf("cloudmap: manifest: %w", err)
 	}
 	var m Manifest
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return fmt.Errorf("cloudmap: manifest: %w", err)
+		return nil, fmt.Errorf("cloudmap: manifest: %w", err)
 	}
 	if m.ConfigHash != hash {
-		return fmt.Errorf("cloudmap: checkpoint dir %s was written with config hash %s, current config hashes to %s: refusing to resume", dir, m.ConfigHash, hash)
+		return nil, fmt.Errorf("cloudmap: checkpoint dir %s was written with config hash %s, current config hashes to %s: refusing to resume", dir, m.ConfigHash, hash)
 	}
-	return nil
+	return &m, nil
 }
 
 func writeManifest(dir string, rep *RunReport) error {

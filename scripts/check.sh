@@ -20,6 +20,9 @@ echo "==> go test -race -short ./..."
 # hot path, cancellation) all runs in short mode.
 go test -race -short -timeout 20m ./...
 
+echo "==> chaos smoke (fault injection + same-seed replay)"
+go test -run 'TestChaos' -timeout 10m .
+
 echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
 go test -run '^$' -fuzz '^FuzzRead$' -fuzztime "${FUZZ_SECONDS}s" ./internal/tracefile
 go test -run '^$' -fuzz '^FuzzParseIP$' -fuzztime "${FUZZ_SECONDS}s" ./internal/netblock
