@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz chaos
+.PHONY: build test check bench fuzz chaos hygiene
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,14 @@ bench:
 # same-seed+same-plan replay is byte-identical.
 chaos:
 	$(GO) test -run 'TestChaos' -v -timeout 10m .
+
+# Hygiene smoke: the dataset-hygiene acceptance tests — clean runs
+# round-trip the datasets byte-identically, the moderate dirty plan
+# degrades coverage but not precision, manifests carry the quarantine
+# accounting, and replays are byte-identical at any worker count.
+hygiene:
+	$(GO) test ./internal/datasets
+	$(GO) test -run 'TestHygiene|TestDegradationReportDatasetOnly|TestConfigHashDirtyPlan' -v -timeout 10m .
 
 fuzz:
 	sh scripts/check.sh 30

@@ -5,6 +5,7 @@ import (
 	"cloudmap/internal/grouping"
 	"cloudmap/internal/icg"
 	"cloudmap/internal/netblock"
+	"cloudmap/internal/registry"
 	"cloudmap/internal/vpi"
 )
 
@@ -32,9 +33,11 @@ type ICGResult = icg.Result
 // count.
 type ComboCount = grouping.ComboCount
 
-// detectVPIs runs §7.1 over the configured foreign clouds.
-func detectVPIs(sys *System, res *Result, clouds []string) *VPIResult {
-	out, err := vpi.Detect(sys.Prober, sys.Registry, res.Border, clouds)
+// detectVPIs runs §7.1 over the configured foreign clouds. reg is the
+// dataset view the run's inference consumes (the hygiene registry under
+// RunPipeline).
+func detectVPIs(sys *System, reg *registry.Registry, res *Result, clouds []string) *VPIResult {
+	out, err := vpi.Detect(sys.Prober, reg, res.Border, clouds)
 	if err != nil {
 		// Campaign errors here can only be configuration mistakes (unknown
 		// cloud names); surface an empty result rather than fail the run.
@@ -47,9 +50,9 @@ func detectVPIs(sys *System, res *Result, clouds []string) *VPIResult {
 	return out
 }
 
-// classifyPeerings runs §7.2-7.3.
-func classifyPeerings(sys *System, res *Result) *GroupingResult {
-	return grouping.Classify(res.Verified, res.Border, sys.Registry, res.VPI, res.Pinning)
+// classifyPeerings runs §7.2-7.3 over the given dataset view.
+func classifyPeerings(reg *registry.Registry, res *Result) *GroupingResult {
+	return grouping.Classify(res.Verified, res.Border, reg, res.VPI, res.Pinning)
 }
 
 // buildICG runs §7.4.

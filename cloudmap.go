@@ -25,6 +25,7 @@ import (
 
 	"cloudmap/internal/bdrmap"
 	"cloudmap/internal/border"
+	"cloudmap/internal/datasets"
 	"cloudmap/internal/faults"
 	"cloudmap/internal/midar"
 	"cloudmap/internal/model"
@@ -69,6 +70,12 @@ type Config struct {
 	// region outages, all replayable from the plan+topology seed (see
 	// internal/faults). Nil probes a fault-free world.
 	Faults *faults.Plan
+	// Dirty, when non-nil, corrupts the serialized input datasets before
+	// the hygiene layer parses them back: row drops, truncation, staleness,
+	// conflicting duplicates, bogon ASNs — all replayable from the
+	// plan+topology seed (see internal/datasets). Nil round-trips the
+	// datasets faithfully.
+	Dirty *datasets.DirtyPlan
 	// Retry governs re-probing of fault-degraded traceroutes (attempts,
 	// virtual-time backoff, campaign retry budget). The zero value probes
 	// each target once.
@@ -147,6 +154,12 @@ func NewSystem(cfg Config) (*System, error) {
 type Result struct {
 	System *System
 	Config Config
+
+	// Hygiene is the dataset hygiene view: the registry the inference
+	// stages actually consumed (rebuilt from the serialized datasets), the
+	// accepted records with provenance, the quarantine, and the coverage
+	// report that lands in the manifest's dataset_hygiene section.
+	Hygiene *datasets.View
 
 	// Border is the raw §4 inference (rounds 1 and 2).
 	Border *border.Inference

@@ -8,6 +8,7 @@
 //	cloudmap [-scale small|medium|paper] [-seed N] [-skip-bdrmap] [-o report.txt]
 //	         [-checkpoint-dir DIR] [-resume] [-metrics-out m.json]
 //	         [-fault-plan plan.json] [-max-retries N] [-retry-budget N]
+//	         [-dirty-plan plan.json] [-datasets-dir DIR]
 //
 // The run is interruptible: Ctrl-C cancels the pipeline promptly, and with
 // -checkpoint-dir the probing campaigns are persisted as they run, so a
@@ -20,6 +21,12 @@
 // fault-degraded traceroutes with exponential virtual-time backoff, and
 // -retry-budget caps the total retries a campaign may spend (exhaustion is
 // fail-soft and recorded in the manifest's degradation section).
+//
+// -dirty-plan corrupts the serialized input datasets before the hygiene
+// layer parses them back (row drops, truncation, staleness, conflicting
+// duplicates, bogon ASNs — see internal/datasets and testdata/dirtyplans);
+// quarantine coverage lands in the manifest's dataset_hygiene section.
+// -datasets-dir persists the serialized corpus for inspection.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"cloudmap"
+	"cloudmap/internal/datasets"
 	"cloudmap/internal/faults"
 	"cloudmap/internal/probe"
 	"cloudmap/internal/tracefile"
@@ -51,6 +59,8 @@ func main() {
 	faultPlan := flag.String("fault-plan", "", "inject faults from this JSON plan (see internal/faults and testdata/faultplans)")
 	maxRetries := flag.Int("max-retries", 0, "re-probe fault-degraded traceroutes up to N times (0 disables retries)")
 	retryBudget := flag.Int64("retry-budget", 0, "cap total retries per campaign; 0 means unlimited (fail-soft when exhausted)")
+	dirtyPlan := flag.String("dirty-plan", "", "corrupt input datasets from this JSON plan (see internal/datasets and testdata/dirtyplans)")
+	datasetsDir := flag.String("datasets-dir", "", "persist the serialized dataset corpus into this directory")
 	flag.Parse()
 
 	var cfg cloudmap.Config
@@ -79,6 +89,13 @@ func main() {
 		cfg.Retry.MaxAttempts = *maxRetries + 1
 		cfg.Retry.Budget = *retryBudget
 	}
+	if *dirtyPlan != "" {
+		plan, err := datasets.LoadDirtyPlan(*dirtyPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Dirty = plan
+	}
 
 	var traceWriter *tracefile.Writer
 	if *traces != "" {
@@ -102,6 +119,7 @@ func main() {
 	res, rep, err := cloudmap.RunPipeline(ctx, nil, cfg, cloudmap.RunOptions{
 		CheckpointDir: *checkpointDir,
 		Resume:        *resume,
+		DatasetsDir:   *datasetsDir,
 	})
 	if rep != nil && *metricsOut != "" {
 		f, merr := os.Create(*metricsOut)
@@ -133,9 +151,17 @@ func main() {
 	}
 	report := res.Report()
 	fmt.Print(report)
+	if h := rep.Manifest.DatasetHygiene; h != nil && (h.TotalQuarantined > 0 || h.TotalConflicts > 0) {
+		fmt.Printf("\ndataset hygiene: kept %d records, quarantined %d, resolved %d origin conflicts",
+			h.TotalKept, h.TotalQuarantined, h.TotalConflicts)
+		if len(h.EmptyDatasets) > 0 {
+			fmt.Printf(", empty datasets %v", h.EmptyDatasets)
+		}
+		fmt.Println()
+	}
 	if d := rep.Manifest.Degradation; d != nil {
-		fmt.Printf("\nrun degraded: %.2f%% probe loss, %d retries spent, degraded stages %v, skipped stages %v\n",
-			d.ProbeLossPct, d.RetriesSpent, d.DegradedStages, d.SkippedStages)
+		fmt.Printf("\nrun degraded: %.2f%% probe loss, %d retries spent, %d records quarantined, degraded stages %v, skipped stages %v\n",
+			d.ProbeLossPct, d.RetriesSpent, d.QuarantinedRecords, d.DegradedStages, d.SkippedStages)
 	}
 	fmt.Printf("\ntotal runtime: %v\n", time.Since(start).Round(time.Millisecond))
 

@@ -8,11 +8,14 @@
 //	experiments [-scale paper] [-seed N] [-o experiments_report.txt]
 //	            [-checkpoint-dir DIR] [-resume] [-metrics-out m.json]
 //	            [-fault-plan plan.json] [-max-retries N] [-retry-budget N]
+//	            [-dirty-plan plan.json] [-datasets-dir DIR]
 //
 // -fault-plan runs the reproduction under the deterministic fault model
 // (internal/faults) and -max-retries/-retry-budget set the probe retry
 // policy, so the paper-vs-measured comparison can be studied under
-// realistic measurement adversity.
+// realistic measurement adversity. -dirty-plan corrupts the serialized
+// input datasets before the hygiene layer parses them back, exercising the
+// same comparison over dirty public data (see internal/datasets).
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"cloudmap"
+	"cloudmap/internal/datasets"
 	"cloudmap/internal/evaluate"
 	"cloudmap/internal/faults"
 	"cloudmap/internal/probe"
@@ -43,6 +47,8 @@ func main() {
 	faultPlan := flag.String("fault-plan", "", "inject faults from this JSON plan (see internal/faults and testdata/faultplans)")
 	maxRetries := flag.Int("max-retries", 0, "re-probe fault-degraded traceroutes up to N times (0 disables retries)")
 	retryBudget := flag.Int64("retry-budget", 0, "cap total retries per campaign; 0 means unlimited (fail-soft when exhausted)")
+	dirtyPlan := flag.String("dirty-plan", "", "corrupt input datasets from this JSON plan (see internal/datasets and testdata/dirtyplans)")
+	datasetsDir := flag.String("datasets-dir", "", "persist the serialized dataset corpus into this directory")
 	flag.Parse()
 
 	var cfg cloudmap.Config
@@ -70,6 +76,13 @@ func main() {
 		cfg.Retry.MaxAttempts = *maxRetries + 1
 		cfg.Retry.Budget = *retryBudget
 	}
+	if *dirtyPlan != "" {
+		plan, err := datasets.LoadDirtyPlan(*dirtyPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Dirty = plan
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -78,6 +91,7 @@ func main() {
 	res, rep, err := cloudmap.RunPipeline(ctx, nil, cfg, cloudmap.RunOptions{
 		CheckpointDir: *checkpointDir,
 		Resume:        *resume,
+		DatasetsDir:   *datasetsDir,
 	})
 	if rep != nil && *metricsOut != "" {
 		if f, merr := os.Create(*metricsOut); merr != nil {

@@ -70,6 +70,10 @@ type Stats struct {
 	ExcludedDup    int // duplicate pre-border hop
 	ReenteredCloud int
 	NoBorder       int // never left the cloud
+	// SuspectHops counts border hops whose annotation was backed by a
+	// conflict-resolved dataset record (the hygiene layer's suspect mark);
+	// the CBIs they support are labelled low-confidence downstream.
+	SuspectHops int
 }
 
 // Inference is the streaming state of border inference for one cloud.
@@ -213,6 +217,10 @@ func (inf *Inference) Consume(tr probe.Trace) {
 		}
 	}
 
+	if cbiAnn.Suspect {
+		inf.Stats.SuspectHops++
+	}
+
 	abi := tr.Hops[cbiIdx-1].Addr
 	abiAnn := inf.reg.Annotate(abi)
 	var prev netblock.IP
@@ -343,6 +351,19 @@ func tally(b *MetaBreakdown, ann registry.Annotation) {
 	case ann.Source == registry.SourceWhois:
 		b.Whois++
 	}
+}
+
+// LowConfidenceCBIs returns the CBI addresses whose own annotation is
+// suspect (conflict-resolved origin) or whose owner has no organisation
+// mapping — the interfaces inference should label rather than assert.
+func (inf *Inference) LowConfidenceCBIs() []netblock.IP {
+	out := []netblock.IP{}
+	for addr, ci := range inf.CBIs {
+		if ci.Ann.Suspect || (ci.Ann.ASN != 0 && ci.Ann.Org == "") {
+			out = append(out, addr)
+		}
+	}
+	return out
 }
 
 // PeerASNs returns the distinct peer ASNs across all CBIs.

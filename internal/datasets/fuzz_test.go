@@ -1,0 +1,121 @@
+package datasets
+
+import (
+	"testing"
+)
+
+// The fuzz targets feed arbitrary bytes through each validating parser via
+// the public Load entry point. The hygiene contract under test: a parser
+// never panics and never aborts — whatever the bytes, every record either
+// lands in the view or in the quarantine, and the coverage report stays
+// consistent (kept + quarantined bookkeeping never goes negative).
+
+// fuzzLoad runs one dataset's parser over raw bytes and checks the
+// bookkeeping invariants.
+func fuzzLoad(t *testing.T, ds string, data []byte) {
+	t.Helper()
+	if len(data) > 1<<20 {
+		return // bound corpus growth; real dataset files are line-oriented
+	}
+	c := &Corpus{Files: map[string][]byte{
+		fileOf[DSAs2org]: []byte(as2orgFixture),
+		fileOf[ds]:       data,
+	}}
+	v := Load(c, nil)
+	s := v.Report.Datasets[ds]
+	if s.Kept < 0 || s.Quarantined < 0 || s.ConflictResolved < 0 {
+		t.Fatalf("negative bookkeeping for %s: %+v", ds, *s)
+	}
+	for _, q := range v.Quarantine {
+		if q.Prov.Line <= 0 {
+			t.Fatalf("quarantined record without provenance: %+v", q)
+		}
+		if q.Reason == "" {
+			t.Fatalf("quarantined record without reason: %+v", q)
+		}
+	}
+}
+
+// seedWith registers dataset-shaped seeds plus generic mutations every
+// parser should survive: truncation mid-record, NULs, and raw garbage.
+func seedWith(f *testing.F, shaped ...string) {
+	for _, s := range shaped {
+		f.Add([]byte(s))
+		if len(s) > 2 {
+			f.Add([]byte(s[:len(s)/2])) // truncated download
+		}
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("\x00\xff garbage | fields | here\n"))
+	f.Add([]byte("{]\n"))
+}
+
+func FuzzRIB(f *testing.F) {
+	seedWith(f,
+		"TABLE_DUMP2|1549238400|B|198.32.160.1|6447|8.8.0.0/16|6447 100|IGP\n",
+		"TABLE_DUMP2|1549238400|B|203.0.113.1|3356|8.8.0.0/16|3356 101|IGP\n",
+		"TABLE_DUMP2|notatime|B|198.32.160.1|6447|8.8.0.0/16|6447 100|IGP\n",
+		"TABLE_DUMP2|1549238400|B|x|y|999.0.0.0/99|z|IGP\n",
+	)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzLoad(t, DSRib, data) })
+}
+
+func FuzzWhois(f *testing.F) {
+	seedWith(f,
+		"inetnum: 7.7.0.0 - 7.7.255.255\nnetname: NET-7.7.0.0-16\norigin: AS200\nchanged: 20190104\nsource: SIMWHOIS\n",
+		"inetnum: 7.7.0.0 - 7.6.0.0\norigin: AS200\nchanged: 20190104\n",
+		"inetnum: broken\n\norigin: AS\nchanged: 99999999\n",
+	)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzLoad(t, DSWhois, data) })
+}
+
+func FuzzIXPs(f *testing.F) {
+	seedWith(f,
+		`{"name":"SIM-IX 1","cities":["c1"],"prefixes":["80.81.192.0/24"],"members":[100,200],"assignments":{"80.81.192.7":100},"updated":"2019-01-04T00:00:00Z"}`+"\n",
+		`{"name":"","prefixes":[],"updated":"not-a-time"}`+"\n",
+		`{"name":"SIM-IX 2","prefixes":["80.81.193.0/24"],"members":[23456],"updated":"2019-01-04T00:00:00Z"}`+"\n",
+	)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzLoad(t, DSIXPs, data) })
+}
+
+func FuzzFacilities(f *testing.F) {
+	seedWith(f,
+		`{"name":"DC 1","city":"c1","country":"ZZ","tenants":[100],"cloud_native":["amazon"],"updated":"2019-01-04T00:00:00Z"}`+"\n",
+		`{"name":"DC 2","city":"","updated":"2019-01-04T00:00:00Z"}`+"\n",
+	)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzLoad(t, DSFacilities, data) })
+}
+
+func FuzzAs2org(f *testing.F) {
+	seedWith(f,
+		as2orgFixture,
+		"# format:aut|changed|aut_name|org_id|opaque_id|source\n100|20190204|AS100|O404||SIM\n",
+		"no format header\n1|2\n",
+	)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzLoad(t, DSAs2org, data) })
+}
+
+func FuzzASRel(f *testing.F) {
+	seedWith(f,
+		"# source:sim-collectors\n100|200|-1\n100|300|0\n",
+		"100|200|7\n23456|200|0\nnot|enough\n",
+	)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzLoad(t, DSASRel, data) })
+}
+
+func FuzzCones(f *testing.F) {
+	seedWith(f,
+		"100 12\n200 0\n",
+		"100 -5\nx y z\n",
+	)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzLoad(t, DSCones, data) })
+}
+
+func FuzzRDNS(f *testing.F) {
+	seedWith(f,
+		"10.0.0.1\thost.example\n",
+		"not-an-ip\thost\n10.0.0.1\t\n",
+	)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzLoad(t, DSRDNS, data) })
+}

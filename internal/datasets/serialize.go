@@ -1,0 +1,421 @@
+package datasets
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/registry"
+)
+
+// Two fixed collector peers export every genuine RIB route, so an injected
+// conflicting announcement (one extra peer) always loses the origin vote —
+// the same redundancy real multi-collector RIB merges provide.
+var ribPeers = [2]struct {
+	ip  string
+	asn uint32
+}{
+	{"198.32.160.1", 6447},  // RouteViews eqix
+	{"195.66.225.1", 12654}, // RIPE RIS rrc01
+}
+
+// conflictPeer announces the injected wrong-origin duplicates.
+var conflictPeer = struct {
+	ip  string
+	asn uint32
+}{"203.0.113.1", 3356}
+
+// dateOf formats a unix timestamp as an RPSL changed date.
+func dateOf(ts int64) string { return time.Unix(ts, 0).UTC().Format("20060102") }
+
+// rfc3339Of formats a unix timestamp as a JSONL updated field.
+func rfc3339Of(ts int64) string { return time.Unix(ts, 0).UTC().Format(time.RFC3339) }
+
+// trunc cuts a record's text in half, mid-field — the shape a partial
+// mirror sync leaves behind.
+func trunc(s string) string { return s[:len(s)/2] }
+
+// Serialize renders every registry dataset into its on-disk textual form,
+// applying the plan's corruption profile record by record. seed is the
+// topology seed; output is a pure function of (registry, seed, plan), so
+// the same inputs produce byte-identical corpora on every call.
+func Serialize(reg *registry.Registry, seed uint64, plan *DirtyPlan) *Corpus {
+	c := &Corpus{Files: map[string][]byte{
+		fileOf[DSRib]:        serializeRIB(reg, seed, plan),
+		fileOf[DSWhois]:      serializeWhois(reg, seed, plan),
+		fileOf[DSIXPs]:       serializeIXPs(reg, seed, plan),
+		fileOf[DSFacilities]: serializeFacilities(reg, seed, plan),
+		fileOf[DSAs2org]:     serializeAs2org(reg, seed, plan),
+		fileOf[DSASRel]:      serializeASRel(reg, seed, plan),
+		fileOf[DSCones]:      serializeCones(reg, seed, plan),
+		fileOf[DSRDNS]:       serializeRDNS(reg, seed, plan),
+		fileOf[DSClouds]:     serializeClouds(reg),
+	}}
+	return c
+}
+
+// serializeRIB emits bgpdump -m style TABLE_DUMP2 lines, one per collector
+// peer per announced prefix.
+func serializeRIB(reg *registry.Registry, seed uint64, plan *DirtyPlan) []byte {
+	dt := dirtierFor(plan, seed, DSRib)
+	var b bytes.Buffer
+	line := func(peerIP string, peerASN uint32, ts int64, p netblock.Prefix, origin registry.ASN) string {
+		return fmt.Sprintf("TABLE_DUMP2|%d|B|%s|%d|%s|%d %d|IGP",
+			ts, peerIP, peerASN, p.String(), peerASN, origin)
+	}
+	reg.WalkRIB(func(p netblock.Prefix, origin registry.ASN) {
+		key := p.String()
+		if dt.drop(key) {
+			return
+		}
+		ts := recordTS(seed, DSRib, key)
+		if dt.stale(key) {
+			ts = baseUnix - staleAgeSec
+		}
+		if dt.bogon(key) {
+			origin = 23456
+		}
+		if dt.truncate(key) {
+			// A truncated dump loses the record's tail: only a mangled
+			// first line survives.
+			b.WriteString(trunc(line(ribPeers[0].ip, ribPeers[0].asn, ts, p, origin)))
+			b.WriteByte('\n')
+			return
+		}
+		for _, peer := range ribPeers {
+			b.WriteString(line(peer.ip, peer.asn, ts, p, origin))
+			b.WriteByte('\n')
+		}
+		if dt.conflict(key) {
+			b.WriteString(line(conflictPeer.ip, conflictPeer.asn, ts, p, origin+1))
+			b.WriteByte('\n')
+		}
+	})
+	return b.Bytes()
+}
+
+// serializeWhois emits RPSL-style delegation blocks separated by blank
+// lines.
+func serializeWhois(reg *registry.Registry, seed uint64, plan *DirtyPlan) []byte {
+	dt := dirtierFor(plan, seed, DSWhois)
+	var b bytes.Buffer
+	block := func(p netblock.Prefix, origin registry.ASN, ts int64) string {
+		return fmt.Sprintf("inetnum: %s - %s\nnetname: NET-%s-%d\norigin: AS%d\nchanged: %s\nsource: SIMWHOIS",
+			p.First().String(), p.Last().String(), p.Addr.String(), p.Bits, origin, dateOf(ts))
+	}
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteByte('\n')
+		}
+		first = false
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	reg.WalkWhois(func(p netblock.Prefix, origin registry.ASN) {
+		key := p.String()
+		if dt.drop(key) {
+			return
+		}
+		ts := recordTS(seed, DSWhois, key)
+		if dt.stale(key) {
+			ts = baseUnix - staleAgeSec
+		}
+		if dt.bogon(key) {
+			origin = 23456
+		}
+		if dt.truncate(key) {
+			emit(trunc(block(p, origin, ts)))
+			return
+		}
+		emit(block(p, origin, ts))
+		if dt.conflict(key) {
+			emit(block(p, origin+1, ts))
+		}
+	})
+	return b.Bytes()
+}
+
+// ixpWire is the JSONL shape of one exchange record.
+type ixpWire struct {
+	Name        string            `json:"name"`
+	Cities      []string          `json:"cities,omitempty"`
+	Prefixes    []string          `json:"prefixes"`
+	Members     []uint32          `json:"members,omitempty"`
+	Assignments map[string]uint32 `json:"assignments,omitempty"`
+	Updated     string            `json:"updated"`
+}
+
+// serializeIXPs emits the merged exchange list, one JSON object per line.
+func serializeIXPs(reg *registry.Registry, seed uint64, plan *DirtyPlan) []byte {
+	dt := dirtierFor(plan, seed, DSIXPs)
+	// Group published IP-to-member assignments under their containing
+	// exchange.
+	assign := map[int32]map[string]uint32{}
+	reg.WalkIXPAssignments(func(ip netblock.IP, asn registry.ASN) {
+		if ix, ok := reg.IXPOf(ip); ok {
+			if assign[ix] == nil {
+				assign[ix] = map[string]uint32{}
+			}
+			assign[ix][ip.String()] = uint32(asn)
+		}
+	})
+	var b bytes.Buffer
+	for i := range reg.IXPs {
+		info := &reg.IXPs[i]
+		key := info.Name
+		if dt.drop(key) {
+			continue
+		}
+		ts := recordTS(seed, DSIXPs, key)
+		if dt.stale(key) {
+			ts = baseUnix - staleAgeSec
+		}
+		w := ixpWire{
+			Name:        info.Name,
+			Cities:      info.Cities,
+			Members:     make([]uint32, 0, len(info.Members)),
+			Assignments: assign[int32(i)],
+			Updated:     rfc3339Of(ts),
+		}
+		for _, p := range info.Prefixes {
+			w.Prefixes = append(w.Prefixes, p.String())
+		}
+		for _, m := range info.Members {
+			w.Members = append(w.Members, uint32(m))
+		}
+		if dt.bogon(key) {
+			// A bogon member slipped into the published list.
+			w.Members = append(w.Members, 23456)
+		}
+		raw, err := json.Marshal(w)
+		if err != nil {
+			panic(err) // static wire struct: cannot fail
+		}
+		line := string(raw)
+		if dt.truncate(key) {
+			line = trunc(line)
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// facilityWire is the JSONL shape of one colocation facility record.
+type facilityWire struct {
+	Name        string   `json:"name"`
+	City        string   `json:"city"`
+	Country     string   `json:"country"`
+	Tenants     []uint32 `json:"tenants,omitempty"`
+	CloudNative []string `json:"cloud_native,omitempty"`
+	Updated     string   `json:"updated"`
+}
+
+// serializeFacilities emits the facility directory, one JSON object per
+// line.
+func serializeFacilities(reg *registry.Registry, seed uint64, plan *DirtyPlan) []byte {
+	dt := dirtierFor(plan, seed, DSFacilities)
+	var b bytes.Buffer
+	for i := range reg.Facilities {
+		info := &reg.Facilities[i]
+		key := info.Name
+		if dt.drop(key) {
+			continue
+		}
+		ts := recordTS(seed, DSFacilities, key)
+		if dt.stale(key) {
+			ts = baseUnix - staleAgeSec
+		}
+		w := facilityWire{
+			Name:        info.Name,
+			City:        info.City,
+			Country:     info.Country,
+			Tenants:     make([]uint32, 0, len(info.Tenants)),
+			CloudNative: info.CloudNative,
+			Updated:     rfc3339Of(ts),
+		}
+		for _, t := range info.Tenants {
+			w.Tenants = append(w.Tenants, uint32(t))
+		}
+		if dt.bogon(key) {
+			w.Tenants = append(w.Tenants, 23456)
+		}
+		raw, err := json.Marshal(w)
+		if err != nil {
+			panic(err)
+		}
+		line := string(raw)
+		if dt.truncate(key) {
+			line = trunc(line)
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// serializeAs2org emits the CAIDA as2org two-section pipe format.
+func serializeAs2org(reg *registry.Registry, seed uint64, plan *DirtyPlan) []byte {
+	dt := dirtierFor(plan, seed, DSAs2org)
+	// Collect the org universe: unique names, sorted, with positional IDs.
+	names := map[string]bool{}
+	reg.WalkOrgs(func(_ registry.ASN, org string) { names[org] = true })
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	idOf := make(map[string]string, len(sorted))
+	for i, n := range sorted {
+		idOf[n] = "O" + strconv.Itoa(i+1)
+	}
+
+	var b bytes.Buffer
+	b.WriteString("# format:org_id|changed|org_name|country|source\n")
+	for _, n := range sorted {
+		key := "org:" + n
+		if dt.drop(key) {
+			continue
+		}
+		line := fmt.Sprintf("%s|%s|%s|ZZ|SIM", idOf[n], dateOf(baseUnix), n)
+		if dt.truncate(key) {
+			line = trunc(line)
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString("# format:aut|changed|aut_name|org_id|opaque_id|source\n")
+	reg.WalkOrgs(func(asn registry.ASN, org string) {
+		key := "as:" + strconv.FormatUint(uint64(asn), 10)
+		if dt.drop(key) {
+			return
+		}
+		if dt.bogon(key) {
+			asn = 23456
+		}
+		line := fmt.Sprintf("%d|%s|AS%d|%s||SIM", asn, dateOf(baseUnix), asn, idOf[org])
+		if dt.truncate(key) {
+			line = trunc(line)
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	})
+	return b.Bytes()
+}
+
+// serializeASRel emits the CAIDA as-rel pipe format.
+func serializeASRel(reg *registry.Registry, seed uint64, plan *DirtyPlan) []byte {
+	dt := dirtierFor(plan, seed, DSASRel)
+	var b bytes.Buffer
+	b.WriteString("# source:sim-collectors\n")
+	for _, l := range reg.Links {
+		key := fmt.Sprintf("%d|%d", l.A, l.B)
+		if dt.drop(key) {
+			continue
+		}
+		a := l.A
+		if dt.bogon(key) {
+			a = 23456
+		}
+		line := fmt.Sprintf("%d|%d|%d", a, l.B, l.Rel)
+		if dt.truncate(key) {
+			line = trunc(line)
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// serializeCones emits per-ASN customer-cone sizes in /24s.
+func serializeCones(reg *registry.Registry, seed uint64, plan *DirtyPlan) []byte {
+	dt := dirtierFor(plan, seed, DSCones)
+	asns := make([]registry.ASN, 0, len(reg.ConeSlash24))
+	for asn := range reg.ConeSlash24 {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(a, b int) bool { return asns[a] < asns[b] })
+	var b bytes.Buffer
+	for _, asn := range asns {
+		key := strconv.FormatUint(uint64(asn), 10)
+		if dt.drop(key) {
+			continue
+		}
+		out := asn
+		if dt.bogon(key) {
+			out = 23456
+		}
+		line := fmt.Sprintf("%d %d", out, reg.ConeSlash24[asn])
+		if dt.truncate(key) {
+			line = trunc(line)
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// serializeRDNS emits the reverse-DNS zone as ip<TAB>name lines.
+func serializeRDNS(reg *registry.Registry, seed uint64, plan *DirtyPlan) []byte {
+	dt := dirtierFor(plan, seed, DSRDNS)
+	ips := make([]netblock.IP, 0, len(reg.DNS))
+	for ip := range reg.DNS {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(a, b int) bool { return ips[a] < ips[b] })
+	var b bytes.Buffer
+	for _, ip := range ips {
+		key := ip.String()
+		if dt.drop(key) {
+			continue
+		}
+		line := key + "\t" + reg.DNS[ip]
+		if dt.truncate(key) {
+			line = trunc(line)
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// cloudWire is the JSONL shape of one published cloud entry.
+type cloudWire struct {
+	Name     string   `json:"name"`
+	ASNs     []uint32 `json:"asns"`
+	DXCities []string `json:"dx_cities,omitempty"`
+}
+
+// serializeClouds emits the authoritative cloud dataset (never dirtied:
+// it stands in for provider-published pages like Amazon's ip-ranges and
+// Direct Connect locations).
+func serializeClouds(reg *registry.Registry) []byte {
+	names := make([]string, 0, len(reg.CloudASNs))
+	for n := range reg.CloudASNs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b bytes.Buffer
+	for _, n := range names {
+		w := cloudWire{Name: n}
+		for asn := range reg.CloudASNs[n] {
+			w.ASNs = append(w.ASNs, uint32(asn))
+		}
+		sort.Slice(w.ASNs, func(a, c int) bool { return w.ASNs[a] < w.ASNs[c] })
+		if n == "amazon" {
+			w.DXCities = reg.AmazonListedCities
+		}
+		raw, err := json.Marshal(w)
+		if err != nil {
+			panic(err)
+		}
+		b.Write(raw)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}

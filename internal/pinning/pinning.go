@@ -96,6 +96,11 @@ type Result struct {
 	// PinnedMetros is the set of metros that received at least one pin.
 	PinnedMetros map[geo.MetroID]struct{}
 
+	// SuspectPins marks pinned interfaces whose verified annotation the
+	// hygiene layer labelled low-confidence: the pin is reported but a
+	// consumer should not treat its location as asserted.
+	SuspectPins map[netblock.IP]bool
+
 	// segDiff is kept for cross-validation re-runs; segOrder fixes the
 	// propagation order (map iteration would be nondeterministic).
 	segDiff  map[border.Segment]float64
@@ -122,6 +127,7 @@ func Run(ver *verify.Result, inf *border.Inference, reg *registry.Registry, pr *
 		Cumulative:   map[string]int{},
 		MinRTT:       map[netblock.IP][]float64{},
 		PinnedMetros: map[geo.MetroID]struct{}{},
+		SuspectPins:  map[netblock.IP]bool{},
 	}
 	for _, r := range regions {
 		res.RegionMetros = append(res.RegionMetros, r.Metro)
@@ -294,6 +300,20 @@ func Run(ver *verify.Result, inf *border.Inference, reg *registry.Registry, pr *
 		}
 		if _, isCBI := ver.CBIs[addr]; isCBI {
 			res.PinnedCBIs++
+		}
+	}
+
+	// Pins on interfaces the verifier flagged low-confidence inherit the
+	// mark: their anchoring evidence cites dataset records the hygiene layer
+	// quarantined or conflict-resolved.
+	for addr := range res.Metro {
+		if _, low := ver.LowConfidence[addr]; low {
+			res.SuspectPins[addr] = true
+		}
+	}
+	for addr := range res.Region {
+		if _, low := ver.LowConfidence[addr]; low {
+			res.SuspectPins[addr] = true
 		}
 	}
 	return res

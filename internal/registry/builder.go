@@ -1,0 +1,114 @@
+package registry
+
+import (
+	"sort"
+
+	"cloudmap/internal/geo"
+	"cloudmap/internal/netblock"
+)
+
+// Builder constructs a Registry from externally parsed dataset records — the
+// path internal/datasets uses after validating the on-disk textual datasets.
+// Unlike Build (which derives everything from the ground-truth topology), a
+// built registry contains exactly the records the caller adds, in the order
+// they are added, so a faithful serialize→parse→rebuild round trip yields a
+// registry that annotates identically to the original.
+type Builder struct {
+	r *Registry
+}
+
+// NewBuilder starts an empty registry over the given world geometry.
+func NewBuilder(world *geo.World) *Builder {
+	return &Builder{r: &Registry{
+		World:       world,
+		rib:         netblock.NewTrie(),
+		whois:       netblock.NewTrie(),
+		ixpTrie:     netblock.NewTrie(),
+		orgOfASN:    make(map[ASN]string),
+		ixpAddrASN:  make(map[netblock.IP]ASN),
+		ConeSlash24: make(map[ASN]int),
+		AmazonASNs:  make(map[ASN]bool),
+		CloudASNs:   make(map[string]map[ASN]bool),
+		linkSet:     make(map[[2]ASN]Rel),
+		DNS:         make(map[netblock.IP]string),
+	}}
+}
+
+// AddRIB records one announced prefix with its origin AS. suspect marks
+// records the hygiene layer conflict-resolved; annotations they back carry
+// Annotation.Suspect.
+func (b *Builder) AddRIB(p netblock.Prefix, origin ASN, suspect bool) {
+	b.r.addOriginConf(b.r.rib, p, origin, suspect)
+}
+
+// AddWhois records one delegated prefix with its registered origin.
+func (b *Builder) AddWhois(p netblock.Prefix, origin ASN, suspect bool) {
+	b.r.addOriginConf(b.r.whois, p, origin, suspect)
+}
+
+// AddIXP appends one exchange (with its published IP-to-member assignments)
+// and registers its prefixes for LAN lookups.
+func (b *Builder) AddIXP(info IXPInfo, assignments map[netblock.IP]ASN) {
+	idx := int32(len(b.r.IXPs))
+	for _, p := range info.Prefixes {
+		b.r.ixpTrie.Insert(p, idx)
+	}
+	b.r.IXPs = append(b.r.IXPs, info)
+	for ip, asn := range assignments {
+		b.r.ixpAddrASN[ip] = asn
+	}
+}
+
+// AddFacility appends one colocation facility record.
+func (b *Builder) AddFacility(info FacilityInfo) {
+	b.r.Facilities = append(b.r.Facilities, info)
+}
+
+// SetOrg records the AS-to-organisation mapping of one ASN.
+func (b *Builder) SetOrg(asn ASN, org string) {
+	b.r.orgOfASN[asn] = org
+}
+
+// AddLink appends one collector-visible AS adjacency.
+func (b *Builder) AddLink(a, bASN ASN, rel Rel) {
+	b.r.Links = append(b.r.Links, ASLink{A: a, B: bASN, Rel: rel})
+	ka, kb := a, bASN
+	if ka > kb {
+		ka, kb = kb, ka
+	}
+	b.r.linkSet[[2]ASN{ka, kb}] = rel
+}
+
+// SetCone records one ASN's customer-cone size in /24s.
+func (b *Builder) SetCone(asn ASN, slash24s int) {
+	b.r.ConeSlash24[asn] = slash24s
+}
+
+// AddDNS records one reverse-DNS entry.
+func (b *Builder) AddDNS(ip netblock.IP, name string) {
+	b.r.DNS[ip] = name
+}
+
+// SetCloud records the published ASN set of one cloud. The "amazon" entry
+// also populates AmazonASNs (the ORG-derived set the border walk groups).
+func (b *Builder) SetCloud(name string, asns []ASN) {
+	set := make(map[ASN]bool, len(asns))
+	for _, asn := range asns {
+		set[asn] = true
+	}
+	b.r.CloudASNs[name] = set
+	if name == "amazon" {
+		b.r.AmazonASNs = set
+	}
+}
+
+// SetAmazonListedCities records Amazon's published Direct Connect cities.
+func (b *Builder) SetAmazonListedCities(cities []string) {
+	b.r.AmazonListedCities = append([]string(nil), cities...)
+	sort.Strings(b.r.AmazonListedCities)
+}
+
+// Build returns the assembled registry.
+func (b *Builder) Build() *Registry {
+	return b.r
+}

@@ -81,6 +81,11 @@ type Annotation struct {
 	// IXP is the index into Registry.IXPs when the address falls in an IXP
 	// LAN, else -1.
 	IXP int32
+	// Suspect marks annotations backed by a dataset record that the hygiene
+	// layer conflict-resolved (two sources disagreed on the origin and one
+	// was picked). Downstream inference labels outputs supported only by
+	// suspect records as low-confidence instead of asserting them.
+	Suspect bool
 }
 
 // Registry bundles every public dataset.
@@ -90,7 +95,8 @@ type Registry struct {
 	rib        *netblock.Trie // announced prefixes -> slot in ribOrigin
 	whois      *netblock.Trie
 	ixpTrie    *netblock.Trie
-	origins    []ASN // shared value table for rib/whois tries
+	origins    []ASN  // shared value table for rib/whois tries
+	suspects   []bool // parallel to origins: record was conflict-resolved
 	orgOfASN   map[ASN]string
 	ixpAddrASN map[netblock.IP]ASN // published IXP IP-to-member assignments
 
@@ -116,16 +122,21 @@ type Registry struct {
 
 // value-table helpers: tries store int32 slots pointing into origins.
 func (r *Registry) addOrigin(t *netblock.Trie, p netblock.Prefix, asn ASN) {
+	r.addOriginConf(t, p, asn, false)
+}
+
+func (r *Registry) addOriginConf(t *netblock.Trie, p netblock.Prefix, asn ASN, suspect bool) {
 	r.origins = append(r.origins, asn)
+	r.suspects = append(r.suspects, suspect)
 	t.Insert(p, int32(len(r.origins)-1))
 }
 
-func (r *Registry) lookup(t *netblock.Trie, ip netblock.IP) (ASN, bool) {
+func (r *Registry) lookup(t *netblock.Trie, ip netblock.IP) (ASN, bool, bool) {
 	v, ok := t.Lookup(ip)
 	if !ok {
-		return 0, false
+		return 0, false, false
 	}
-	return r.origins[v], true
+	return r.origins[v], r.suspects[v], true
 }
 
 // Annotate maps an address to ASN/ORG/IXP metadata exactly as §3 does:
@@ -147,16 +158,18 @@ func (r *Registry) Annotate(ip netblock.IP) Annotation {
 	if ip.IsPrivate() || ip.IsShared() {
 		return ann
 	}
-	if asn, ok := r.lookup(r.rib, ip); ok {
+	if asn, suspect, ok := r.lookup(r.rib, ip); ok {
 		ann.ASN = asn
 		ann.Source = SourceBGP
 		ann.Org = r.orgOfASN[asn]
+		ann.Suspect = suspect
 		return ann
 	}
-	if asn, ok := r.lookup(r.whois, ip); ok {
+	if asn, suspect, ok := r.lookup(r.whois, ip); ok {
 		ann.ASN = asn
 		ann.Source = SourceWhois
 		ann.Org = r.orgOfASN[asn]
+		ann.Suspect = suspect
 		return ann
 	}
 	return ann
@@ -172,6 +185,41 @@ func (r *Registry) WalkRIB(fn func(netblock.Prefix, ASN)) {
 		fn(p, r.origins[slot])
 		return true
 	})
+}
+
+// WalkWhois visits every delegated prefix with its registered origin (the
+// WHOIS bulk dump the hygiene layer serializes).
+func (r *Registry) WalkWhois(fn func(netblock.Prefix, ASN)) {
+	r.whois.Walk(func(p netblock.Prefix, slot int32) bool {
+		fn(p, r.origins[slot])
+		return true
+	})
+}
+
+// WalkIXPAssignments visits the published IXP IP-to-member assignments in
+// ascending address order (PCH-style per-LAN member data).
+func (r *Registry) WalkIXPAssignments(fn func(netblock.IP, ASN)) {
+	addrs := make([]netblock.IP, 0, len(r.ixpAddrASN))
+	for ip := range r.ixpAddrASN {
+		addrs = append(addrs, ip)
+	}
+	sort.Slice(addrs, func(a, b int) bool { return addrs[a] < addrs[b] })
+	for _, ip := range addrs {
+		fn(ip, r.ixpAddrASN[ip])
+	}
+}
+
+// WalkOrgs visits every AS-to-organisation mapping in ascending ASN order
+// (the as2org bulk file the hygiene layer serializes).
+func (r *Registry) WalkOrgs(fn func(ASN, string)) {
+	asns := make([]ASN, 0, len(r.orgOfASN))
+	for asn := range r.orgOfASN {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(a, b int) bool { return asns[a] < asns[b] })
+	for _, asn := range asns {
+		fn(asn, r.orgOfASN[asn])
+	}
 }
 
 // IsAmazon reports whether the annotation belongs to Amazon's organisation.

@@ -70,7 +70,25 @@ type Result struct {
 	// OwnerASN is the final AS attribution of every CBI (annotation,
 	// possibly overridden by alias majority).
 	OwnerASN map[netblock.IP]registry.ASN
+
+	// LowConfidence labels verified interfaces whose supporting dataset
+	// records were quarantined or conflict-resolved by the hygiene layer:
+	// the result still reports them, but marked instead of asserted. Values
+	// are the Conf* reason strings.
+	LowConfidence map[netblock.IP]string
 }
+
+// Low-confidence reasons.
+const (
+	// ConfUnknownOrg: the CBI's owner ASN has no surviving as2org mapping.
+	ConfUnknownOrg = "unknown-org"
+	// ConfSuspectOrigin: the annotation's backing record was
+	// conflict-resolved (two dataset sources disagreed on the origin).
+	ConfSuspectOrigin = "suspect-origin"
+	// ConfUnannotated: a public, non-IXP address with no surviving BGP or
+	// WHOIS record at all (quarantine erased its prefix).
+	ConfUnannotated = "unannotated"
+)
 
 // Reachability is the measurement callback for the §5.1 reachability
 // heuristic: it probes an address from the public-Internet vantage point.
@@ -79,12 +97,13 @@ type Reachability func(netblock.IP) bool
 // Run applies the verification pipeline to a border inference.
 func Run(inf *border.Inference, reg *registry.Registry, reach Reachability, aliases []midar.AliasSet, opts Options) *Result {
 	res := &Result{
-		EvidenceFor: map[netblock.IP]Evidence{},
-		Individual:  map[string]HeuristicCount{},
-		Cumulative:  map[string]HeuristicCount{},
-		ABIs:        map[netblock.IP]registry.Annotation{},
-		CBIs:        map[netblock.IP]registry.Annotation{},
-		OwnerASN:    map[netblock.IP]registry.ASN{},
+		EvidenceFor:   map[netblock.IP]Evidence{},
+		Individual:    map[string]HeuristicCount{},
+		Cumulative:    map[string]HeuristicCount{},
+		ABIs:          map[netblock.IP]registry.Annotation{},
+		CBIs:          map[netblock.IP]registry.Annotation{},
+		OwnerASN:      map[netblock.IP]registry.ASN{},
+		LowConfidence: map[netblock.IP]string{},
 	}
 
 	// Candidate ABIs in deterministic order.
@@ -270,6 +289,29 @@ func Run(inf *border.Inference, reg *registry.Registry, reach Reachability, alia
 			res.OwnerASN[cbi] = asn
 		} else {
 			res.OwnerASN[cbi] = ann.ASN
+		}
+	}
+
+	// --- confidence labels -------------------------------------------------
+	// Interfaces whose supporting records were quarantined (no annotation
+	// survived) or conflict-resolved (suspect) are marked, not asserted. On
+	// a clean corpus nothing here fires: every owner has an org and no
+	// annotation is suspect.
+	for cbi, ann := range res.CBIs {
+		switch {
+		case ann.Suspect:
+			res.LowConfidence[cbi] = ConfSuspectOrigin
+		case res.OwnerASN[cbi] == 0 && !cbi.IsPrivate() && !cbi.IsShared() && ann.IXP < 0:
+			res.LowConfidence[cbi] = ConfUnannotated
+		case res.OwnerASN[cbi] != 0 && reg.OrgOf(res.OwnerASN[cbi]) == "":
+			res.LowConfidence[cbi] = ConfUnknownOrg
+		}
+	}
+	for abi, ann := range res.ABIs {
+		if ann.Suspect {
+			res.LowConfidence[abi] = ConfSuspectOrigin
+		} else if ann.ASN == 0 && ann.IXP < 0 && !abi.IsPrivate() && !abi.IsShared() {
+			res.LowConfidence[abi] = ConfUnannotated
 		}
 	}
 	return res

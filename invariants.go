@@ -1,0 +1,109 @@
+package cloudmap
+
+// The pre-report invariant checker: before the evaluate stage digests the
+// run into its manifest summary, verify that every reported inference
+// output cites dataset records that survived the hygiene layer. The
+// checker never edits results — a violation means some stage asserted
+// something its evidence base no longer supports, so the honest response
+// is to degrade the run (the violation lands in the manifest's
+// degradation section) rather than emit a silently-wrong report.
+
+import (
+	"context"
+	"fmt"
+
+	"cloudmap/internal/pinning"
+	"cloudmap/internal/pipeline"
+	"cloudmap/internal/verify"
+)
+
+// invariants runs the pre-report checks.
+func (s *pipeState) invariants(_ context.Context, sc *pipeline.StageContext) error {
+	ver := s.res.Verified
+	pin := s.res.Pinning
+	if ver == nil || pin == nil {
+		return nil
+	}
+	reg := s.reg()
+
+	// Invariant 1: every verified CBI carries an owner organisation or a
+	// low-confidence mark. IXP-LAN interfaces with a published-assignment
+	// gap and private-space client interfaces are legitimately ownerless.
+	var ownerViol int64
+	for cbi, ann := range ver.CBIs {
+		owner := ver.OwnerASN[cbi]
+		if owner != 0 && reg.OrgOf(owner) != "" {
+			continue
+		}
+		if _, marked := ver.LowConfidence[cbi]; marked {
+			continue
+		}
+		if owner == 0 && (ann.IXP >= 0 || cbi.IsPrivate() || cbi.IsShared()) {
+			continue
+		}
+		ownerViol++
+	}
+
+	// Invariant 2: every IXP-verified ABI cites a CBI inside a surviving
+	// IXP prefix.
+	var ixpViol int64
+	for abi, ev := range ver.EvidenceFor {
+		if ev&verify.EvIXP == 0 {
+			continue
+		}
+		cited := false
+		if ai := s.inf.ABIs[abi]; ai != nil {
+			for cbi := range ai.CBIs {
+				if _, ok := reg.IXPOf(cbi); ok {
+					cited = true
+					break
+				}
+			}
+		}
+		if !cited {
+			ixpViol++
+		}
+	}
+
+	// Invariant 3: every pinning anchor cites surviving dataset rows — a
+	// DNS anchor a surviving rDNS record, an IXP anchor a surviving
+	// single-metro exchange, a metro anchor a surviving single-metro
+	// footprint. Native anchors rest on RTT measurements, not datasets.
+	var anchorViol int64
+	singles := reg.SingleMetroASNs()
+	for addr, src := range pin.AnchorSource {
+		switch src {
+		case pinning.SrcDNS:
+			if reg.DNS[addr] == "" {
+				anchorViol++
+			}
+		case pinning.SrcIXP:
+			ix, ok := reg.IXPOf(addr)
+			if !ok || len(reg.IXPs[ix].Cities) != 1 {
+				anchorViol++
+			}
+		case pinning.SrcMetro:
+			owner := ver.OwnerASN[addr]
+			if _, single := singles[owner]; owner == 0 || !single {
+				anchorViol++
+			}
+		}
+	}
+
+	sc.Counter("checked-cbis").Add(int64(len(ver.CBIs)))
+	sc.Counter("checked-anchors").Add(int64(len(pin.AnchorSource)))
+	if ownerViol > 0 {
+		sc.Counter("violations-owner-org").Add(ownerViol)
+	}
+	if ixpViol > 0 {
+		sc.Counter("violations-ixp-evidence").Add(ixpViol)
+	}
+	if anchorViol > 0 {
+		sc.Counter("violations-anchor-evidence").Add(anchorViol)
+	}
+	if total := ownerViol + ixpViol + anchorViol; total > 0 {
+		sc.Degrade(fmt.Sprintf("invariants: %d outputs cite quarantined or missing dataset records (%d ownerless CBIs, %d IXP evidence, %d anchors)",
+			total, ownerViol, ixpViol, anchorViol))
+	}
+	return nil
+}

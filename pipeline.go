@@ -23,6 +23,7 @@ import (
 
 	"cloudmap/internal/bdrmap"
 	"cloudmap/internal/border"
+	"cloudmap/internal/datasets"
 	"cloudmap/internal/faults"
 	"cloudmap/internal/metrics"
 	"cloudmap/internal/midar"
@@ -30,6 +31,7 @@ import (
 	"cloudmap/internal/pinning"
 	"cloudmap/internal/pipeline"
 	"cloudmap/internal/probe"
+	"cloudmap/internal/registry"
 	"cloudmap/internal/tracefile"
 	"cloudmap/internal/verify"
 )
@@ -47,10 +49,17 @@ type RunOptions struct {
 	// Metrics receives every stage's instruments; nil creates a private
 	// registry, exposed on the returned RunReport either way.
 	Metrics *metrics.Registry
+	// DatasetsDir, when non-empty, persists the serialized dataset corpus
+	// (rib.txt, whois.txt, ixps.jsonl, ...) the hygiene layer round-trips
+	// the registry through, so a run's input datasets can be inspected or
+	// diffed.
+	DatasetsDir string
 }
 
 // manifestVersion is bumped when the manifest schema changes.
-const manifestVersion = 1
+// Version history: 1 = initial staged manifest; 2 = dataset_hygiene section
+// and the degradation report's dataset fields.
+const manifestVersion = 2
 
 // Manifest is the machine-readable record of one pipeline run: enough to
 // regenerate benchmark trajectories mechanically and to validate that a
@@ -73,6 +82,10 @@ type Manifest struct {
 	// fault-free runs (and absent from their JSON, keeping old manifests
 	// and new fault-free ones byte-compatible).
 	Degradation *DegradationReport `json:"degradation,omitempty"`
+	// DatasetHygiene is the hygiene layer's coverage summary: per-dataset
+	// records kept / quarantined / conflict-resolved after the registry's
+	// round trip through the on-disk dataset formats.
+	DatasetHygiene *datasets.HygieneReport `json:"dataset_hygiene,omitempty"`
 }
 
 // DegradationReport is the manifest's account of a degraded run: how much
@@ -95,6 +108,13 @@ type DegradationReport struct {
 	// SkippedStages lists stages skipped because they cannot tolerate them.
 	DegradedStages []string `json:"degraded_stages,omitempty"`
 	SkippedStages  []string `json:"skipped_stages,omitempty"`
+	// QuarantinedRecords and ConflictsResolved carry the hygiene layer's
+	// totals, so a run whose only degradation was dirty input datasets (no
+	// probe loss at all) still reports a degradation section.
+	QuarantinedRecords int64 `json:"quarantined_records,omitempty"`
+	ConflictsResolved  int64 `json:"conflicts_resolved,omitempty"`
+	// EmptyDatasets lists input datasets with zero surviving records.
+	EmptyDatasets []string `json:"empty_datasets,omitempty"`
 }
 
 // RunReport bundles the observable side of a run: the manifest and the
@@ -168,6 +188,9 @@ func RunPipeline(ctx context.Context, sys *System, cfg Config, opts RunOptions) 
 		},
 		Metrics: reg,
 	}
+	if st.hyg != nil {
+		rep.Manifest.DatasetHygiene = st.hyg.Report
+	}
 	if opts.CheckpointDir != "" {
 		// Written even on failure: the manifest records how far the run got,
 		// and a later resume validates its config hash.
@@ -190,6 +213,10 @@ type pipeState struct {
 	res *Result
 	inf *border.Inference
 	vms []probe.VMRef
+	// hyg is the dataset hygiene view: the registry rebuilt from the
+	// serialize→validate→parse round trip, which every inference stage
+	// consumes in place of the pristine sys.Registry.
+	hyg *datasets.View
 
 	// summary is filled by the evaluate stage and lands in the manifest.
 	summary map[string]float64
@@ -202,9 +229,16 @@ type pipeState struct {
 }
 
 // degradationReport assembles the manifest's degradation section; nil when
-// the fault layer never interfered and no stage degraded.
+// the fault layer never interfered, no stage degraded, and the hygiene
+// layer quarantined nothing. Dataset-only degradation (dirty inputs, zero
+// probe loss) still yields a non-nil report.
 func degradationReport(st *pipeState, stages []pipeline.StageResult) *DegradationReport {
 	rep := &DegradationReport{}
+	if st.hyg != nil {
+		rep.QuarantinedRecords = st.hyg.Report.TotalQuarantined
+		rep.ConflictsResolved = st.hyg.Report.TotalConflicts
+		rep.EmptyDatasets = st.hyg.Report.EmptyDatasets
+	}
 	var sent, eaten int64
 	for round, cs := range st.roundStats {
 		if cs.Degraded() {
@@ -229,10 +263,20 @@ func degradationReport(st *pipeState, stages []pipeline.StageResult) *Degradatio
 			rep.SkippedStages = append(rep.SkippedStages, sr.Name)
 		}
 	}
-	if len(rep.Rounds) == 0 && len(rep.DegradedStages) == 0 && len(rep.SkippedStages) == 0 && rep.RetriesSpent == 0 {
+	if len(rep.Rounds) == 0 && len(rep.DegradedStages) == 0 && len(rep.SkippedStages) == 0 && rep.RetriesSpent == 0 &&
+		rep.QuarantinedRecords == 0 && rep.ConflictsResolved == 0 && len(rep.EmptyDatasets) == 0 {
 		return nil
 	}
 	return rep
+}
+
+// reg is the registry the inference stages consume: the hygiene view when
+// the datasets stage has built one, else the pristine system registry.
+func (s *pipeState) reg() *registry.Registry {
+	if s.hyg != nil {
+		return s.hyg.Registry
+	}
+	return s.sys.Registry
 }
 
 // newRunner declares the stage DAG. Insertion order is a valid topological
@@ -261,8 +305,14 @@ func newRunner(reg *metrics.Registry) *pipeline.Runner[pipeState] {
 		Run:             run((*pipeState).topoGen),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:            "campaign",
+		Name:            "datasets",
 		Needs:           []string{"topo-gen"},
+		ToleratePartial: true,
+		Run:             run((*pipeState).datasets),
+	})
+	r.Add(pipeline.Stage[pipeState]{
+		Name:            "campaign",
+		Needs:           []string{"datasets"},
 		ToleratePartial: true,
 		Resume:          resume((*pipeState).resumeCampaign),
 		Run:             run((*pipeState).campaign),
@@ -324,9 +374,18 @@ func newRunner(reg *metrics.Registry) *pipeline.Runner[pipeState] {
 		Skip:  func(s *pipeState) bool { return s.cfg.SkipBdrmap },
 		Run:   run((*pipeState).bdrmapBaseline),
 	})
+	// invariants is the pre-report checker: it degrades the run when an
+	// inference output fails to cite surviving dataset records, instead of
+	// letting a silently-wrong report through.
+	r.Add(pipeline.Stage[pipeState]{
+		Name:            "invariants",
+		Needs:           []string{"classify", "icg"},
+		ToleratePartial: true,
+		Run:             run((*pipeState).invariants),
+	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "evaluate",
-		Needs:           []string{"classify", "icg", "bdrmap"},
+		Needs:           []string{"invariants", "bdrmap"},
 		ToleratePartial: true,
 		Run:             run((*pipeState).evaluate),
 	})
@@ -352,12 +411,49 @@ func (s *pipeState) topoGen(_ context.Context, sc *pipeline.StageContext) error 
 		s.sys.Prober.SetFaults(inj)
 	}
 	s.res = &Result{System: s.sys, Config: s.cfg}
-	s.inf = border.New(s.sys.Registry, "amazon")
 	s.vms = s.sys.Prober.VMs("amazon")
 	sc.Counter("ases").Add(int64(len(s.sys.Topology.ASes)))
 	sc.Counter("routers").Add(int64(len(s.sys.Topology.Routers)))
 	sc.Counter("ifaces").Add(int64(len(s.sys.Topology.Ifaces)))
 	sc.Counter("vantage-points").Add(int64(len(s.vms)))
+	return nil
+}
+
+// datasets is the hygiene round trip: serialize every registry dataset to
+// its on-disk textual form (applying the dirty plan, if any), parse it back
+// through the validating loaders, and hand the rebuilt registry — with its
+// quarantine and coverage report — to the inference stages. On a clean run
+// the round trip is faithful and the rebuilt registry annotates identically
+// to the original.
+func (s *pipeState) datasets(_ context.Context, sc *pipeline.StageContext) error {
+	corpus := datasets.Serialize(s.sys.Registry, s.cfg.Topology.Seed, s.cfg.Dirty)
+	if dir := s.opts.DatasetsDir; dir != "" {
+		if err := corpus.WriteDir(dir); err != nil {
+			return err
+		}
+	}
+	view := datasets.Load(corpus, s.sys.Registry.World)
+	s.hyg = view
+	s.res.Hygiene = view
+	s.inf = border.New(view.Registry, "amazon")
+
+	rep := view.Report
+	sc.Counter("records-kept").Add(rep.TotalKept)
+	sc.Counter("records-quarantined").Add(rep.TotalQuarantined)
+	sc.Counter("conflicts-resolved").Add(rep.TotalConflicts)
+	for _, ds := range datasets.Datasets {
+		if sum := rep.Datasets[ds]; sum != nil && sum.Quarantined > 0 {
+			sc.Counter("quarantined-" + ds).Add(sum.Quarantined)
+		}
+	}
+	if rep.TotalQuarantined > 0 || rep.TotalConflicts > 0 || len(rep.EmptyDatasets) > 0 {
+		note := fmt.Sprintf("dataset hygiene: quarantined %d records, resolved %d origin conflicts",
+			rep.TotalQuarantined, rep.TotalConflicts)
+		if len(rep.EmptyDatasets) > 0 {
+			note += fmt.Sprintf(", empty datasets %v", rep.EmptyDatasets)
+		}
+		sc.Degrade(note)
+	}
 	return nil
 }
 
@@ -566,28 +662,40 @@ func (s *pipeState) alias(_ context.Context, sc *pipeline.StageContext) error {
 
 // verify applies the §5 heuristics and alias corrections.
 func (s *pipeState) verify(_ context.Context, sc *pipeline.StageContext) error {
-	s.res.Verified = verify.Run(s.inf, s.sys.Registry, s.sys.Prober.ReachableFromVP, s.res.Aliases, s.cfg.Verify)
+	if s.hyg.Empty(datasets.DSIXPs) {
+		sc.Degrade("verify: IXP dataset empty after hygiene; IXP-client heuristic has no evidence base")
+	}
+	s.res.Verified = verify.Run(s.inf, s.reg(), s.sys.Prober.ReachableFromVP, s.res.Aliases, s.cfg.Verify)
 	total := len(s.inf.CandidateABIs())
 	sc.Counter("candidate-abis").Add(int64(total))
 	sc.Counter("confirmed-abis").Add(int64(total - s.res.Verified.UnconfirmedABIs))
 	sc.Counter("alias-corrections").Add(int64(s.res.Verified.ABIToCBI + s.res.Verified.CBIToABI + s.res.Verified.CBIOwnerChange))
+	if n := len(s.res.Verified.LowConfidence); n > 0 {
+		sc.Counter("low-confidence").Add(int64(n))
+	}
 	return nil
 }
 
 // pinning runs §6 plus the §6.2 cross-validation.
 func (s *pipeState) pinning(_ context.Context, sc *pipeline.StageContext) error {
-	s.res.Pinning = pinning.Run(s.res.Verified, s.inf, s.sys.Registry, s.sys.Prober, s.res.Aliases, s.cfg.Pinning)
+	if s.hyg.Empty(datasets.DSFacilities) {
+		sc.Degrade("pinning: facility dataset empty after hygiene; metro anchors have no evidence base")
+	}
+	s.res.Pinning = pinning.Run(s.res.Verified, s.inf, s.reg(), s.sys.Prober, s.res.Aliases, s.cfg.Pinning)
 	s.res.PinningCV = pinning.CrossValidate(s.res.Pinning, s.res.Aliases, s.cfg.CVFolds, 0.7, s.cfg.Topology.Seed)
 	sc.Counter("metro-pinned").Add(int64(len(s.res.Pinning.Metro)))
 	sc.Counter("total-ifaces").Add(int64(s.res.Pinning.TotalIfaces))
 	sc.Gauge("cv-precision").Set(s.res.PinningCV.Precision)
 	sc.Gauge("cv-recall").Set(s.res.PinningCV.Recall)
+	if n := len(s.res.Pinning.SuspectPins); n > 0 {
+		sc.Counter("suspect-pins").Add(int64(n))
+	}
 	return nil
 }
 
 // vpi is the §7.1 multi-cloud overlap detection.
 func (s *pipeState) vpi(_ context.Context, sc *pipeline.StageContext) error {
-	s.res.VPI = detectVPIs(s.sys, s.res, s.cfg.VPIClouds)
+	s.res.VPI = detectVPIs(s.sys, s.reg(), s.res, s.cfg.VPIClouds)
 	sc.Counter("clouds").Add(int64(len(s.cfg.VPIClouds)))
 	sc.Counter("vpi-cbis").Add(int64(len(s.res.VPI.VPICBIs)))
 	return nil
@@ -595,7 +703,10 @@ func (s *pipeState) vpi(_ context.Context, sc *pipeline.StageContext) error {
 
 // classify is the §7.2–7.3 peering classification.
 func (s *pipeState) classify(_ context.Context, sc *pipeline.StageContext) error {
-	s.res.Groups = classifyPeerings(s.sys, s.res)
+	if s.hyg.Empty(datasets.DSASRel) {
+		sc.Degrade("classify: AS-relationship dataset empty after hygiene; BGP-visibility attribute has no evidence base")
+	}
+	s.res.Groups = classifyPeerings(s.reg(), s.res)
 	sc.Counter("peer-ases").Add(int64(s.res.Groups.PeerASes))
 	sc.Gauge("hidden-share").Set(s.res.Groups.HiddenShare)
 	return nil
@@ -611,12 +722,12 @@ func (s *pipeState) icg(_ context.Context, sc *pipeline.StageContext) error {
 
 // bdrmapBaseline is the §8 comparison.
 func (s *pipeState) bdrmapBaseline(_ context.Context, sc *pipeline.StageContext) error {
-	runs, err := bdrmap.Run(s.sys.Prober, s.sys.Registry, "amazon", s.cfg.Bdrmap)
+	runs, err := bdrmap.Run(s.sys.Prober, s.reg(), "amazon", s.cfg.Bdrmap)
 	if err != nil {
 		return err
 	}
 	s.res.BdrmapRuns = runs
-	cmp := bdrmap.Compare(runs, s.res.Verified, s.sys.Registry)
+	cmp := bdrmap.Compare(runs, s.res.Verified, s.reg())
 	s.res.Bdrmap = &cmp
 	sc.Counter("regions").Add(int64(len(runs)))
 	sc.Counter("flips").Add(int64(cmp.Flipped))
@@ -663,7 +774,12 @@ func configHash(cfg Config) string {
 		panic(fmt.Sprintf("cloudmap: fault plan not marshallable: %v", err)) // plain-data struct; unreachable
 	}
 	cfg.Faults = nil
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v|faults=%s", cfg, planJSON)))
+	dirtyJSON, err := json.Marshal(cfg.Dirty) // "null" for nil
+	if err != nil {
+		panic(fmt.Sprintf("cloudmap: dirty plan not marshallable: %v", err)) // plain-data struct; unreachable
+	}
+	cfg.Dirty = nil
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v|faults=%s|dirty=%s", cfg, planJSON, dirtyJSON)))
 	return hex.EncodeToString(sum[:8])
 }
 

@@ -23,9 +23,15 @@ go test -race -short -timeout 20m ./...
 echo "==> chaos smoke (fault injection + same-seed replay)"
 go test -run 'TestChaos' -timeout 10m .
 
+echo "==> hygiene smoke (dirty datasets + quarantine accounting)"
+go test -run 'TestHygiene|TestDegradationReportDatasetOnly|TestConfigHashDirtyPlan' -timeout 10m .
+
 echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
 go test -run '^$' -fuzz '^FuzzRead$' -fuzztime "${FUZZ_SECONDS}s" ./internal/tracefile
 go test -run '^$' -fuzz '^FuzzParseIP$' -fuzztime "${FUZZ_SECONDS}s" ./internal/netblock
 go test -run '^$' -fuzz '^FuzzParsePrefix$' -fuzztime "${FUZZ_SECONDS}s" ./internal/netblock
+for target in FuzzRIB FuzzWhois FuzzIXPs FuzzFacilities FuzzAs2org FuzzASRel FuzzCones FuzzRDNS; do
+	go test -run '^$' -fuzz "^${target}\$" -fuzztime "${FUZZ_SECONDS}s" ./internal/datasets
+done
 
 echo "==> all checks passed"
