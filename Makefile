@@ -12,8 +12,9 @@ test:
 check:
 	sh scripts/check.sh
 
+# Pipeline benchmarks; emits BENCH_pipeline.json (see scripts/bench.sh).
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	sh scripts/bench.sh
 
 # Chaos smoke: the fault-injection acceptance tests — pinning precision
 # holds under the moderate plan, manifests record the degradation, and a

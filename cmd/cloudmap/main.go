@@ -9,6 +9,8 @@
 //	         [-checkpoint-dir DIR] [-resume] [-metrics-out m.json]
 //	         [-fault-plan plan.json] [-max-retries N] [-retry-budget N]
 //	         [-dirty-plan plan.json] [-datasets-dir DIR]
+//	         [-journal-out j.jsonl] [-trace-out t.json] [-debug-addr :6060]
+//	         [-progress 5s]
 //
 // The run is interruptible: Ctrl-C cancels the pipeline promptly, and with
 // -checkpoint-dir the probing campaigns are persisted as they run, so a
@@ -27,6 +29,13 @@
 // duplicates, bogon ASNs — see internal/datasets and testdata/dirtyplans);
 // quarantine coverage lands in the manifest's dataset_hygiene section.
 // -datasets-dir persists the serialized corpus for inspection.
+//
+// Observability: -journal-out streams the deterministic JSONL event journal
+// (spans, faults, retries, quarantines — replays byte-identically for the
+// same seed and plans when sorted); -trace-out writes a Chrome trace-event
+// JSON loadable in Perfetto or chrome://tracing; -debug-addr serves live
+// Prometheus text metrics, a progress snapshot, and net/http/pprof while
+// the run executes; -progress prints a one-line ticker to stderr.
 package main
 
 import (
@@ -41,6 +50,8 @@ import (
 	"cloudmap"
 	"cloudmap/internal/datasets"
 	"cloudmap/internal/faults"
+	"cloudmap/internal/metrics"
+	"cloudmap/internal/obs"
 	"cloudmap/internal/probe"
 	"cloudmap/internal/tracefile"
 )
@@ -61,6 +72,10 @@ func main() {
 	retryBudget := flag.Int64("retry-budget", 0, "cap total retries per campaign; 0 means unlimited (fail-soft when exhausted)")
 	dirtyPlan := flag.String("dirty-plan", "", "corrupt input datasets from this JSON plan (see internal/datasets and testdata/dirtyplans)")
 	datasetsDir := flag.String("datasets-dir", "", "persist the serialized dataset corpus into this directory")
+	journalOut := flag.String("journal-out", "", "stream the deterministic JSONL event journal to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve live /metrics (Prometheus text), /progress, and /debug/pprof on this address while the run executes")
+	progressEvery := flag.Duration("progress", 5*time.Second, "print a one-line progress ticker to stderr at this interval (0 disables)")
 	flag.Parse()
 
 	var cfg cloudmap.Config
@@ -115,11 +130,30 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	reg := metrics.NewRegistry()
+	prog := obs.NewProgress(reg)
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, reg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s (metrics, progress, pprof)\n", srv.Addr())
+	}
+	if *progressEvery > 0 {
+		stopTicker := obs.StartTicker(os.Stderr, *progressEvery, prog)
+		defer stopTicker()
+	}
+
 	start := time.Now()
 	res, rep, err := cloudmap.RunPipeline(ctx, nil, cfg, cloudmap.RunOptions{
 		CheckpointDir: *checkpointDir,
 		Resume:        *resume,
+		Metrics:       reg,
 		DatasetsDir:   *datasetsDir,
+		JournalPath:   *journalOut,
+		TracePath:     *traceOut,
+		Progress:      prog,
 	})
 	if rep != nil && *metricsOut != "" {
 		f, merr := os.Create(*metricsOut)
@@ -148,6 +182,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("campaign archived to %s\n", *traces)
+	}
+	if *journalOut != "" {
+		fmt.Printf("event journal written to %s\n", *journalOut)
+	}
+	if *traceOut != "" {
+		fmt.Printf("chrome trace written to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 	report := res.Report()
 	fmt.Print(report)

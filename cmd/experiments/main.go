@@ -9,6 +9,8 @@
 //	            [-checkpoint-dir DIR] [-resume] [-metrics-out m.json]
 //	            [-fault-plan plan.json] [-max-retries N] [-retry-budget N]
 //	            [-dirty-plan plan.json] [-datasets-dir DIR]
+//	            [-journal-out j.jsonl] [-trace-out t.json]
+//	            [-debug-addr :6060] [-progress 5s]
 //
 // -fault-plan runs the reproduction under the deterministic fault model
 // (internal/faults) and -max-retries/-retry-budget set the probe retry
@@ -16,6 +18,11 @@
 // realistic measurement adversity. -dirty-plan corrupts the serialized
 // input datasets before the hygiene layer parses them back, exercising the
 // same comparison over dirty public data (see internal/datasets).
+//
+// The observability flags mirror cmd/cloudmap: -journal-out (deterministic
+// JSONL event journal), -trace-out (Chrome trace-event JSON for Perfetto),
+// -debug-addr (live Prometheus metrics + pprof), -progress (stderr ticker)
+// — paper-scale runs are long, so the live view matters most here.
 package main
 
 import (
@@ -32,6 +39,8 @@ import (
 	"cloudmap/internal/datasets"
 	"cloudmap/internal/evaluate"
 	"cloudmap/internal/faults"
+	"cloudmap/internal/metrics"
+	"cloudmap/internal/obs"
 	"cloudmap/internal/probe"
 	"cloudmap/internal/stats"
 )
@@ -49,6 +58,10 @@ func main() {
 	retryBudget := flag.Int64("retry-budget", 0, "cap total retries per campaign; 0 means unlimited (fail-soft when exhausted)")
 	dirtyPlan := flag.String("dirty-plan", "", "corrupt input datasets from this JSON plan (see internal/datasets and testdata/dirtyplans)")
 	datasetsDir := flag.String("datasets-dir", "", "persist the serialized dataset corpus into this directory")
+	journalOut := flag.String("journal-out", "", "stream the deterministic JSONL event journal to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve live /metrics (Prometheus text), /progress, and /debug/pprof on this address while the run executes")
+	progressEvery := flag.Duration("progress", 5*time.Second, "print a one-line progress ticker to stderr at this interval (0 disables)")
 	flag.Parse()
 
 	var cfg cloudmap.Config
@@ -87,11 +100,30 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	reg := metrics.NewRegistry()
+	prog := obs.NewProgress(reg)
+	if *debugAddr != "" {
+		srv, serr := obs.Serve(*debugAddr, reg, prog)
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s (metrics, progress, pprof)\n", srv.Addr())
+	}
+	if *progressEvery > 0 {
+		stopTicker := obs.StartTicker(os.Stderr, *progressEvery, prog)
+		defer stopTicker()
+	}
+
 	start := time.Now()
 	res, rep, err := cloudmap.RunPipeline(ctx, nil, cfg, cloudmap.RunOptions{
 		CheckpointDir: *checkpointDir,
 		Resume:        *resume,
+		Metrics:       reg,
 		DatasetsDir:   *datasetsDir,
+		JournalPath:   *journalOut,
+		TracePath:     *traceOut,
+		Progress:      prog,
 	})
 	if rep != nil && *metricsOut != "" {
 		if f, merr := os.Create(*metricsOut); merr != nil {

@@ -33,8 +33,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 
 	"cloudmap/internal/netblock"
+	"cloudmap/internal/obs"
 	"cloudmap/internal/registry"
 )
 
@@ -243,6 +245,23 @@ func (v *View) Empty(ds string) bool {
 		}
 	}
 	return false
+}
+
+// EmitQuarantine records every quarantine decision as a journal event on
+// sp (kind "quarantine", named by the typed reason). Quarantine entries are
+// appended in deterministic parse order, so keying by index keeps the event
+// stream replayable.
+func (v *View) EmitQuarantine(sp *obs.Span) {
+	if v == nil || sp == nil {
+		return
+	}
+	for i, q := range v.Quarantine {
+		sp.Event("quarantine", string(q.Reason), uint64(i), obs.Attrs{
+			"dataset": q.Prov.Dataset,
+			"line":    strconv.Itoa(q.Prov.Line),
+			"record":  q.Record,
+		})
+	}
 }
 
 // Corpus is a serialized dataset set: file name -> content.

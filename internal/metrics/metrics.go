@@ -12,10 +12,12 @@ package metrics
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -319,6 +321,81 @@ func (s Snapshot) Scope(prefix string) Snapshot {
 		}
 	}
 	return out
+}
+
+// promName sanitises an instrument name into a legal Prometheus metric
+// name: every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+// digit is prefixed with '_'. ("campaign.hops-per-trace" →
+// "campaign_hops_per_trace".)
+func promName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+		default:
+			b[i] = '_'
+		}
+	}
+	if len(b) > 0 && b[0] >= '0' && b[0] <= '9' {
+		return "_" + string(b)
+	}
+	return string(b)
+}
+
+// promFloat renders a float sample value. Prometheus text accepts "NaN",
+// "+Inf", and "-Inf" spelled exactly so.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every instrument in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as summaries with p50/p95/p99 quantiles plus _sum
+// and _count. Output is sorted by name within each instrument class, so
+// it is deterministic for a given set of values — scrape-ready on a live
+// /metrics endpoint and golden-testable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, name := range sortedKeys(snap.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		pn := promName(name)
+		h := snap.Histograms[name]
+		fmt.Fprintf(&b, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %d\n", pn, h.P50)
+		fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %d\n", pn, h.P95)
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %d\n", pn, h.P99)
+		fmt.Fprintf(&b, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Names lists every instrument name, sorted (for stable reports and tests).

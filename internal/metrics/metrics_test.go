@@ -150,3 +150,56 @@ func TestSnapshotScopeAndJSON(t *testing.T) {
 		t.Fatalf("names = %v", names)
 	}
 }
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// counters and gauges as single samples, histograms as summaries with
+// quantile labels, names sanitised to [a-zA-Z0-9_:], NaN/+Inf spelled the
+// way the Prometheus text format requires.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("campaign.traces").Add(42)
+	r.Counter("expansion.hops-per-trace").Add(7)
+	r.Gauge("progress.inf").Set(math.Inf(1))
+	r.Gauge("progress.rate").Set(math.NaN())
+	r.Gauge("progress.share").Set(0.5)
+	h := r.Histogram("campaign.hops")
+	h.ObserveN(7, 3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE campaign_traces counter
+campaign_traces 42
+# TYPE expansion_hops_per_trace counter
+expansion_hops_per_trace 7
+# TYPE progress_inf gauge
+progress_inf +Inf
+# TYPE progress_rate gauge
+progress_rate NaN
+# TYPE progress_share gauge
+progress_share 0.5
+# TYPE campaign_hops summary
+campaign_hops{quantile="0.5"} 7
+campaign_hops{quantile="0.95"} 7
+campaign_hops{quantile="0.99"} 7
+campaign_hops_sum 21
+campaign_hops_count 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"campaign.hops-per-trace": "campaign_hops_per_trace",
+		"9lives":                  "_9lives",
+		"a:b_c9":                  "a:b_c9",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

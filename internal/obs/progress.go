@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudmap/internal/metrics"
+)
+
+// Progress is the live view of a run: the current stage and the headline
+// gauges the exposition server and the CLI ticker read. Updates mirror
+// into the run's metrics registry (progress.* gauges) so /metrics carries
+// the same numbers. All methods are nil-receiver-safe no-ops; the
+// per-trace path (TraceDone) is two atomic operations through gauges
+// hoisted at construction — no registry lookups.
+type Progress struct {
+	mu         sync.Mutex
+	stage      string
+	stageIdx   int
+	stageTotal int
+
+	tracesDone    atomic.Int64
+	tracesPlanned atomic.Int64
+	retriesLeft   atomic.Int64
+	unbudgeted    atomic.Bool // retry budget unlimited (retriesLeft meaningless)
+	quarantined   atomic.Int64
+
+	gStageIdx, gStageTotal, gTracesDone, gTracesPlanned, gRetriesLeft, gQuarantined *metrics.Gauge
+}
+
+// NewProgress returns a Progress mirroring into reg (nil reg is allowed:
+// the gauges then live in a private registry).
+func NewProgress(reg *metrics.Registry) *Progress {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	p := &Progress{
+		gStageIdx:      reg.Gauge("progress.stage_index"),
+		gStageTotal:    reg.Gauge("progress.stage_total"),
+		gTracesDone:    reg.Gauge("progress.traces_done"),
+		gTracesPlanned: reg.Gauge("progress.traces_planned"),
+		gRetriesLeft:   reg.Gauge("progress.retry_budget_remaining"),
+		gQuarantined:   reg.Gauge("progress.quarantined_records"),
+	}
+	p.unbudgeted.Store(true)
+	return p
+}
+
+// SetStage records the stage now running (1-based index of total).
+func (p *Progress) SetStage(name string, idx, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.stage, p.stageIdx, p.stageTotal = name, idx, total
+	p.mu.Unlock()
+	p.gStageIdx.Set(float64(idx))
+	p.gStageTotal.Set(float64(total))
+}
+
+// AddPlanned grows the planned-trace total (called once per probing round
+// with the round's target count).
+func (p *Progress) AddPlanned(n int64) {
+	if p == nil {
+		return
+	}
+	p.gTracesPlanned.Set(float64(p.tracesPlanned.Add(n)))
+}
+
+// TraceDone counts one delivered trace — the per-trace hot path.
+func (p *Progress) TraceDone() {
+	if p == nil {
+		return
+	}
+	p.gTracesDone.Set(float64(p.tracesDone.Add(1)))
+}
+
+// SetRetryBudget installs the campaign retry budget (0 = unlimited).
+func (p *Progress) SetRetryBudget(budget int64) {
+	if p == nil {
+		return
+	}
+	p.unbudgeted.Store(budget <= 0)
+	p.retriesLeft.Store(budget)
+	p.gRetriesLeft.Set(float64(budget))
+}
+
+// RetrySpent burns one retry from the budget.
+func (p *Progress) RetrySpent() {
+	if p == nil || p.unbudgeted.Load() {
+		return
+	}
+	p.gRetriesLeft.Set(float64(p.retriesLeft.Add(-1)))
+}
+
+// AddQuarantined counts dataset records the hygiene layer rejected.
+func (p *Progress) AddQuarantined(n int64) {
+	if p == nil {
+		return
+	}
+	p.gQuarantined.Set(float64(p.quarantined.Add(n)))
+}
+
+// ProgressSnapshot is the JSON form served on /progress.
+type ProgressSnapshot struct {
+	Stage         string `json:"stage"`
+	StageIndex    int    `json:"stage_index"`
+	StageTotal    int    `json:"stage_total"`
+	TracesDone    int64  `json:"traces_done"`
+	TracesPlanned int64  `json:"traces_planned"`
+	// RetriesLeft is the remaining campaign retry budget; -1 when the
+	// budget is unlimited.
+	RetriesLeft int64 `json:"retries_left"`
+	Quarantined int64 `json:"quarantined_records"`
+}
+
+// Snapshot captures the current progress state.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{RetriesLeft: -1}
+	}
+	p.mu.Lock()
+	s := ProgressSnapshot{Stage: p.stage, StageIndex: p.stageIdx, StageTotal: p.stageTotal}
+	p.mu.Unlock()
+	s.TracesDone = p.tracesDone.Load()
+	s.TracesPlanned = p.tracesPlanned.Load()
+	s.Quarantined = p.quarantined.Load()
+	if p.unbudgeted.Load() {
+		s.RetriesLeft = -1
+	} else {
+		s.RetriesLeft = p.retriesLeft.Load()
+	}
+	return s
+}
+
+// Line renders the one-line progress ticker, e.g.
+//
+//	[ 5/14 expansion] traces 83968/131072 (64.1%) | retry budget 117 | quarantined 42
+func (p *Progress) Line() string {
+	s := p.Snapshot()
+	stage := s.Stage
+	if stage == "" {
+		stage = "-"
+	}
+	line := fmt.Sprintf("[%2d/%d %s] traces %d/%d", s.StageIndex, s.StageTotal, stage, s.TracesDone, s.TracesPlanned)
+	if s.TracesPlanned > 0 {
+		line += fmt.Sprintf(" (%.1f%%)", 100*float64(s.TracesDone)/float64(s.TracesPlanned))
+	}
+	if s.RetriesLeft >= 0 {
+		line += fmt.Sprintf(" | retry budget %d", s.RetriesLeft)
+	}
+	if s.Quarantined > 0 {
+		line += fmt.Sprintf(" | quarantined %d", s.Quarantined)
+	}
+	return line
+}
+
+// writeJSON serves the snapshot on /progress.
+func (p *Progress) writeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Snapshot())
+}
+
+// StartTicker prints p.Line() to w every interval until the returned stop
+// function is called (stop waits for the goroutine to exit, so no line is
+// written after it returns).
+func StartTicker(w io.Writer, every time.Duration, p *Progress) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintln(w, p.Line())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}

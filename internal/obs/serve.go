@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"cloudmap/internal/metrics"
+)
+
+// Server is the live exposition endpoint a run serves while it executes:
+//
+//	/metrics       — the metrics registry in Prometheus text format
+//	/metrics.json  — the same registry as the JSON snapshot
+//	/progress      — the Progress snapshot (current stage, traces done/planned)
+//	/debug/pprof/  — net/http/pprof profiling (CPU, heap, goroutines, ...)
+//
+// It binds eagerly (Serve fails fast on a bad address) and shuts down via
+// Close. The handlers read live atomics, so scraping during a campaign is
+// safe and cheap.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts the exposition server on addr (e.g. "localhost:6060"; a
+// ":0" port picks a free one — see Addr). reg and p may be nil; the
+// corresponding endpoints then serve empty documents.
+func Serve(addr string, reg *metrics.Registry, p *Progress) (*Server, error) {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>cloudmap debug</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus text)</li>
+<li><a href="/metrics.json">/metrics.json</a></li>
+<li><a href="/progress">/progress</a></li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+</ul></body></html>`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		p.writeJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{lis: lis, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(lis)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

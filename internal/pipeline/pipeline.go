@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"cloudmap/internal/metrics"
+	"cloudmap/internal/obs"
 )
 
 // Stage is one named unit of work over the shared state S.
@@ -56,12 +57,22 @@ type Stage[S any] struct {
 // StageContext scopes instruments to the running stage: names are prefixed
 // "<stage>." in the shared registry and reported per stage.
 type StageContext struct {
-	stage string
-	reg   *metrics.Registry
+	stage    string
+	reg      *metrics.Registry
+	span     *obs.Span
+	progress *obs.Progress
 
 	mu    sync.Mutex
 	notes []string
 }
+
+// Span returns the stage's trace span (nil when tracing is off; a nil
+// span's methods are no-ops, so stages may use it unconditionally).
+func (sc *StageContext) Span() *obs.Span { return sc.span }
+
+// Progress returns the run's live progress sink (nil-safe no-op when the
+// caller did not install one).
+func (sc *StageContext) Progress() *obs.Progress { return sc.progress }
 
 // Degrade records that the stage completed with partial results (probe
 // loss, exhausted retry budget, ...). The run continues, but subsequent
@@ -150,6 +161,14 @@ type StageResult struct {
 type Options struct {
 	// Resume consults each stage's Resume hook before running it.
 	Resume bool
+	// Tracer, when non-nil, records one span per executed stage (kind
+	// "stage"), a point event per skipped stage, and hands each stage a
+	// child-span handle via StageContext.Span. Nil disables tracing at the
+	// cost of one nil check per instrumented site.
+	Tracer *obs.Tracer
+	// Progress, when non-nil, is told which stage is running; stages feed
+	// it finer-grained gauges through StageContext.Progress.
+	Progress *obs.Progress
 }
 
 // Runner owns an ordered set of stages and a metrics registry.
@@ -236,21 +255,30 @@ func (r *Runner[S]) Run(ctx context.Context, s *S, opts Options) ([]StageResult,
 	if err != nil {
 		return nil, err
 	}
+	// The run span parents every stage span; skipped stages become point
+	// events so the journal still accounts for them. Span IDs and journal
+	// attrs are deterministic (stage name + execution index); only the
+	// Chrome trace carries wall-clock timing.
+	run := opts.Tracer.Root("run", "pipeline", 0)
 	results := make([]StageResult, 0, len(order))
 	fail := func(at int, err error) ([]StageResult, error) {
-		for _, name := range order[at:] {
+		for i, name := range order[at:] {
 			results = append(results, StageResult{Name: name, Status: StatusNotRun})
+			run.Event("stage", name, uint64(at+i), obs.Attrs{"status": string(StatusNotRun)})
 		}
+		run.End(obs.Attrs{"status": "failed"})
 		return results, err
 	}
 	var degradedBy []string // "stage: reason" entries, in stage order
 	for oi, name := range order {
 		st := &r.stages[r.byName[name]]
+		opts.Progress.SetStage(name, oi+1, len(order))
 		if err := ctx.Err(); err != nil {
 			return fail(oi, fmt.Errorf("pipeline: cancelled before stage %q: %w", name, err))
 		}
 		if st.Skip != nil && st.Skip(s) {
 			results = append(results, StageResult{Name: name, Status: StatusSkipped})
+			run.Event("stage", name, uint64(oi), obs.Attrs{"status": string(StatusSkipped)})
 			continue
 		}
 		if len(degradedBy) > 0 && !st.ToleratePartial {
@@ -259,10 +287,12 @@ func (r *Runner[S]) Run(ctx context.Context, s *S, opts Options) ([]StageResult,
 				Status: StatusSkippedDegraded,
 				Notes:  append([]string(nil), degradedBy...),
 			})
+			run.Event("stage", name, uint64(oi), obs.Attrs{"status": string(StatusSkippedDegraded)})
 			continue
 		}
 
-		sc := &StageContext{stage: name, reg: r.reg}
+		sp := run.Child("stage", name, uint64(oi))
+		sc := &StageContext{stage: name, reg: r.reg, span: sp, progress: opts.Progress}
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 		start := time.Now()
@@ -304,9 +334,16 @@ func (r *Runner[S]) Run(ctx context.Context, s *S, opts Options) ([]StageResult,
 			res.Status = StatusFailed
 			res.Error = stageErr.Error()
 			results = append(results, res)
+			sp.End(obs.Attrs{"status": string(StatusFailed)})
 			return fail(oi+1, fmt.Errorf("pipeline: stage %q: %w", name, stageErr))
 		}
+		endAttrs := obs.Attrs{"status": string(res.Status)}
+		if res.Degraded {
+			endAttrs["degraded"] = "true"
+		}
+		sp.End(endAttrs)
 		results = append(results, res)
 	}
+	run.End(obs.Attrs{"status": "ok"})
 	return results, nil
 }

@@ -3,10 +3,12 @@ package probe
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"cloudmap/internal/netblock"
+	"cloudmap/internal/obs"
 )
 
 // AttemptStats reports what the fault layer did to one traceroute attempt.
@@ -140,9 +142,47 @@ func better(a, b Trace) Trace {
 	return a
 }
 
+// classifyFault names the dominant fault on an attempt — the journal's
+// fault-event taxonomy. An attempt can suffer several fault families at
+// once; precedence mirrors severity (outage > flap > rate-limited > lost).
+func classifyFault(st AttemptStats) string {
+	switch {
+	case st.Outage:
+		return "outage"
+	case st.Flapped:
+		return "flap"
+	case st.RateLimited > 0:
+		return "rate-limited"
+	default:
+		return "lost"
+	}
+}
+
+// emitFault records one faulted attempt as a journal event on the chunk
+// span. Every attr is deterministic: the destination, the 1-based attempt,
+// and the virtual send time the fault window was evaluated at.
+func emitFault(sp *obs.Span, dst netblock.IP, attempt int, tSec float64, st AttemptStats) {
+	if sp == nil {
+		return
+	}
+	attrs := obs.Attrs{
+		"dst":       dst.String(),
+		"attempt":   strconv.Itoa(attempt),
+		"vtime_sec": strconv.FormatFloat(tSec, 'f', 3, 64),
+	}
+	if st.Lost > 0 {
+		attrs["lost"] = strconv.Itoa(st.Lost)
+	}
+	if st.RateLimited > 0 {
+		attrs["rate_limited"] = strconv.Itoa(st.RateLimited)
+	}
+	sp.Detail("fault", classifyFault(st), uint64(dst)<<8|uint64(attempt), attrs)
+}
+
 // traceRetry probes one target with retries. budget counts the retries this
-// chunk may still spend (nil = unlimited).
-func (p *Prober) traceRetry(ref VMRef, vmKey uint64, dst netblock.IP, pol RetryPolicy, epoch uint64, budget *int64, cs *CampaignStats) (Trace, error) {
+// chunk may still spend (nil = unlimited). sp, when non-nil, receives one
+// "fault" event per faulted attempt and one "retry" event per re-probe.
+func (p *Prober) traceRetry(sp *obs.Span, prog *obs.Progress, ref VMRef, vmKey uint64, dst netblock.IP, pol RetryPolicy, epoch uint64, budget *int64, cs *CampaignStats) (Trace, error) {
 	tSec := p.inj.ScheduleSec(epoch, vmKey, dst)
 	best, st, err := p.TracerouteAt(ref, dst, tSec)
 	if err != nil {
@@ -150,6 +190,9 @@ func (p *Prober) traceRetry(ref VMRef, vmKey uint64, dst netblock.IP, pol RetryP
 	}
 	cs.Targets++
 	cs.observe(st)
+	if st.Faulted() {
+		emitFault(sp, dst, 1, tSec, st)
+	}
 	attempts := 1
 	backoff := pol.BackoffSec
 	for attempts < pol.MaxAttempts && st.Faulted() {
@@ -162,12 +205,23 @@ func (p *Prober) traceRetry(ref VMRef, vmKey uint64, dst netblock.IP, pol RetryP
 		}
 		tSec += backoff
 		backoff *= pol.BackoffFactor
+		if sp != nil {
+			sp.Detail("retry", "attempt", uint64(dst)<<8|uint64(attempts+1), obs.Attrs{
+				"dst":       dst.String(),
+				"attempt":   strconv.Itoa(attempts + 1),
+				"vtime_sec": strconv.FormatFloat(tSec, 'f', 3, 64),
+			})
+		}
+		prog.RetrySpent()
 		tr, st2, err := p.TracerouteAt(ref, dst, tSec)
 		if err != nil {
 			return Trace{}, err
 		}
 		cs.Retries++
 		cs.observe(st2)
+		if st2.Faulted() {
+			emitFault(sp, dst, attempts+1, tSec, st2)
+		}
 		best = better(best, tr)
 		st = st2
 		attempts++
@@ -192,6 +246,45 @@ func (p *Prober) traceRetry(ref VMRef, vmKey uint64, dst netblock.IP, pol RetryP
 // plain parallel campaign: every probe runs at virtual time zero and the
 // stats carry only probe counts.
 func (p *Prober) CampaignRetryCtx(ctx context.Context, vms []VMRef, targets []netblock.IP, workers int, pol RetryPolicy, epoch uint64, sink TraceSink) (CampaignStats, error) {
+	return p.CampaignRetryObsCtx(ctx, nil, nil, vms, targets, workers, pol, epoch, sink)
+}
+
+// chunkAttrs digests one chunk's campaign stats into journal attrs. All
+// fields are deterministic sums of per-probe fault draws, so the chunk's
+// end event replays byte-identically at any worker count.
+func chunkAttrs(cs CampaignStats) obs.Attrs {
+	a := obs.Attrs{
+		"targets": strconv.FormatInt(cs.Targets, 10),
+		"probes":  strconv.FormatInt(cs.Probes, 10),
+	}
+	if cs.Retries > 0 {
+		a["retries"] = strconv.FormatInt(cs.Retries, 10)
+	}
+	if cs.Lost > 0 {
+		a["lost"] = strconv.FormatInt(cs.Lost, 10)
+	}
+	if cs.RateLimited > 0 {
+		a["rate_limited"] = strconv.FormatInt(cs.RateLimited, 10)
+	}
+	if cs.Outages > 0 {
+		a["outages"] = strconv.FormatInt(cs.Outages, 10)
+	}
+	if cs.Flapped > 0 {
+		a["flapped"] = strconv.FormatInt(cs.Flapped, 10)
+	}
+	if cs.BudgetExhausted {
+		a["budget_exhausted"] = "true"
+	}
+	return a
+}
+
+// CampaignRetryObsCtx is CampaignRetryCtx with observability: each work
+// chunk runs under a span (kind "chunk", keyed by the deterministic chunk
+// index, placed on the Chrome lane of the worker that executed it), fault
+// classifications and retry attempts become journal events on that span,
+// and retries burn down prog's live retry-budget gauge. sp and prog may be
+// nil (no-ops); the hot path then pays one nil check per probe.
+func (p *Prober) CampaignRetryObsCtx(ctx context.Context, sp *obs.Span, prog *obs.Progress, vms []VMRef, targets []netblock.IP, workers int, pol RetryPolicy, epoch uint64, sink TraceSink) (CampaignStats, error) {
 	pol = pol.withDefaults()
 
 	type chunk struct {
@@ -223,32 +316,39 @@ func (p *Prober) CampaignRetryCtx(ctx context.Context, vms []VMRef, targets []ne
 		return &share
 	}
 
-	runChunk := func(c chunk, idx int) ([]Trace, CampaignStats, error) {
+	runChunk := func(c chunk, idx, lane int) ([]Trace, CampaignStats, error) {
 		vm, err := p.vm(c.vm)
 		if err != nil {
 			return nil, CampaignStats{}, err
 		}
 		vmKey := uint64(vm.Cloud)<<16 | uint64(vm.Region)
 		budget := chunkBudget(idx)
+		// The chunk span's identity is (campaign span, chunk index) — pure
+		// position, no scheduling dependence; the lane only places the span
+		// in the Chrome trace so worker occupancy is visible.
+		csp := sp.ChildLane("chunk", fmt.Sprintf("%s:%d-%d", c.vm, c.from, c.to), uint64(idx), lane)
 		var cs CampaignStats
 		out := make([]Trace, 0, c.to-c.from)
 		for _, dst := range targets[c.from:c.to] {
 			if err := ctx.Err(); err != nil {
+				csp.End(obs.Attrs{"status": "interrupted"})
 				return nil, cs, fmt.Errorf("probe: campaign interrupted: %w", err)
 			}
-			tr, err := p.traceRetry(c.vm, vmKey, dst, pol, epoch, budget, &cs)
+			tr, err := p.traceRetry(csp, prog, c.vm, vmKey, dst, pol, epoch, budget, &cs)
 			if err != nil {
+				csp.End(obs.Attrs{"status": "error"})
 				return nil, cs, err
 			}
 			out = append(out, tr)
 		}
+		csp.End(chunkAttrs(cs))
 		return out, cs, nil
 	}
 
 	var total CampaignStats
 	if workers <= 1 {
 		for i, c := range chunks {
-			batch, cs, err := runChunk(c, i)
+			batch, cs, err := runChunk(c, i, 1)
 			if err != nil {
 				return total, err
 			}
@@ -283,7 +383,7 @@ func (p *Prober) CampaignRetryCtx(ctx context.Context, vms []VMRef, targets []ne
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for {
 				if ctx.Err() != nil {
@@ -293,7 +393,7 @@ func (p *Prober) CampaignRetryCtx(ctx context.Context, vms []VMRef, targets []ne
 				if idx >= len(chunks) {
 					return
 				}
-				batch, cs, err := runChunk(chunks[idx], idx)
+				batch, cs, err := runChunk(chunks[idx], idx, lane)
 				if err != nil {
 					setErr(err)
 					results[idx] <- result{}
@@ -301,7 +401,7 @@ func (p *Prober) CampaignRetryCtx(ctx context.Context, vms []VMRef, targets []ne
 				}
 				results[idx] <- result{traces: batch, stats: cs}
 			}
-		}()
+		}(w + 1)
 	}
 
 deliver:

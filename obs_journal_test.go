@@ -1,0 +1,109 @@
+package cloudmap
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"cloudmap/internal/datasets"
+)
+
+// journalRun executes the faulted + dirty small pipeline with the journal
+// and Chrome trace enabled, returning the sorted journal lines and the
+// manifest's trace section.
+func journalRun(t *testing.T, workers int, dir string) ([]string, *TraceReport) {
+	t.Helper()
+	cfg := chaosConfig(t)
+	dirty, err := datasets.LoadDirtyPlan("testdata/dirtyplans/moderate.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dirty = dirty
+	cfg.Workers = workers
+
+	journal := filepath.Join(dir, "journal.jsonl")
+	trace := filepath.Join(dir, "trace.json")
+	_, rep, err := RunPipeline(context.Background(), nil, cfg, RunOptions{
+		JournalPath: journal,
+		TracePath:   trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	sort.Strings(lines)
+
+	// The Chrome trace must be valid trace-event JSON.
+	traw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traw, &doc); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	return lines, rep.Manifest.Trace
+}
+
+// TestJournalDeterminism: the event journal is a pure function of the run
+// config. A moderate fault plan plus a moderate dirty plan at 1 worker and
+// at 8 workers must produce identical journals once sorted (worker
+// scheduling permutes emission order, nothing else), identical span counts
+// in the manifest, and events of every instrumented kind.
+func TestJournalDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double pipeline run skipped in -short mode")
+	}
+	seq, seqTrace := journalRun(t, 1, t.TempDir())
+	par, parTrace := journalRun(t, 8, t.TempDir())
+
+	if len(seq) != len(par) {
+		t.Fatalf("journal length differs: %d lines at workers=1, %d at workers=8", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("sorted journals diverge at line %d:\nworkers=1: %s\nworkers=8: %s", i, seq[i], par[i])
+		}
+	}
+
+	if seqTrace == nil || parTrace == nil {
+		t.Fatal("manifest trace section missing")
+	}
+	for k, n := range seqTrace.Spans {
+		if parTrace.Spans[k] != n {
+			t.Fatalf("span count %s: %d at workers=1, %d at workers=8", k, n, parTrace.Spans[k])
+		}
+	}
+
+	// The faulted + dirty run must exercise the full event taxonomy.
+	kinds := map[string]int{}
+	for _, ln := range seq {
+		var ev struct {
+			Kind string `json:"kind"`
+			Ev   string `json:"ev"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", ln, err)
+		}
+		kinds[ev.Kind]++
+	}
+	for _, want := range []string{"run", "stage", "chunk", "fault", "retry", "quarantine"} {
+		if kinds[want] == 0 {
+			t.Fatalf("journal has no %q events (kinds: %v)", want, kinds)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package cloudmap
 // run can resume from stored probes and skip straight to inference.
 
 import (
+	"bufio"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -28,6 +29,7 @@ import (
 	"cloudmap/internal/metrics"
 	"cloudmap/internal/midar"
 	"cloudmap/internal/netblock"
+	"cloudmap/internal/obs"
 	"cloudmap/internal/pinning"
 	"cloudmap/internal/pipeline"
 	"cloudmap/internal/probe"
@@ -54,12 +56,24 @@ type RunOptions struct {
 	// the registry through, so a run's input datasets can be inspected or
 	// diffed.
 	DatasetsDir string
+	// JournalPath, when non-empty, streams the deterministic JSONL event
+	// journal (spans, faults, retries, quarantines) to that file. Same
+	// config + seed + plans produce the same journal, sorted, at any
+	// worker count.
+	JournalPath string
+	// TracePath, when non-empty, writes the wall-clock Chrome trace-event
+	// JSON (Perfetto / chrome://tracing) to that file at the end of the run.
+	TracePath string
+	// Progress, when non-nil, receives live stage/trace/retry/quarantine
+	// updates for the CLI ticker and the debug server's /progress endpoint.
+	Progress *obs.Progress
 }
 
 // manifestVersion is bumped when the manifest schema changes.
 // Version history: 1 = initial staged manifest; 2 = dataset_hygiene section
-// and the degradation report's dataset fields.
-const manifestVersion = 2
+// and the degradation report's dataset fields; 3 = trace section (span
+// counts and journal/trace artefact paths).
+const manifestVersion = 3
 
 // Manifest is the machine-readable record of one pipeline run: enough to
 // regenerate benchmark trajectories mechanically and to validate that a
@@ -86,6 +100,19 @@ type Manifest struct {
 	// records kept / quarantined / conflict-resolved after the registry's
 	// round trip through the on-disk dataset formats.
 	DatasetHygiene *datasets.HygieneReport `json:"dataset_hygiene,omitempty"`
+	// Trace accounts for the run's observability artefacts; nil when no
+	// journal or Chrome trace was requested.
+	Trace *TraceReport `json:"trace,omitempty"`
+}
+
+// TraceReport is the manifest's account of the run's tracing output: where
+// the artefacts went and how many events of each kind:phase the tracer
+// emitted (e.g. "stage:begin", "fault:point"). The counts are deterministic
+// — a replay of the same config must reproduce them exactly.
+type TraceReport struct {
+	JournalPath string           `json:"journal_path,omitempty"`
+	TracePath   string           `json:"trace_path,omitempty"`
+	Spans       map[string]int64 `json:"spans,omitempty"`
 }
 
 // DegradationReport is the manifest's account of a degraded run: how much
@@ -170,11 +197,35 @@ func RunPipeline(ctx context.Context, sys *System, cfg Config, opts RunOptions) 
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	st := &pipeState{cfg: cfg, opts: opts, sys: sys}
+
+	// Observability: the journal streams through a buffered writer while the
+	// run executes; the Chrome trace buffers in memory and is written at the
+	// end. A nil tracer costs the instrumented paths one nil check each.
+	var tracer *obs.Tracer
+	var journalFile *os.File
+	var journalBuf *bufio.Writer
+	if opts.JournalPath != "" || opts.TracePath != "" {
+		var jw io.Writer
+		if opts.JournalPath != "" {
+			f, ferr := os.Create(opts.JournalPath)
+			if ferr != nil {
+				return nil, nil, fmt.Errorf("cloudmap: journal: %w", ferr)
+			}
+			journalFile, journalBuf = f, bufio.NewWriter(f)
+			jw = journalBuf
+		}
+		tracer = obs.NewTracer(jw, opts.TracePath != "")
+	}
+
+	st := &pipeState{cfg: cfg, opts: opts, sys: sys, prog: opts.Progress}
 	if prev != nil && prev.Degradation != nil {
 		st.prevRounds = prev.Degradation.Rounds
 	}
-	stages, err := newRunner(reg).Run(ctx, st, pipeline.Options{Resume: opts.Resume})
+	stages, err := newRunner(reg).Run(ctx, st, pipeline.Options{
+		Resume:   opts.Resume,
+		Tracer:   tracer,
+		Progress: opts.Progress,
+	})
 	rep := &RunReport{
 		Manifest: Manifest{
 			Version:     manifestVersion,
@@ -190,6 +241,30 @@ func RunPipeline(ctx context.Context, sys *System, cfg Config, opts RunOptions) 
 	}
 	if st.hyg != nil {
 		rep.Manifest.DatasetHygiene = st.hyg.Report
+	}
+	if tracer != nil {
+		rep.Manifest.Trace = &TraceReport{
+			JournalPath: opts.JournalPath,
+			TracePath:   opts.TracePath,
+			Spans:       tracer.Counts(),
+		}
+		if opts.TracePath != "" {
+			if terr := writeChromeTrace(opts.TracePath, tracer); terr != nil && err == nil {
+				err = terr
+			}
+		}
+		if journalBuf != nil {
+			ferr := journalBuf.Flush()
+			if cerr := journalFile.Close(); ferr == nil {
+				ferr = cerr
+			}
+			if ferr != nil && err == nil {
+				err = fmt.Errorf("cloudmap: journal: %w", ferr)
+			}
+		}
+		if terr := tracer.Err(); terr != nil && err == nil {
+			err = fmt.Errorf("cloudmap: journal: %w", terr)
+		}
 	}
 	if opts.CheckpointDir != "" {
 		// Written even on failure: the manifest records how far the run got,
@@ -217,6 +292,8 @@ type pipeState struct {
 	// serialize→validate→parse round trip, which every inference stage
 	// consumes in place of the pristine sys.Registry.
 	hyg *datasets.View
+	// prog is the live progress view (nil when no ticker/debug server).
+	prog *obs.Progress
 
 	// summary is filled by the evaluate stage and lands in the manifest.
 	summary map[string]float64
@@ -446,6 +523,8 @@ func (s *pipeState) datasets(_ context.Context, sc *pipeline.StageContext) error
 			sc.Counter("quarantined-" + ds).Add(sum.Quarantined)
 		}
 	}
+	s.prog.AddQuarantined(rep.TotalQuarantined)
+	view.EmitQuarantine(sc.Span())
 	if rep.TotalQuarantined > 0 || rep.TotalConflicts > 0 || len(rep.EmptyDatasets) > 0 {
 		note := fmt.Sprintf("dataset hygiene: quarantined %d records, resolved %d origin conflicts",
 			rep.TotalQuarantined, rep.TotalConflicts)
@@ -464,12 +543,14 @@ func (s *pipeState) roundSink(sc *pipeline.StageContext) probe.TraceSink {
 	traces := sc.Counter("traces")
 	completed := sc.Counter("completed")
 	hops := sc.Histogram("hops-per-trace")
+	prog := s.prog // hoisted: TraceDone is two atomics, no lookups
 	sink := func(tr probe.Trace) {
 		traces.Inc()
 		if tr.Status == probe.StatusCompleted {
 			completed.Inc()
 		}
 		hops.Observe(int64(len(tr.Hops)))
+		prog.TraceDone()
 		s.inf.Consume(tr)
 	}
 	if rec := s.cfg.RecordTraces; rec != nil {
@@ -513,7 +594,9 @@ func (s *pipeState) probeRound(ctx context.Context, sc *pipeline.StageContext, s
 			inner(tr)
 		}
 	}
-	stats, err := s.sys.Prober.CampaignRetryCtx(ctx, s.vms, targets, s.cfg.Workers, s.cfg.Retry, epoch, sink)
+	s.prog.AddPlanned(int64(len(s.vms)) * int64(len(targets)))
+	s.prog.SetRetryBudget(s.cfg.Retry.Budget)
+	stats, err := s.sys.Prober.CampaignRetryObsCtx(ctx, sc.Span(), s.prog, s.vms, targets, s.cfg.Workers, s.cfg.Retry, epoch, sink)
 	if fw != nil {
 		if err != nil {
 			fw.Close()
@@ -592,6 +675,7 @@ func (s *pipeState) resumeRound(stage string, sc *pipeline.StageContext, prepare
 	if prepare != nil {
 		prepare()
 	}
+	s.prog.AddPlanned(int64(sum.Traces))
 	if _, err := tracefile.ReplayFile(path, s.roundSink(sc)); err != nil {
 		return false, fmt.Errorf("checkpoint %s: %w", path, err)
 	}
@@ -805,6 +889,22 @@ func loadCompatibleManifest(dir, hash string) (*Manifest, error) {
 		return nil, fmt.Errorf("cloudmap: checkpoint dir %s was written with config hash %s, current config hashes to %s: refusing to resume", dir, m.ConfigHash, hash)
 	}
 	return &m, nil
+}
+
+// writeChromeTrace persists the tracer's buffered Chrome trace events.
+func writeChromeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cloudmap: chrome trace: %w", err)
+	}
+	err = tracer.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("cloudmap: chrome trace: %w", err)
+	}
+	return nil
 }
 
 func writeManifest(dir string, rep *RunReport) error {

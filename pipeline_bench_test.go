@@ -6,7 +6,11 @@ package cloudmap
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
+
+	"cloudmap/internal/metrics"
+	"cloudmap/internal/obs"
 )
 
 // BenchmarkPipelineRun is the full staged run; the per-stage wall clock of
@@ -25,6 +29,40 @@ func BenchmarkPipelineRun(b *testing.B) {
 					b.ReportMetric(st.WallMS, st.Name+"-ms")
 				}
 			}
+		}
+	}
+}
+
+// BenchmarkPipelineObserved is BenchmarkPipelineRun with full observability
+// on — journal, Chrome trace, and live progress — so the instrumentation
+// overhead is the delta against BenchmarkPipelineRun (the ISSUE budget is
+// <5% on the campaign).
+func BenchmarkPipelineObserved(b *testing.B) {
+	cfg := SmallConfig()
+	dir := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		reg := metrics.NewRegistry()
+		_, rep, err := RunPipeline(context.Background(), nil, cfg, RunOptions{
+			Metrics:     reg,
+			JournalPath: filepath.Join(dir, "journal.jsonl"),
+			TracePath:   filepath.Join(dir, "trace.json"),
+			Progress:    obs.NewProgress(reg),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, st := range rep.Manifest.Stages {
+				switch st.Name {
+				case "campaign", "expansion":
+					b.ReportMetric(st.WallMS, st.Name+"-ms")
+				}
+			}
+			var events int64
+			for _, n := range rep.Manifest.Trace.Spans {
+				events += n
+			}
+			b.ReportMetric(float64(events), "journal-events")
 		}
 	}
 }

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench.sh — run the pipeline benchmarks and digest the output into
+# BENCH_pipeline.json, a machine-readable record of one benchmark run:
+#
+#   {"benchmarks": [{"name": "BenchmarkPipelineRun", "iterations": 1,
+#                    "metrics": {"ns/op": ..., "campaign-ms": ..., ...}}]}
+#
+# Usage: scripts/bench.sh [out.json]   (default BENCH_pipeline.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_pipeline.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> go test -bench BenchmarkPipeline -benchtime 1x ."
+go test -run '^$' -bench 'BenchmarkPipeline' -benchtime 1x . | tee "$RAW"
+
+# Benchmark lines look like:
+#   BenchmarkPipelineRun-8  1  123456789 ns/op  456.7 campaign-ms  ...
+# i.e. name, iteration count, then (value, unit) pairs.
+awk '
+BEGIN { print "{\n  \"benchmarks\": [" ; n = 0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", name, $2
+	m = 0
+	for (i = 3; i + 1 <= NF; i += 2) {
+		if (m++) printf ", "
+		printf "\"%s\": %s", $(i + 1), $i
+	}
+	printf "}}"
+}
+END { print "\n  ]\n}" }
+' "$RAW" > "$OUT"
+
+echo "==> benchmark record written to $OUT"
