@@ -45,6 +45,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"cloudmap"
@@ -127,7 +128,7 @@ func main() {
 		cfg.RecordTraces = w.Sink()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	reg := metrics.NewRegistry()

@@ -1,0 +1,152 @@
+// Command cloudmapctl queries a running cloudmapd.
+//
+// Usage:
+//
+//	cloudmapctl [-addr 127.0.0.1:7080] [-json] status
+//	cloudmapctl [-addr ...] [-json] peerings [-as N] [-metro CODE] [-cbi IP]
+//	cloudmapctl [-addr ...] [-json] watch [-since N]
+//
+// status prints the daemon's epoch, map size, and the last epoch's
+// incremental-scheduling outcome (which stages re-ran, which hash-skipped).
+// peerings prints the live map, optionally filtered to one AS, metro, or
+// interface. watch replays the delta history after -since and then streams
+// each new epoch's changes until interrupted. -json emits the server
+// documents unformatted.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+
+	"cloudmap/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7080", "cloudmapd address")
+	asJSON := flag.Bool("json", false, "print raw JSON instead of tables")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cloudmapctl [-addr HOST:PORT] [-json] status|peerings|watch [args]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base := "http://" + *addr
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "status":
+		err = runStatus(base, *asJSON)
+	case "peerings":
+		err = runPeerings(base, *asJSON, flag.Args()[1:])
+	case "watch":
+		err = runWatch(base, *asJSON, flag.Args()[1:])
+	default:
+		log.Fatalf("unknown subcommand %q (want status, peerings, or watch)", cmd)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// get fetches path and decodes the JSON document into v (or copies it to
+// stdout verbatim when raw).
+func get(base, path string, raw bool, v any) error {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if raw {
+		_, err := io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func runStatus(base string, raw bool) error {
+	var st service.StatusReply
+	if err := get(base, "/v1/status", raw, &st); err != nil || raw {
+		return err
+	}
+	service.FormatStatus(os.Stdout, &st)
+	return nil
+}
+
+func runPeerings(base string, raw bool, args []string) error {
+	fs := flag.NewFlagSet("peerings", flag.ExitOnError)
+	as := fs.Uint("as", 0, "only this peer AS")
+	metro := fs.String("metro", "", "only this metro code")
+	cbi := fs.String("cbi", "", "only this interface address")
+	fs.Parse(args)
+	q := url.Values{}
+	if *as != 0 {
+		q.Set("as", fmt.Sprint(*as))
+	}
+	if *metro != "" {
+		q.Set("metro", *metro)
+	}
+	if *cbi != "" {
+		q.Set("cbi", *cbi)
+	}
+	path := "/v1/peerings"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var reply service.PeeringsReply
+	if err := get(base, path, raw, &reply); err != nil || raw {
+		return err
+	}
+	fmt.Printf("epoch %d: %d peering(s)\n", reply.Epoch, len(reply.Peerings))
+	service.FormatPeerings(os.Stdout, reply.Peerings)
+	return nil
+}
+
+// runWatch consumes the daemon's SSE stream, printing each epoch's delta
+// set as it lands, until the server closes the stream or we are killed.
+func runWatch(base string, raw bool, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	since := fs.Uint64("since", 0, "replay recorded epochs after this one first")
+	fs.Parse(args)
+	resp, err := http.Get(fmt.Sprintf("%s/v1/watch?since=%d", base, *since))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("/v1/watch: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		data := strings.TrimPrefix(line, "data: ")
+		if raw {
+			fmt.Println(data)
+			continue
+		}
+		var ed service.EpochDeltas
+		if err := json.Unmarshal([]byte(data), &ed); err != nil {
+			return fmt.Errorf("watch: bad event: %w", err)
+		}
+		service.FormatDeltas(os.Stdout, &ed)
+	}
+	return sc.Err()
+}

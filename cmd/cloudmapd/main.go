@@ -1,0 +1,142 @@
+// Command cloudmapd is the resident form of the reproduction: a daemon
+// that keeps a live peering map of the simulated Amazon fabric and serves
+// it over HTTP while re-running the inference pipeline on recurring epochs.
+//
+// Usage:
+//
+//	cloudmapd [-scale small|medium|paper] [-seed N] [-workers N]
+//	          [-addr 127.0.0.1:7080] [-addr-file F]
+//	          [-epochs N] [-epoch-every 0s] [-churn-plan plan.json]
+//	          [-checkpoint-dir DIR] [-epoch-journal j.jsonl]
+//	          [-drain-timeout 30s]
+//
+// Each epoch the daemon derives the next world state from the churn plan
+// (re-homed prefixes, facility tenant moves, DNS renames — all
+// deterministic in seed and epoch number), then runs the pipeline
+// incrementally: stages whose input hashes are unchanged since their last
+// clean run are skipped, annotation-only changes replay the checkpointed
+// probing campaigns instead of re-probing, and only genuinely dependent
+// inference re-executes. The resulting map diffs against the previous
+// epoch and the deltas stream to watchers.
+//
+// The HTTP surface on -addr serves the query API (/v1/status,
+// /v1/peerings, /v1/deltas, /v1/watch) alongside the admin plane
+// (/metrics, /progress, /debug/pprof/). cloudmapctl is the CLI client.
+//
+// Shutdown is graceful: the first SIGINT/SIGTERM drains the in-flight
+// epoch, flushes the epoch journal and checkpoints, and gives in-flight
+// HTTP requests -drain-timeout to finish; a second signal aborts hard.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cloudmap"
+	"cloudmap/internal/metrics"
+	"cloudmap/internal/obs"
+	"cloudmap/internal/service"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "topology scale: small, medium, or paper")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	workers := flag.Int("workers", 0, "parallel probing workers; <=0 uses all CPUs (output is identical regardless)")
+	skipBdrmap := flag.Bool("skip-bdrmap", true, "skip the §8 bdrmap baseline each epoch")
+	addr := flag.String("addr", "127.0.0.1:7080", "serve the query API and admin plane on this address (\":0\" picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	epochs := flag.Int("epochs", 0, "stop after N epochs; 0 runs until signalled")
+	epochEvery := flag.Duration("epoch-every", 0, "wall-clock pause between epochs (scheduling only; results are virtual-time)")
+	churnPlan := flag.String("churn-plan", "", "evolve the world between epochs from this JSON plan (default: a moderate built-in plan; see testdata/churnplans)")
+	checkpointDir := flag.String("checkpoint-dir", "", "persist probing rounds here so dataset-only epochs replay instead of re-probing")
+	epochJournal := flag.String("epoch-journal", "", "append one deterministic JSON line per epoch (stage statuses, input hashes, map deltas) to this file")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight HTTP requests at shutdown")
+	flag.Parse()
+
+	var cfg cloudmap.Config
+	switch *scale {
+	case "small":
+		cfg = cloudmap.SmallConfig()
+	case "medium":
+		cfg = cloudmap.MediumConfig()
+	case "paper":
+		cfg = cloudmap.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q (want small, medium, or paper)", *scale)
+	}
+	cfg.Topology.Seed = *seed
+	cfg.Workers = *workers
+	cfg.SkipBdrmap = *skipBdrmap
+
+	churn := service.DefaultChurnPlan()
+	if *churnPlan != "" {
+		p, err := service.LoadChurnPlan(*churnPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		churn = p
+	}
+
+	reg := metrics.NewRegistry()
+	daemon, err := service.New(service.Config{
+		Pipeline:      cfg,
+		Churn:         churn,
+		Epochs:        *epochs,
+		EpochEvery:    *epochEvery,
+		CheckpointDir: *checkpointDir,
+		JournalPath:   *epochJournal,
+		Metrics:       reg,
+		Progress:      obs.NewProgress(reg),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := obs.ServeHandler(*addr, daemon.Handler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cloudmapd serving on http://%s (/v1/status, /v1/peerings, /v1/deltas, /v1/watch)\n", srv.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// First signal: graceful drain (finish the epoch, flush the journal,
+	// let in-flight requests complete). Second signal: hard abort.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "cloudmapd: draining (signal again to abort)")
+		daemon.Stop()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "cloudmapd: aborting")
+		cancel()
+	}()
+
+	runErr := daemon.Run(ctx)
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer shutCancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		// Streaming watchers hold their connections open past the drain
+		// deadline; close them rather than hanging shutdown forever.
+		srv.Close()
+	}
+
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		log.Fatal(runErr)
+	}
+	fmt.Printf("cloudmapd stopped after epoch %d\n", daemon.Epoch())
+}

@@ -66,6 +66,10 @@ var fileOf = map[string]string{
 	DSClouds:     "clouds.jsonl",
 }
 
+// FileOf returns the corpus file name of a dataset ("" for unknown names) —
+// the key into Corpus.Files consumers hash or inspect per dataset.
+func FileOf(ds string) string { return fileOf[ds] }
+
 // DirtyableDatasets lists the datasets a DirtyPlan may corrupt, in canonical
 // order. The clouds dataset is excluded: it stands in for data the provider
 // publishes authoritatively (Amazon's ip-ranges and Direct Connect pages).

@@ -73,6 +73,11 @@ type Result struct {
 	// ordered by CBI count.
 	Examples map[string][]string
 
+	// GroupOf labels every classified CBI with its six-way group, so
+	// consumers (the live peering map) can report per-interface groups
+	// without redoing the classification.
+	GroupOf map[netblock.IP]string
+
 	PeerASes int
 }
 
@@ -82,6 +87,7 @@ func Classify(ver *verify.Result, inf *border.Inference, reg *registry.Registry,
 		Rows:       map[string]Row{},
 		Aggregates: map[string]Row{},
 		Fig6:       map[string]map[string]stats.Boxplot{},
+		GroupOf:    map[netblock.IP]string{},
 	}
 	inBGP := reg.AmazonLinksInBGP()
 
@@ -125,6 +131,7 @@ func Classify(ver *verify.Result, inf *border.Inference, reg *registry.Registry,
 				group = "Pr-nB-nV"
 			}
 		}
+		res.GroupOf[cbi] = group
 		key := asGroup{owner, group}
 		if cbisBy[key] == nil {
 			cbisBy[key] = map[netblock.IP]struct{}{}

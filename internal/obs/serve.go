@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -27,14 +28,32 @@ type Server struct {
 
 // Serve starts the exposition server on addr (e.g. "localhost:6060"; a
 // ":0" port picks a free one — see Addr). reg and p may be nil; the
-// corresponding endpoints then serve empty documents.
+// corresponding endpoints then serve empty documents. Serve fails with an
+// error (rather than dying later in a background goroutine) when the
+// address is malformed or the port is already taken.
 func Serve(addr string, reg *metrics.Registry, p *Progress) (*Server, error) {
-	if reg == nil {
-		reg = metrics.NewRegistry()
-	}
+	return ServeHandler(addr, NewMux(reg, p))
+}
+
+// ServeHandler is Serve with a caller-supplied root handler, for daemons
+// that mount their own API next to the admin endpoints (build the admin
+// routes with NewMux and add to them).
+func ServeHandler(addr string, handler http.Handler) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	s := &Server{lis: lis, srv: &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(lis)
+	return s, nil
+}
+
+// NewMux builds the admin-plane routes (/metrics, /metrics.json, /progress,
+// /debug/pprof/*) on a fresh mux, which the caller may extend with its own
+// handlers before serving. reg and p may be nil.
+func NewMux(reg *metrics.Registry, p *Progress) *http.ServeMux {
+	if reg == nil {
+		reg = metrics.NewRegistry()
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -67,14 +86,16 @@ func Serve(addr string, reg *metrics.Registry, p *Progress) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	s := &Server{lis: lis, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
-	go s.srv.Serve(lis)
-	return s, nil
+	return mux
 }
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
-// Close stops the server.
+// Close stops the server immediately, dropping in-flight requests.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown gracefully stops the server: the listener closes at once, but
+// in-flight requests (including streaming watchers) get until ctx's
+// deadline to finish.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

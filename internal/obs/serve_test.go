@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudmap/internal/metrics"
+)
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("test.hits").Add(3)
+	srv, err := Serve("127.0.0.1:0", reg, NewProgress(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if strings.HasSuffix(srv.Addr(), ":0") {
+		t.Fatalf("Addr() = %s, want a resolved port", srv.Addr())
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "test_hits 3") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+}
+
+func TestServeErrorsWhenPortTaken(t *testing.T) {
+	first, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if _, err := Serve(first.Addr(), nil, nil); err == nil {
+		t.Fatal("second Serve on the same port succeeded")
+	}
+}
+
+func TestServeHandlerMountsCustomRoutes(t *testing.T) {
+	mux := NewMux(nil, nil)
+	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "pong")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for path, want := range map[string]string{"/v1/ping": "pong", "/progress": "{"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.HasPrefix(string(body), want) {
+			t.Fatalf("%s body = %q, want prefix %q", path, body, want)
+		}
+	}
+}
+
+func TestShutdownDrainsInFlightRequest(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	mux := NewMux(nil, nil)
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/slow", srv.Addr()))
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		got <- string(body)
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must wait for the in-flight request, not kill it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v before the request finished", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if body := <-got; body != "done" {
+		t.Fatalf("in-flight response = %q", body)
+	}
+}

@@ -50,6 +50,16 @@ type Stage[S any] struct {
 	// stage's outputs from a checkpoint. Returning true skips Run and
 	// records the stage as resumed; returning false falls through to Run.
 	Resume func(ctx context.Context, s *S, sc *StageContext) (bool, error)
+	// InputHash, when non-nil, fingerprints every input the stage reads:
+	// configuration, external datasets, and upstream outputs (typically by
+	// folding in the upstream stages' input hashes — with deterministic
+	// stages, same inputs imply same outputs). It runs every epoch, before
+	// Run, in DAG order, so it may read state written by earlier stages
+	// this epoch. When Options.PrevHashes carries a matching hash for the
+	// stage, Run is skipped entirely (StatusSkippedUnchanged) and the
+	// shared state retains the outputs the stage wrote last epoch — the
+	// incremental-inference contract of the resident service.
+	InputHash func(s *S) string
 	// Run executes the stage.
 	Run func(ctx context.Context, s *S, sc *StageContext) error
 }
@@ -122,6 +132,10 @@ const (
 	// StatusSkippedDegraded: an earlier stage reported partial results and
 	// this stage declared it cannot tolerate them.
 	StatusSkippedDegraded Status = "skipped-degraded"
+	// StatusSkippedUnchanged: the stage's input hash matched the previous
+	// epoch's, so its outputs (still held in the shared state) are already
+	// current — the incremental scheduler's hash-skip.
+	StatusSkippedUnchanged Status = "skipped-unchanged"
 	// StatusFailed: Run or Resume returned an error.
 	StatusFailed Status = "failed"
 	// StatusNotRun: an earlier stage failed or the context was cancelled
@@ -152,6 +166,10 @@ type StageResult struct {
 	// the reasons (or, for skipped-degraded stages, the upstream reasons).
 	Degraded bool     `json:"degraded,omitempty"`
 	Notes    []string `json:"notes,omitempty"`
+	// InputHash is the stage's input fingerprint for this run (stages with
+	// an InputHash hook only). Epoch schedulers compare it against the next
+	// run's to decide hash-skips.
+	InputHash string `json:"input_hash,omitempty"`
 
 	// Wall is the un-rounded duration (not marshalled; WallMS is).
 	Wall time.Duration `json:"-"`
@@ -169,6 +187,12 @@ type Options struct {
 	// Progress, when non-nil, is told which stage is running; stages feed
 	// it finer-grained gauges through StageContext.Progress.
 	Progress *obs.Progress
+	// PrevHashes maps stage name to the input hash recorded the last time
+	// the stage ran to a clean completion. A stage whose InputHash matches
+	// its entry is hash-skipped (StatusSkippedUnchanged): the shared state
+	// still holds its outputs, so re-running would recompute identical
+	// results. Nil disables incremental scheduling (every stage runs).
+	PrevHashes map[string]string
 }
 
 // Runner owns an ordered set of stages and a metrics registry.
@@ -290,6 +314,19 @@ func (r *Runner[S]) Run(ctx context.Context, s *S, opts Options) ([]StageResult,
 			run.Event("stage", name, uint64(oi), obs.Attrs{"status": string(StatusSkippedDegraded)})
 			continue
 		}
+		// Incremental scheduling: fingerprint the stage's inputs (runs in
+		// DAG order, so upstream hashes from this epoch are visible) and
+		// hash-skip when nothing it reads has changed since its last clean
+		// run. The shared state still holds the stage's previous outputs.
+		var inputHash string
+		if st.InputHash != nil {
+			inputHash = st.InputHash(s)
+			if prev, ok := opts.PrevHashes[name]; ok && prev == inputHash && prev != "" {
+				results = append(results, StageResult{Name: name, Status: StatusSkippedUnchanged, InputHash: inputHash})
+				run.Event("stage", name, uint64(oi), obs.Attrs{"status": string(StatusSkippedUnchanged), "input_hash": inputHash})
+				continue
+			}
+		}
 
 		sp := run.Child("stage", name, uint64(oi))
 		sc := &StageContext{stage: name, reg: r.reg, span: sp, progress: opts.Progress}
@@ -315,6 +352,7 @@ func (r *Runner[S]) Run(ctx context.Context, s *S, opts Options) ([]StageResult,
 		res := StageResult{
 			Name:       name,
 			Status:     status,
+			InputHash:  inputHash,
 			Wall:       wall,
 			WallMS:     float64(wall) / float64(time.Millisecond),
 			AllocBytes: m1.TotalAlloc - m0.TotalAlloc,

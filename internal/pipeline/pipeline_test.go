@@ -254,3 +254,67 @@ func TestLargeDiamondOrder(t *testing.T) {
 		t.Fatalf("order = %s, want %s", got, want)
 	}
 }
+
+func TestInputHashSkip(t *testing.T) {
+	// A two-stage chain where each stage declares an input hash drawn from
+	// the state: matching PrevHashes entries hash-skip, changed ones run.
+	hashes := map[string]string{"a": "h1", "b": "h2"}
+	r := New[state](nil)
+	for _, name := range []string{"a", "b"} {
+		name := name
+		st := appendStage(name)
+		if name == "b" {
+			st.Needs = []string{"a"}
+		}
+		st.InputHash = func(_ *state) string { return hashes[name] }
+		r.Add(st)
+	}
+
+	// First run: no previous hashes — everything executes, results carry
+	// the computed input hashes.
+	var s state
+	results, err := r.Run(context.Background(), &s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := map[string]string{}
+	for _, sr := range results {
+		if sr.Status != StatusOK {
+			t.Fatalf("%s status = %s", sr.Name, sr.Status)
+		}
+		if sr.InputHash == "" {
+			t.Fatalf("%s missing input hash", sr.Name)
+		}
+		prev[sr.Name] = sr.InputHash
+	}
+
+	// Second run with unchanged hashes: both stages hash-skip and Run
+	// hooks never fire.
+	s = state{}
+	results, err = r.Run(context.Background(), &s, Options{PrevHashes: prev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range results {
+		if sr.Status != StatusSkippedUnchanged {
+			t.Fatalf("%s status = %s, want %s", sr.Name, sr.Status, StatusSkippedUnchanged)
+		}
+	}
+	if len(s.log) != 0 {
+		t.Fatalf("skipped stages ran: %v", s.log)
+	}
+
+	// Third run with only b's hash changed: a skips, b runs.
+	hashes["b"] = "h2-changed"
+	s = state{}
+	results, err = r.Run(context.Background(), &s, Options{PrevHashes: prev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusSkippedUnchanged || results[1].Status != StatusOK {
+		t.Fatalf("statuses = %s, %s", results[0].Status, results[1].Status)
+	}
+	if strings.Join(s.log, ",") != "b" {
+		t.Fatalf("executed = %v, want just b", s.log)
+	}
+}

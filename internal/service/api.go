@@ -1,0 +1,197 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/obs"
+)
+
+// StatusReply is /v1/status's document.
+type StatusReply struct {
+	Epoch    uint64 `json:"epoch"`
+	Peerings int    `json:"peerings"`
+	PeerASes int    `json:"peer_ases"`
+	// StagesRun and StagesSkipped describe the last epoch's scheduling:
+	// what re-ran and what the incremental scheduler hash-skipped.
+	StagesRun     []string `json:"stages_run,omitempty"`
+	StagesSkipped []string `json:"stages_skipped,omitempty"`
+	// Summary carries the pipeline's headline quantities (hidden share,
+	// VPI share, ...).
+	Summary map[string]float64 `json:"summary,omitempty"`
+}
+
+// PeeringsReply is /v1/peerings's document.
+type PeeringsReply struct {
+	Epoch    uint64    `json:"epoch"`
+	Peerings []Peering `json:"peerings"`
+}
+
+// DeltasReply is /v1/deltas's document.
+type DeltasReply struct {
+	Since  uint64         `json:"since"`
+	Epoch  uint64         `json:"epoch"`
+	Epochs []*EpochDeltas `json:"epochs"`
+}
+
+// Handler builds the daemon's full HTTP surface: the query API under /v1/
+// mounted on the obs admin plane (/metrics, /progress, /debug/pprof/), so
+// one listener serves both.
+func (d *Daemon) Handler() http.Handler {
+	mux := obs.NewMux(d.reg, d.cfg.Progress)
+	mux.HandleFunc("/v1/status", d.handleStatus)
+	mux.HandleFunc("/v1/peerings", d.handlePeerings)
+	mux.HandleFunc("/v1/deltas", d.handleDeltas)
+	mux.HandleFunc("/v1/watch", d.handleWatch)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	reply := StatusReply{Epoch: d.Epoch()}
+	if snap := d.store.Current(); snap != nil {
+		reply.Peerings = len(snap.Peerings)
+		ases := map[uint32]struct{}{}
+		for _, p := range snap.Peerings {
+			ases[p.ASN] = struct{}{}
+		}
+		reply.PeerASes = len(ases)
+	}
+	if rep := d.LastReport(); rep != nil {
+		reply.StagesRun = rep.StagesRun()
+		reply.StagesSkipped = rep.StagesSkipped()
+		reply.Summary = rep.Summary
+	}
+	writeJSON(w, reply)
+}
+
+func (d *Daemon) handlePeerings(w http.ResponseWriter, r *http.Request) {
+	snap := d.store.Current()
+	if snap == nil {
+		http.Error(w, "no epoch completed yet", http.StatusServiceUnavailable)
+		return
+	}
+	reply := PeeringsReply{Epoch: snap.Epoch, Peerings: snap.Peerings}
+	q := r.URL.Query()
+	switch {
+	case q.Get("cbi") != "":
+		ip, err := netblock.ParseIP(q.Get("cbi"))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad cbi: %v", err), http.StatusBadRequest)
+			return
+		}
+		reply.Peerings = nil
+		if p, ok := snap.ByCBI(ip); ok {
+			reply.Peerings = []Peering{p}
+		}
+	case q.Get("as") != "":
+		asn, err := strconv.ParseUint(q.Get("as"), 10, 32)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad as: %v", err), http.StatusBadRequest)
+			return
+		}
+		reply.Peerings = snap.ByAS(uint32(asn))
+	case q.Get("metro") != "":
+		reply.Peerings = snap.ByMetro(q.Get("metro"))
+	}
+	if reply.Peerings == nil {
+		reply.Peerings = []Peering{}
+	}
+	writeJSON(w, reply)
+}
+
+func (d *Daemon) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad since: %v", err), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	reply := DeltasReply{Since: since, Epoch: d.Epoch(), Epochs: d.store.DeltasSince(since)}
+	if reply.Epochs == nil {
+		reply.Epochs = []*EpochDeltas{}
+	}
+	writeJSON(w, reply)
+}
+
+// handleWatch streams epoch delta sets as server-sent events: one
+// `event: epoch` per completed epoch with the EpochDeltas JSON as data.
+// Past epochs (from ?since=N, default: all recorded) replay first, then the
+// stream goes live until the client disconnects or the server shuts down.
+func (d *Daemon) handleWatch(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad since: %v", err), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before replaying history so no epoch can fall in the gap;
+	// the last-sent guard below drops the overlap.
+	live, cancel := d.store.Subscribe()
+	defer cancel()
+
+	sent := since
+	emit := func(ed *EpochDeltas) error {
+		if ed.Epoch <= sent {
+			return nil
+		}
+		sent = ed.Epoch
+		data, err := json.Marshal(ed)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "event: epoch\nid: %d\ndata: %s\n\n", ed.Epoch, data); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	}
+	for _, ed := range d.store.DeltasSince(since) {
+		if err := emit(ed); err != nil {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-d.Done():
+			return
+		case _, ok := <-live:
+			if !ok {
+				return
+			}
+			// Re-read from the store rather than trusting the notification
+			// alone: a watcher whose buffer overflowed catches up here.
+			for _, ed := range d.store.DeltasSince(sent) {
+				if err := emit(ed); err != nil {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package service is the resident form of the pipeline: a daemon that owns
+// a live in-memory peering map, advances it on virtual-time epochs through
+// an incremental cloudmap.Session, applies deterministic topology churn
+// between epochs, and serves the map over an HTTP JSON API (lookups,
+// snapshots, and a peering add/remove delta stream). cmd/cloudmapd is the
+// binary; cmd/cloudmapctl the client.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/registry"
+	"cloudmap/internal/rng"
+)
+
+// ChurnPlan describes the deterministic between-epoch evolution of the
+// public-dataset registry: how many announced prefixes re-home to a new
+// origin AS, how many colocation tenants move, and how many reverse-DNS
+// names are rewritten per epoch. The plan plus the epoch number fully
+// determine each epoch's registry, so a daemon restarted with the same
+// plan replays the same world.
+type ChurnPlan struct {
+	Seed uint64 `json:"seed"`
+	// RehomePrefixesPerEpoch re-announces that many RIB prefixes under a
+	// different (non-cloud) origin AS each epoch — the classic ownership
+	// churn the incremental scheduler must absorb without re-probing.
+	RehomePrefixesPerEpoch int `json:"rehome_prefixes_per_epoch"`
+	// FacilityTenantMovesPerEpoch moves that many colocation tenants
+	// between facilities each epoch (affects pinning, not the border walk).
+	FacilityTenantMovesPerEpoch int `json:"facility_tenant_moves_per_epoch"`
+	// DNSRenamesPerEpoch rewrites that many reverse-DNS names each epoch
+	// (affects the rdns dataset consumers: pinning and classification).
+	DNSRenamesPerEpoch int `json:"dns_renames_per_epoch"`
+}
+
+// DefaultChurnPlan is a moderate plan: visible churn every epoch, small
+// enough that most of the map survives between epochs.
+func DefaultChurnPlan() *ChurnPlan {
+	return &ChurnPlan{Seed: 1, RehomePrefixesPerEpoch: 3, FacilityTenantMovesPerEpoch: 2, DNSRenamesPerEpoch: 4}
+}
+
+// ParseChurnPlan decodes and validates a JSON plan.
+func ParseChurnPlan(data []byte) (*ChurnPlan, error) {
+	var p ChurnPlan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("service: churn plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadChurnPlan reads a plan file written by ParseChurnPlan's format.
+func LoadChurnPlan(path string) (*ChurnPlan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: churn plan: %w", err)
+	}
+	return ParseChurnPlan(data)
+}
+
+// Validate rejects plans with negative rates.
+func (p *ChurnPlan) Validate() error {
+	if p.RehomePrefixesPerEpoch < 0 || p.FacilityTenantMovesPerEpoch < 0 || p.DNSRenamesPerEpoch < 0 {
+		return fmt.Errorf("service: churn plan: negative per-epoch rate")
+	}
+	return nil
+}
+
+// Apply derives epoch's registry from base. The draw is a pure function of
+// (plan seed, epoch): applying the same plan to the same base at the same
+// epoch always yields an identically-annotating registry, at any worker
+// count. Cloud-origin prefixes and cloud ASNs are never touched — the
+// ground-truth fabric under measurement stays fixed; only the public
+// datasets describing the rest of the world drift.
+func (p *ChurnPlan) Apply(base *registry.Registry, epoch uint64) *registry.Registry {
+	r := rng.New(p.Seed ^ (epoch * 0x9e3779b97f4a7c15))
+
+	// Cloud ASNs (all clouds, not just Amazon) are exempt from churn.
+	cloud := map[registry.ASN]bool{}
+	for _, set := range base.CloudASNs {
+		for asn := range set {
+			cloud[asn] = true
+		}
+	}
+
+	// Deterministic snapshots of the walkable tables (the Walks are
+	// lexicographic / sorted, so these slices are reproducible).
+	type ribEntry struct {
+		prefix netblock.Prefix
+		origin registry.ASN
+	}
+	var rib, whois []ribEntry
+	base.WalkRIB(func(pfx netblock.Prefix, asn registry.ASN) {
+		rib = append(rib, ribEntry{pfx, asn})
+	})
+	base.WalkWhois(func(pfx netblock.Prefix, asn registry.ASN) {
+		whois = append(whois, ribEntry{pfx, asn})
+	})
+	var orgASNs []registry.ASN
+	orgOf := map[registry.ASN]string{}
+	base.WalkOrgs(func(asn registry.ASN, org string) {
+		orgASNs = append(orgASNs, asn)
+		orgOf[asn] = org
+	})
+	var nonCloud []registry.ASN
+	for _, asn := range orgASNs {
+		if !cloud[asn] {
+			nonCloud = append(nonCloud, asn)
+		}
+	}
+
+	// Re-home: pick eligible RIB rows (non-cloud origin) and rewrite their
+	// origin to a different non-cloud AS.
+	rehomed := map[int]registry.ASN{}
+	if p.RehomePrefixesPerEpoch > 0 && len(nonCloud) > 1 {
+		var eligible []int
+		for i, e := range rib {
+			if !cloud[e.origin] {
+				eligible = append(eligible, i)
+			}
+		}
+		r.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+		n := p.RehomePrefixesPerEpoch
+		if n > len(eligible) {
+			n = len(eligible)
+		}
+		for _, idx := range eligible[:n] {
+			next := nonCloud[r.Intn(len(nonCloud))]
+			for next == rib[idx].origin {
+				next = nonCloud[r.Intn(len(nonCloud))]
+			}
+			rehomed[idx] = next
+		}
+	}
+
+	// DNS renames: rewrite names on a deterministic pick of addresses.
+	var dnsIPs []netblock.IP
+	for ip := range base.DNS {
+		dnsIPs = append(dnsIPs, ip)
+	}
+	sort.Slice(dnsIPs, func(i, j int) bool { return dnsIPs[i] < dnsIPs[j] })
+	renamed := map[netblock.IP]string{}
+	if p.DNSRenamesPerEpoch > 0 && len(dnsIPs) > 0 {
+		r.Shuffle(len(dnsIPs), func(i, j int) { dnsIPs[i], dnsIPs[j] = dnsIPs[j], dnsIPs[i] })
+		n := p.DNSRenamesPerEpoch
+		if n > len(dnsIPs) {
+			n = len(dnsIPs)
+		}
+		for _, ip := range dnsIPs[:n] {
+			renamed[ip] = fmt.Sprintf("renamed-e%d.%s", epoch, base.DNS[ip])
+		}
+	}
+
+	// Rebuild through the same Builder path internal/datasets uses, with
+	// the mutations applied in place.
+	b := registry.NewBuilder(base.World)
+	for i, e := range rib {
+		origin := e.origin
+		if next, ok := rehomed[i]; ok {
+			origin = next
+		}
+		b.AddRIB(e.prefix, origin, false)
+	}
+	for _, e := range whois {
+		b.AddWhois(e.prefix, e.origin, false)
+	}
+	// Group the flat assignment walk back per exchange via the LAN tries.
+	perIXP := make([]map[netblock.IP]registry.ASN, len(base.IXPs))
+	base.WalkIXPAssignments(func(ip netblock.IP, asn registry.ASN) {
+		if idx, ok := base.IXPOf(ip); ok {
+			if perIXP[idx] == nil {
+				perIXP[idx] = map[netblock.IP]registry.ASN{}
+			}
+			perIXP[idx][ip] = asn
+		}
+	})
+	for i, info := range base.IXPs {
+		b.AddIXP(info, perIXP[i])
+	}
+	// Facility tenant moves: pop a tenant off one facility, push it onto
+	// another (skipping cloud ASNs so Direct Connect anchors stay put).
+	facs := make([]registry.FacilityInfo, len(base.Facilities))
+	for i, info := range base.Facilities {
+		facs[i] = info
+		facs[i].Tenants = append([]registry.ASN(nil), info.Tenants...)
+	}
+	for m := 0; m < p.FacilityTenantMovesPerEpoch && len(facs) > 1; m++ {
+		from := r.Intn(len(facs))
+		if len(facs[from].Tenants) == 0 {
+			continue
+		}
+		ti := r.Intn(len(facs[from].Tenants))
+		asn := facs[from].Tenants[ti]
+		if cloud[asn] {
+			continue
+		}
+		to := r.Intn(len(facs))
+		for to == from {
+			to = r.Intn(len(facs))
+		}
+		facs[from].Tenants = append(facs[from].Tenants[:ti], facs[from].Tenants[ti+1:]...)
+		facs[to].Tenants = append(facs[to].Tenants, asn)
+	}
+	for _, fc := range facs {
+		b.AddFacility(fc)
+	}
+	for _, asn := range orgASNs {
+		b.SetOrg(asn, orgOf[asn])
+	}
+	for _, l := range base.Links {
+		b.AddLink(l.A, l.B, l.Rel)
+	}
+	var coneASNs []registry.ASN
+	for asn := range base.ConeSlash24 {
+		coneASNs = append(coneASNs, asn)
+	}
+	sort.Slice(coneASNs, func(i, j int) bool { return coneASNs[i] < coneASNs[j] })
+	for _, asn := range coneASNs {
+		b.SetCone(asn, base.ConeSlash24[asn])
+	}
+	for _, ip := range dnsIPs {
+		name := base.DNS[ip]
+		if nn, ok := renamed[ip]; ok {
+			name = nn
+		}
+		b.AddDNS(ip, name)
+	}
+	var clouds []string
+	for name := range base.CloudASNs {
+		clouds = append(clouds, name)
+	}
+	sort.Strings(clouds)
+	for _, name := range clouds {
+		var asns []registry.ASN
+		for asn := range base.CloudASNs[name] {
+			asns = append(asns, asn)
+		}
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		b.SetCloud(name, asns)
+	}
+	b.SetAmazonListedCities(base.AmazonListedCities)
+	return b.Build()
+}

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatStatus renders /v1/status for terminals.
+func FormatStatus(w io.Writer, st *StatusReply) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "epoch\t%d\n", st.Epoch)
+	fmt.Fprintf(tw, "peerings\t%d\n", st.Peerings)
+	fmt.Fprintf(tw, "peer ASes\t%d\n", st.PeerASes)
+	if len(st.StagesRun) > 0 {
+		fmt.Fprintf(tw, "stages run\t%s\n", strings.Join(st.StagesRun, " "))
+	}
+	if len(st.StagesSkipped) > 0 {
+		fmt.Fprintf(tw, "stages skipped\t%s\n", strings.Join(st.StagesSkipped, " "))
+	}
+	if len(st.Summary) > 0 {
+		keys := make([]string, 0, len(st.Summary))
+		for k := range st.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(tw, "summary.%s\t%.4g\n", k, st.Summary[k])
+		}
+	}
+	tw.Flush()
+}
+
+// FormatPeerings renders a peering table for terminals.
+func FormatPeerings(w io.Writer, peerings []Peering) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CBI\tAS\tORG\tGROUP\tMETRO\tVPI\tCONF\tSINCE")
+	for _, p := range peerings {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%d\n",
+			p.CBI, p.ASN, orDash(p.Org), orDash(p.Group), orDash(p.Metro),
+			yesNo(p.VPI), confOf(p), p.FirstEpoch)
+	}
+	tw.Flush()
+}
+
+// FormatDeltas renders one epoch's change set for terminals.
+func FormatDeltas(w io.Writer, ed *EpochDeltas) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "epoch %d: %d change(s)\n", ed.Epoch, len(ed.Deltas))
+	for _, dl := range ed.Deltas {
+		detail := fmt.Sprintf("AS%d %s %s", dl.ASN, orDash(dl.Group), orDash(dl.Metro))
+		if dl.Kind == "update" && dl.Prev != nil {
+			detail += fmt.Sprintf("\t(was AS%d %s %s)", dl.Prev.ASN, orDash(dl.Prev.Group), orDash(dl.Prev.Metro))
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", dl.Kind, dl.CBI, detail)
+	}
+	tw.Flush()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func confOf(p Peering) string {
+	if p.LowConfidence {
+		return "low"
+	}
+	return "ok"
+}

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"cloudmap"
+	"cloudmap/internal/metrics"
+	"cloudmap/internal/obs"
+	"cloudmap/internal/pipeline"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Pipeline is the measurement configuration each epoch runs.
+	Pipeline cloudmap.Config
+	// Churn is the deterministic between-epoch world evolution; nil holds
+	// the world fixed (every epoch after the first hash-skips everything).
+	Churn *ChurnPlan
+	// Epochs caps the run; 0 means run until stopped.
+	Epochs int
+	// EpochEvery is the wall-clock pause between epochs. Zero runs them
+	// back to back. The pause is scheduling only — epoch numbering and
+	// every result are virtual-time, so the interval never affects output.
+	EpochEvery time.Duration
+	// CheckpointDir persists probing rounds for cross-epoch replay.
+	CheckpointDir string
+	// JournalPath, when non-empty, appends one deterministic JSON line per
+	// epoch (stage statuses + input hashes + deltas; no wall-clock
+	// material), flushed at every epoch and on shutdown.
+	JournalPath string
+	// Metrics and Progress wire the admin plane; nil values are created.
+	Metrics  *metrics.Registry
+	Progress *obs.Progress
+}
+
+// journalStage is the journal's projection of a stage result: scheduling
+// outcome only, none of StageResult's wall-clock or allocation telemetry,
+// so the journal replays byte-identically run over run.
+type journalStage struct {
+	Name      string `json:"name"`
+	Status    string `json:"status"`
+	InputHash string `json:"input_hash,omitempty"`
+	Degraded  bool   `json:"degraded,omitempty"`
+}
+
+// journalEntry is one epoch's journal line.
+type journalEntry struct {
+	Epoch    uint64             `json:"epoch"`
+	Stages   []journalStage     `json:"stages"`
+	Deltas   []Delta            `json:"deltas"`
+	Peerings int                `json:"peerings"`
+	Summary  map[string]float64 `json:"summary,omitempty"`
+}
+
+// Daemon is the resident service: a Session advanced epoch by epoch, a
+// Store serving the live map, and an epoch journal. Run drives the loop;
+// Stop drains it gracefully (the in-flight epoch completes, the journal
+// flushes); cancelling Run's context aborts the in-flight epoch instead.
+type Daemon struct {
+	cfg     Config
+	session *cloudmap.Session
+	store   *Store
+	reg     *metrics.Registry
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	mu         sync.Mutex
+	lastReport *cloudmap.EpochReport
+}
+
+// New builds the daemon: world generation happens here, the first epoch in
+// Run.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Churn != nil {
+		if err := cfg.Churn.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Progress == nil {
+		cfg.Progress = obs.NewProgress(cfg.Metrics)
+	}
+	session, err := cloudmap.NewSession(cfg.Pipeline, cloudmap.SessionOptions{
+		CheckpointDir: cfg.CheckpointDir,
+		Metrics:       cfg.Metrics,
+		Progress:      cfg.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Daemon{cfg: cfg, session: session, store: NewStore(), reg: cfg.Metrics, stopCh: make(chan struct{})}, nil
+}
+
+// Store exposes the live peering map.
+func (d *Daemon) Store() *Store { return d.store }
+
+// Epoch returns the last completed and published epoch (0 before the
+// first; an in-flight epoch does not count until its snapshot lands).
+func (d *Daemon) Epoch() uint64 {
+	if snap := d.store.Current(); snap != nil {
+		return snap.Epoch
+	}
+	return 0
+}
+
+// LastReport returns the most recent epoch's scheduling report (nil before
+// the first epoch completes).
+func (d *Daemon) LastReport() *cloudmap.EpochReport {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastReport
+}
+
+// Stop requests a graceful drain: the in-flight epoch finishes, its results
+// publish, the journal flushes, and Run returns nil. Safe to call from any
+// goroutine, repeatedly.
+func (d *Daemon) Stop() {
+	d.stopOnce.Do(func() { close(d.stopCh) })
+}
+
+// Done closes when the daemon is stopping (Stop called or Run returned).
+func (d *Daemon) Done() <-chan struct{} { return d.stopCh }
+
+// Run executes the epoch loop until the configured epoch count is reached,
+// Stop is called, or ctx is cancelled (which aborts the in-flight epoch and
+// is the hard path — prefer Stop). Always flushes the journal before
+// returning.
+func (d *Daemon) Run(ctx context.Context) (err error) {
+	// Whatever ends the loop, leave the daemon in the stopped state so
+	// streaming watchers (which select on Done) unblock and the HTTP
+	// server can drain.
+	defer d.Stop()
+	var journal *bufio.Writer
+	if d.cfg.JournalPath != "" {
+		f, ferr := os.Create(d.cfg.JournalPath)
+		if ferr != nil {
+			return fmt.Errorf("service: journal: %w", ferr)
+		}
+		journal = bufio.NewWriter(f)
+		defer func() {
+			if jerr := journal.Flush(); err == nil && jerr != nil {
+				err = fmt.Errorf("service: journal flush: %w", jerr)
+			}
+			if cerr := f.Close(); err == nil && cerr != nil {
+				err = fmt.Errorf("service: journal close: %w", cerr)
+			}
+		}()
+	}
+
+	for n := 0; d.cfg.Epochs == 0 || n < d.cfg.Epochs; n++ {
+		select {
+		case <-d.stopCh:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if n > 0 && d.cfg.Churn != nil {
+			// Derive this epoch's world from the previous registry — churn
+			// compounds, as real dataset drift does.
+			d.session.SetRegistry(d.cfg.Churn.Apply(d.session.System().Registry, d.session.Epoch()+1))
+		}
+		res, rep, runErr := d.session.RunEpoch(ctx)
+		if runErr != nil {
+			return runErr
+		}
+		snap := SnapshotFrom(rep.Epoch, res)
+		ed := d.store.Publish(snap)
+		d.mu.Lock()
+		d.lastReport = rep
+		d.mu.Unlock()
+		if journal != nil {
+			entry := journalEntry{
+				Epoch:    rep.Epoch,
+				Deltas:   ed.Deltas,
+				Peerings: len(snap.Peerings),
+				Summary:  rep.Summary,
+			}
+			if entry.Deltas == nil {
+				entry.Deltas = []Delta{}
+			}
+			for _, sr := range rep.Stages {
+				if sr.Status == pipeline.StatusNotRun {
+					continue
+				}
+				entry.Stages = append(entry.Stages, journalStage{
+					Name: sr.Name, Status: string(sr.Status), InputHash: sr.InputHash, Degraded: sr.Degraded,
+				})
+			}
+			line, merr := json.Marshal(entry)
+			if merr != nil {
+				return fmt.Errorf("service: journal encode: %w", merr)
+			}
+			journal.Write(line)
+			journal.WriteByte('\n')
+			if ferr := journal.Flush(); ferr != nil {
+				return fmt.Errorf("service: journal flush: %w", ferr)
+			}
+		}
+		if d.cfg.EpochEvery > 0 && (d.cfg.Epochs == 0 || n+1 < d.cfg.Epochs) {
+			select {
+			case <-time.After(d.cfg.EpochEvery):
+			case <-d.stopCh:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package service
+
+import (
+	"sort"
+	"sync"
+
+	"cloudmap"
+	"cloudmap/internal/netblock"
+)
+
+// Peering is one row of the live map: a customer border interface and what
+// the pipeline currently believes about it. It is the unit of the query API
+// and of the delta stream.
+type Peering struct {
+	// CBI is the customer border interface address.
+	CBI string `json:"cbi"`
+	// ASN and Org identify the peer network.
+	ASN uint32 `json:"asn"`
+	Org string `json:"org,omitempty"`
+	// Group is the six-way §7.2 classification (Pb-nB, Pr-B-V, ...).
+	Group string `json:"group,omitempty"`
+	// Metro is the pinned metro code ("" when unpinned).
+	Metro string `json:"metro,omitempty"`
+	// VPI marks virtual private interconnections (§7.1).
+	VPI bool `json:"vpi,omitempty"`
+	// LowConfidence marks rows whose supporting dataset records were
+	// conflict-resolved by the hygiene layer.
+	LowConfidence bool `json:"low_confidence,omitempty"`
+	// FirstEpoch is the epoch the interface first appeared in the map. It
+	// is bookkeeping, not content: two rows differing only here are equal.
+	FirstEpoch uint64 `json:"first_epoch,omitempty"`
+
+	ip netblock.IP // numeric key for sorting and range queries
+}
+
+// sameAttrs reports whether two rows agree on everything the map asserts
+// (FirstEpoch excluded — it records when, not what).
+func (p Peering) sameAttrs(q Peering) bool {
+	return p.CBI == q.CBI && p.ASN == q.ASN && p.Org == q.Org &&
+		p.Group == q.Group && p.Metro == q.Metro && p.VPI == q.VPI &&
+		p.LowConfidence == q.LowConfidence
+}
+
+// Snapshot is the full peering map at the end of one epoch, sorted by CBI.
+type Snapshot struct {
+	Epoch    uint64    `json:"epoch"`
+	Peerings []Peering `json:"peerings"`
+
+	byCBI   map[netblock.IP]int
+	byAS    map[uint32][]int
+	byMetro map[string][]int
+}
+
+// SnapshotFrom extracts the peering map from a pipeline result.
+func SnapshotFrom(epoch uint64, res *cloudmap.Result) *Snapshot {
+	snap := &Snapshot{Epoch: epoch}
+	if res == nil || res.Verified == nil {
+		snap.index()
+		return snap
+	}
+	reg := res.System.Registry
+	if res.Hygiene != nil && res.Hygiene.Registry != nil {
+		reg = res.Hygiene.Registry
+	}
+	for cbi := range res.Verified.CBIs {
+		owner := res.Verified.OwnerASN[cbi]
+		if owner == 0 {
+			continue
+		}
+		p := Peering{
+			CBI:        cbi.String(),
+			ASN:        uint32(owner),
+			Org:        reg.OrgOf(owner),
+			FirstEpoch: epoch,
+			ip:         cbi,
+		}
+		if _, low := res.Verified.LowConfidence[cbi]; low {
+			p.LowConfidence = true
+		}
+		if res.Groups != nil {
+			p.Group = res.Groups.GroupOf[cbi]
+		}
+		if res.VPI != nil && res.VPI.IsVPI(cbi) {
+			p.VPI = true
+		}
+		if res.Pinning != nil {
+			if m, ok := res.Pinning.Metro[cbi]; ok {
+				p.Metro = reg.World.Metro(m).Code
+			}
+		}
+		snap.Peerings = append(snap.Peerings, p)
+	}
+	sort.Slice(snap.Peerings, func(i, j int) bool { return snap.Peerings[i].ip < snap.Peerings[j].ip })
+	snap.index()
+	return snap
+}
+
+func (s *Snapshot) index() {
+	s.byCBI = make(map[netblock.IP]int, len(s.Peerings))
+	s.byAS = map[uint32][]int{}
+	s.byMetro = map[string][]int{}
+	for i, p := range s.Peerings {
+		s.byCBI[p.ip] = i
+		s.byAS[p.ASN] = append(s.byAS[p.ASN], i)
+		if p.Metro != "" {
+			s.byMetro[p.Metro] = append(s.byMetro[p.Metro], i)
+		}
+	}
+}
+
+// ByCBI looks one interface up.
+func (s *Snapshot) ByCBI(ip netblock.IP) (Peering, bool) {
+	i, ok := s.byCBI[ip]
+	if !ok {
+		return Peering{}, false
+	}
+	return s.Peerings[i], true
+}
+
+// ByAS returns the AS's rows in CBI order.
+func (s *Snapshot) ByAS(asn uint32) []Peering {
+	return s.pick(s.byAS[asn])
+}
+
+// ByMetro returns the metro's rows in CBI order.
+func (s *Snapshot) ByMetro(code string) []Peering {
+	return s.pick(s.byMetro[code])
+}
+
+func (s *Snapshot) pick(idx []int) []Peering {
+	out := make([]Peering, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, s.Peerings[i])
+	}
+	return out
+}
+
+// Delta is one map change between two consecutive epochs.
+type Delta struct {
+	// Kind is "add", "remove", or "update".
+	Kind string `json:"kind"`
+	Peering
+	// Prev carries the previous row for updates.
+	Prev *Peering `json:"prev,omitempty"`
+}
+
+// EpochDeltas is the change set of one epoch, sorted by CBI.
+type EpochDeltas struct {
+	Epoch  uint64  `json:"epoch"`
+	Deltas []Delta `json:"deltas"`
+}
+
+// Diff computes next's changes relative to prev, sorted by CBI. Rows that
+// persist keep prev's FirstEpoch (carried into next in place, so the live
+// snapshot accumulates age correctly).
+func Diff(prev, next *Snapshot) *EpochDeltas {
+	ed := &EpochDeltas{Epoch: next.Epoch}
+	if prev == nil {
+		for _, p := range next.Peerings {
+			ed.Deltas = append(ed.Deltas, Delta{Kind: "add", Peering: p})
+		}
+		return ed
+	}
+	for i := range next.Peerings {
+		p := &next.Peerings[i]
+		old, ok := prev.ByCBI(p.ip)
+		if !ok {
+			ed.Deltas = append(ed.Deltas, Delta{Kind: "add", Peering: *p})
+			continue
+		}
+		p.FirstEpoch = old.FirstEpoch
+		if !p.sameAttrs(old) {
+			prevCopy := old
+			ed.Deltas = append(ed.Deltas, Delta{Kind: "update", Peering: *p, Prev: &prevCopy})
+		}
+	}
+	for _, old := range prev.Peerings {
+		if _, ok := next.ByCBI(old.ip); !ok {
+			ed.Deltas = append(ed.Deltas, Delta{Kind: "remove", Peering: old})
+		}
+	}
+	sort.Slice(ed.Deltas, func(i, j int) bool { return ed.Deltas[i].ip < ed.Deltas[j].ip })
+	return ed
+}
+
+// Store owns the live snapshot, the per-epoch delta history, and the watch
+// hub. All methods are safe for concurrent use: the epoch loop publishes
+// while API readers query and watchers stream.
+type Store struct {
+	mu      sync.RWMutex
+	current *Snapshot
+	history []*EpochDeltas // history[i].Epoch == i+1
+
+	subs map[chan *EpochDeltas]struct{}
+}
+
+// NewStore returns an empty store (no epoch published yet).
+func NewStore() *Store {
+	return &Store{subs: map[chan *EpochDeltas]struct{}{}}
+}
+
+// Publish installs the epoch's snapshot, records its deltas, and fans them
+// out to watchers. It returns the delta set. Snapshots must be published in
+// epoch order.
+func (st *Store) Publish(snap *Snapshot) *EpochDeltas {
+	st.mu.Lock()
+	ed := Diff(st.current, snap)
+	st.current = snap
+	st.history = append(st.history, ed)
+	subs := make([]chan *EpochDeltas, 0, len(st.subs))
+	for ch := range st.subs {
+		subs = append(subs, ch)
+	}
+	st.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ed:
+		default: // slow watcher: drop rather than stall the epoch loop
+		}
+	}
+	return ed
+}
+
+// Current returns the live snapshot (nil before the first epoch).
+func (st *Store) Current() *Snapshot {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.current
+}
+
+// DeltasSince returns every recorded delta set for epochs > since, oldest
+// first.
+func (st *Store) DeltasSince(since uint64) []*EpochDeltas {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []*EpochDeltas
+	for _, ed := range st.history {
+		if ed.Epoch > since {
+			out = append(out, ed)
+		}
+	}
+	return out
+}
+
+// Subscribe registers a watcher. The returned channel receives each future
+// epoch's deltas (buffered; slow consumers may miss epochs and should
+// reconcile via DeltasSince). cancel unregisters it.
+func (st *Store) Subscribe() (ch <-chan *EpochDeltas, cancel func()) {
+	c := make(chan *EpochDeltas, 16)
+	st.mu.Lock()
+	st.subs[c] = struct{}{}
+	st.mu.Unlock()
+	return c, func() {
+		st.mu.Lock()
+		delete(st.subs, c)
+		st.mu.Unlock()
+	}
+}

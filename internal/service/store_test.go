@@ -1,0 +1,137 @@
+package service
+
+import (
+	"testing"
+
+	"cloudmap/internal/netblock"
+)
+
+func ip(s string) netblock.IP {
+	v, err := netblock.ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func row(cbi string, asn uint32, group, metro string, first uint64) Peering {
+	return Peering{CBI: cbi, ASN: asn, Group: group, Metro: metro, FirstEpoch: first, ip: ip(cbi)}
+}
+
+func snapOf(epoch uint64, rows ...Peering) *Snapshot {
+	s := &Snapshot{Epoch: epoch, Peerings: rows}
+	s.index()
+	return s
+}
+
+func TestDiffKindsAndOrder(t *testing.T) {
+	prev := snapOf(1,
+		row("10.0.0.1", 100, "Pb-B", "fra", 1),
+		row("10.0.0.2", 200, "Pr-nB-nV", "lhr", 1),
+		row("10.0.0.3", 300, "Pr-B-nV", "ams", 1),
+	)
+	next := snapOf(2,
+		row("10.0.0.2", 201, "Pr-nB-nV", "lhr", 2), // re-homed: update
+		row("10.0.0.3", 300, "Pr-B-nV", "ams", 2),  // unchanged
+		row("10.0.0.4", 400, "Pb-nB", "sin", 2),    // new: add
+	)
+	ed := Diff(prev, next)
+	if ed.Epoch != 2 {
+		t.Fatalf("epoch = %d", ed.Epoch)
+	}
+	var got []string
+	for _, d := range ed.Deltas {
+		got = append(got, d.Kind+":"+d.CBI)
+	}
+	want := []string{"remove:10.0.0.1", "update:10.0.0.2", "add:10.0.0.4"}
+	if len(got) != len(want) {
+		t.Fatalf("deltas = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deltas = %v, want %v", got, want)
+		}
+	}
+	// The update carries the previous row.
+	if ed.Deltas[1].Prev == nil || ed.Deltas[1].Prev.ASN != 200 {
+		t.Fatalf("update prev = %+v", ed.Deltas[1].Prev)
+	}
+}
+
+func TestDiffCarriesFirstEpoch(t *testing.T) {
+	prev := snapOf(1, row("10.0.0.2", 200, "Pb-B", "fra", 1))
+	next := snapOf(5,
+		row("10.0.0.2", 200, "Pb-B", "fra", 5), // persists: FirstEpoch must stay 1
+		row("10.0.0.9", 900, "Pb-B", "fra", 5),
+	)
+	ed := Diff(prev, next)
+	if len(ed.Deltas) != 1 || ed.Deltas[0].Kind != "add" {
+		t.Fatalf("deltas = %+v", ed.Deltas)
+	}
+	if p, ok := next.ByCBI(ip("10.0.0.2")); !ok || p.FirstEpoch != 1 {
+		t.Fatalf("persisting row FirstEpoch = %d, want 1", p.FirstEpoch)
+	}
+	// FirstEpoch alone is not content: no update delta was emitted.
+	if p, _ := next.ByCBI(ip("10.0.0.9")); p.FirstEpoch != 5 {
+		t.Fatalf("new row FirstEpoch = %d, want 5", p.FirstEpoch)
+	}
+}
+
+func TestSnapshotIndexes(t *testing.T) {
+	s := snapOf(1,
+		row("10.0.0.1", 100, "Pb-B", "fra", 1),
+		row("10.0.0.2", 100, "Pb-B", "lhr", 1),
+		row("10.0.0.3", 300, "Pr-B-nV", "fra", 1),
+	)
+	if got := s.ByAS(100); len(got) != 2 || got[0].CBI != "10.0.0.1" || got[1].CBI != "10.0.0.2" {
+		t.Fatalf("ByAS = %+v", got)
+	}
+	if got := s.ByMetro("fra"); len(got) != 2 {
+		t.Fatalf("ByMetro = %+v", got)
+	}
+	if _, ok := s.ByCBI(ip("10.0.0.9")); ok {
+		t.Fatal("ByCBI found a missing row")
+	}
+}
+
+func TestStorePublishHistoryAndSubscribe(t *testing.T) {
+	st := NewStore()
+	ch, cancel := st.Subscribe()
+	defer cancel()
+
+	st.Publish(snapOf(1, row("10.0.0.1", 100, "Pb-B", "fra", 1)))
+	st.Publish(snapOf(2,
+		row("10.0.0.1", 100, "Pb-B", "fra", 2),
+		row("10.0.0.2", 200, "Pb-B", "lhr", 2),
+	))
+
+	if cur := st.Current(); cur == nil || cur.Epoch != 2 || len(cur.Peerings) != 2 {
+		t.Fatalf("current = %+v", st.Current())
+	}
+	all := st.DeltasSince(0)
+	if len(all) != 2 || len(all[0].Deltas) != 1 || len(all[1].Deltas) != 1 {
+		t.Fatalf("history = %+v", all)
+	}
+	if tail := st.DeltasSince(1); len(tail) != 1 || tail[0].Epoch != 2 {
+		t.Fatalf("since 1 = %+v", tail)
+	}
+	for want := uint64(1); want <= 2; want++ {
+		ed := <-ch
+		if ed.Epoch != want {
+			t.Fatalf("subscriber got epoch %d, want %d", ed.Epoch, want)
+		}
+	}
+}
+
+func TestChurnPlanValidate(t *testing.T) {
+	if _, err := ParseChurnPlan([]byte(`{"seed":1,"rehome_prefixes_per_epoch":-1}`)); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	p, err := ParseChurnPlan([]byte(`{"seed":7,"rehome_prefixes_per_epoch":2,"facility_tenant_moves_per_epoch":1,"dns_renames_per_epoch":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.RehomePrefixesPerEpoch != 2 {
+		t.Fatalf("plan = %+v", p)
+	}
+}

@@ -303,6 +303,34 @@ type pipeState struct {
 	// replays its degradation state along with its traces.
 	roundStats map[string]probe.CampaignStats
 	prevRounds map[string]probe.CampaignStats
+
+	// Epoch-mode fields (Session only; zero-valued under RunPipeline).
+	// epochMode switches the stage InputHash hooks on: each stage
+	// fingerprints its inputs so the runner can hash-skip stages whose
+	// inputs did not change between epochs.
+	epochMode bool
+	// stageHash holds this epoch's computed input hashes by stage name;
+	// downstream InputHash hooks fold upstream entries in (sound because
+	// every stage is a deterministic function of its inputs).
+	stageHash map[string]string
+	// dsHash maps dataset name -> content hash of its serialized form this
+	// epoch (set by datasetsInputHash before the datasets stage decides).
+	dsHash map[string]string
+	// corpus caches the serialization datasetsInputHash produced so the
+	// datasets stage does not serialize twice in one epoch.
+	corpus *datasets.Corpus
+	// lastAnnHash is the annotation-relevant dataset hash behind the
+	// current s.inf; the datasets stage only rebuilds the inference sink
+	// (forcing the campaign to re-run over the stored traces) when it
+	// changes.
+	lastAnnHash string
+	// probePlanNow / probeGate gate checkpoint replay per probing round:
+	// probePlanNow is this epoch's probing-plan hash (topology, fault and
+	// retry schedule, target set), probeGate the hash backing the round's
+	// on-disk checkpoint. A mismatch re-probes live instead of replaying a
+	// checkpoint recorded under different probing inputs.
+	probePlanNow map[string]string
+	probeGate    map[string]string
 }
 
 // degradationReport assembles the manifest's degradation section; nil when
@@ -378,17 +406,20 @@ func newRunner(reg *metrics.Registry) *pipeline.Runner[pipeState] {
 	r := pipeline.New[pipeState](reg)
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "topo-gen",
+		InputHash:       (*pipeState).topoGenHash,
 		ToleratePartial: true,
 		Run:             run((*pipeState).topoGen),
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "datasets",
+		InputHash:       (*pipeState).datasetsInputHash,
 		Needs:           []string{"topo-gen"},
 		ToleratePartial: true,
 		Run:             run((*pipeState).datasets),
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "campaign",
+		InputHash:       (*pipeState).campaignHash,
 		Needs:           []string{"datasets"},
 		ToleratePartial: true,
 		Resume:          resume((*pipeState).resumeCampaign),
@@ -396,12 +427,14 @@ func newRunner(reg *metrics.Registry) *pipeline.Runner[pipeState] {
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "border",
+		InputHash:       (*pipeState).borderHash,
 		Needs:           []string{"campaign"},
 		ToleratePartial: true,
 		Run:             run((*pipeState).borderSnapshot),
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "expansion",
+		InputHash:       (*pipeState).expansionHash,
 		Needs:           []string{"border"},
 		ToleratePartial: true,
 		Skip:            func(s *pipeState) bool { return s.cfg.SkipExpansion },
@@ -410,6 +443,7 @@ func newRunner(reg *metrics.Registry) *pipeline.Runner[pipeState] {
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "alias",
+		InputHash:       (*pipeState).aliasHash,
 		Needs:           []string{"expansion"},
 		ToleratePartial: true,
 		Skip:            func(s *pipeState) bool { return s.cfg.SkipAliasResolution },
@@ -417,51 +451,59 @@ func newRunner(reg *metrics.Registry) *pipeline.Runner[pipeState] {
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "verify",
+		InputHash:       (*pipeState).verifyHash,
 		Needs:           []string{"alias"},
 		ToleratePartial: true,
 		Run:             run((*pipeState).verify),
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "pinning",
+		InputHash:       (*pipeState).pinningHash,
 		Needs:           []string{"verify"},
 		ToleratePartial: true,
 		Run:             run((*pipeState).pinning),
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "vpi",
+		InputHash:       (*pipeState).vpiHash,
 		Needs:           []string{"expansion"},
 		ToleratePartial: true,
 		Run:             run((*pipeState).vpi),
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "classify",
+		InputHash:       (*pipeState).classifyHash,
 		Needs:           []string{"verify", "pinning", "vpi"},
 		ToleratePartial: true,
 		Run:             run((*pipeState).classify),
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "icg",
+		InputHash:       (*pipeState).icgHash,
 		Needs:           []string{"verify", "pinning"},
 		ToleratePartial: true,
 		Run:             run((*pipeState).icg),
 	})
 	r.Add(pipeline.Stage[pipeState]{
-		Name:  "bdrmap",
-		Needs: []string{"verify"},
-		Skip:  func(s *pipeState) bool { return s.cfg.SkipBdrmap },
-		Run:   run((*pipeState).bdrmapBaseline),
+		Name:      "bdrmap",
+		InputHash: (*pipeState).bdrmapHash,
+		Needs:     []string{"verify"},
+		Skip:      func(s *pipeState) bool { return s.cfg.SkipBdrmap },
+		Run:       run((*pipeState).bdrmapBaseline),
 	})
 	// invariants is the pre-report checker: it degrades the run when an
 	// inference output fails to cite surviving dataset records, instead of
 	// letting a silently-wrong report through.
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "invariants",
+		InputHash:       (*pipeState).invariantsHash,
 		Needs:           []string{"classify", "icg"},
 		ToleratePartial: true,
 		Run:             run((*pipeState).invariants),
 	})
 	r.Add(pipeline.Stage[pipeState]{
 		Name:            "evaluate",
+		InputHash:       (*pipeState).evaluateHash,
 		Needs:           []string{"invariants", "bdrmap"},
 		ToleratePartial: true,
 		Run:             run((*pipeState).evaluate),
@@ -503,7 +545,11 @@ func (s *pipeState) topoGen(_ context.Context, sc *pipeline.StageContext) error 
 // the round trip is faithful and the rebuilt registry annotates identically
 // to the original.
 func (s *pipeState) datasets(_ context.Context, sc *pipeline.StageContext) error {
-	corpus := datasets.Serialize(s.sys.Registry, s.cfg.Topology.Seed, s.cfg.Dirty)
+	corpus := s.corpus // serialized by datasetsInputHash in epoch mode
+	if corpus == nil {
+		corpus = datasets.Serialize(s.sys.Registry, s.cfg.Topology.Seed, s.cfg.Dirty)
+	}
+	s.corpus = nil
 	if dir := s.opts.DatasetsDir; dir != "" {
 		if err := corpus.WriteDir(dir); err != nil {
 			return err
@@ -512,7 +558,16 @@ func (s *pipeState) datasets(_ context.Context, sc *pipeline.StageContext) error
 	view := datasets.Load(corpus, s.sys.Registry.World)
 	s.hyg = view
 	s.res.Hygiene = view
-	s.inf = border.New(view.Registry, "amazon")
+	// In epoch mode the border-inference sink is rebuilt only when the
+	// datasets that annotate hops (RIB, WHOIS, IXPs, as2org, clouds)
+	// changed: a rebuild invalidates the accumulated inference and forces
+	// the campaign stage to re-run (replaying its checkpointed traces).
+	// Dataset churn elsewhere — facilities, relationships, cones, rDNS —
+	// leaves the inference intact so probing-derived stages hash-skip.
+	if ann := s.annotationHash(); !s.epochMode || s.inf == nil || s.lastAnnHash != ann {
+		s.inf = border.New(view.Registry, "amazon")
+		s.lastAnnHash = ann
+	}
 
 	rep := view.Report
 	sc.Counter("records-kept").Add(rep.TotalKept)
@@ -604,6 +659,14 @@ func (s *pipeState) probeRound(ctx context.Context, sc *pipeline.StageContext, s
 			err = fmt.Errorf("checkpoint %s: %w", s.checkpointPath(stage), cerr)
 		}
 	}
+	if err == nil && s.epochMode {
+		// The freshly written checkpoint now embodies this probing plan;
+		// later epochs with an unchanged plan may replay it.
+		if s.probeGate == nil {
+			s.probeGate = make(map[string]string)
+		}
+		s.probeGate[stage] = s.probePlanNow[stage]
+	}
 	s.recordRoundStats(sc, stage, stats)
 	return err
 }
@@ -650,6 +713,13 @@ func (s *pipeState) recordRoundStats(sc *pipeline.StageContext, stage string, st
 func (s *pipeState) resumeRound(stage string, sc *pipeline.StageContext, prepare func()) (bool, error) {
 	path := s.checkpointPath(stage)
 	if path == "" {
+		return false, nil
+	}
+	// Epoch mode: the checkpoint is only a faithful substitute for live
+	// probing while the probing plan (topology, fault/retry schedule,
+	// target set) that wrote it still holds. On mismatch — including epoch
+	// one, before any checkpoint was recorded — probe live and overwrite.
+	if s.epochMode && s.probePlanNow[stage] != s.probeGate[stage] {
 		return false, nil
 	}
 	sum, err := tracefile.ScanFile(path)

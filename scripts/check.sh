@@ -26,6 +26,44 @@ go test -run 'TestChaos' -timeout 10m .
 echo "==> hygiene smoke (dirty datasets + quarantine accounting)"
 go test -run 'TestHygiene|TestDegradationReportDatasetOnly|TestConfigHashDirtyPlan' -timeout 10m .
 
+echo "==> daemon smoke (cloudmapd one epoch + cloudmapctl + graceful SIGTERM)"
+SMOKE_DIR="${CLOUDMAPD_SMOKE_DIR:-$(mktemp -d)}"
+go build -o "$SMOKE_DIR/" ./cmd/cloudmapd ./cmd/cloudmapctl
+"$SMOKE_DIR/cloudmapd" -scale small -seed 1 -epochs 0 -epoch-every 1h \
+	-addr 127.0.0.1:0 -addr-file "$SMOKE_DIR/addr.txt" \
+	-checkpoint-dir "$SMOKE_DIR/ckpt" -epoch-journal "$SMOKE_DIR/epochs.jsonl" \
+	>"$SMOKE_DIR/cloudmapd.log" 2>&1 &
+CLOUDMAPD_PID=$!
+# Wait for the first epoch to publish (the status document reports it).
+for _ in $(seq 1 600); do
+	if [ -s "$SMOKE_DIR/addr.txt" ] &&
+		"$SMOKE_DIR/cloudmapctl" -addr "$(cat "$SMOKE_DIR/addr.txt")" -json status 2>/dev/null |
+		grep -q '"epoch": 1'; then
+		break
+	fi
+	if ! kill -0 "$CLOUDMAPD_PID" 2>/dev/null; then
+		echo "cloudmapd died during smoke:" >&2
+		cat "$SMOKE_DIR/cloudmapd.log" >&2
+		exit 1
+	fi
+	sleep 0.5
+done
+ADDR="$(cat "$SMOKE_DIR/addr.txt")"
+"$SMOKE_DIR/cloudmapctl" -addr "$ADDR" status
+"$SMOKE_DIR/cloudmapctl" -addr "$ADDR" peerings | head -5
+curl -fsS "http://$ADDR/v1/peerings" 2>/dev/null | grep -q '"cbi"'
+curl -fsS "http://$ADDR/metrics" >/dev/null
+# Graceful shutdown: SIGTERM drains, the journal is flushed, exit is clean.
+kill -TERM "$CLOUDMAPD_PID"
+SMOKE_RC=0
+wait "$CLOUDMAPD_PID" || SMOKE_RC=$?
+[ "$SMOKE_RC" -eq 0 ] || {
+	echo "cloudmapd exited $SMOKE_RC after SIGTERM" >&2
+	cat "$SMOKE_DIR/cloudmapd.log" >&2
+	exit 1
+}
+grep -q '"epoch":1' "$SMOKE_DIR/epochs.jsonl"
+
 echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
 go test -run '^$' -fuzz '^FuzzRead$' -fuzztime "${FUZZ_SECONDS}s" ./internal/tracefile
 go test -run '^$' -fuzz '^FuzzParseIP$' -fuzztime "${FUZZ_SECONDS}s" ./internal/netblock
