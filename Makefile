@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz chaos hygiene
+.PHONY: build test check bench fuzz chaos hygiene crash
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,13 @@ chaos:
 hygiene:
 	$(GO) test ./internal/datasets
 	$(GO) test -run 'TestHygiene|TestDegradationReportDatasetOnly|TestConfigHashDirtyPlan' -v -timeout 10m .
+
+# Crash-recovery smoke: SIGKILL cloudmapd mid-epoch, restart it on the
+# same -state-dir, and verify it recovers the map, continues the journal
+# gaplessly, and still shuts down cleanly (see scripts/crash_smoke.sh;
+# also part of 'make check').
+crash:
+	sh scripts/crash_smoke.sh
 
 fuzz:
 	sh scripts/check.sh 30

@@ -7,6 +7,9 @@
 //	cloudmapd [-scale small|medium|paper] [-seed N] [-workers N]
 //	          [-addr 127.0.0.1:7080] [-addr-file F]
 //	          [-epochs N] [-epoch-every 0s] [-churn-plan plan.json]
+//	          [-state-dir DIR] [-checkpoint-every N]
+//	          [-epoch-timeout 0s] [-epoch-retries 2] [-retry-backoff 1s]
+//	          [-history-limit N] [-watch-keepalive 30s]
 //	          [-checkpoint-dir DIR] [-epoch-journal j.jsonl]
 //	          [-drain-timeout 30s]
 //
@@ -22,6 +25,15 @@
 // The HTTP surface on -addr serves the query API (/v1/status,
 // /v1/peerings, /v1/deltas, /v1/watch) alongside the admin plane
 // (/metrics, /progress, /debug/pprof/). cloudmapctl is the CLI client.
+//
+// With -state-dir the daemon is crash-safe: every epoch is fsynced to a
+// CRC-framed journal before the loop advances, the store checkpoints every
+// -checkpoint-every epochs, and a daemon restarted on the same state dir —
+// even after kill -9 mid-epoch — rehydrates the published map, re-runs the
+// interrupted epoch, and continues the journal byte-identically to an
+// uninterrupted run. Failed epochs are retried with backoff and, once
+// -epoch-retries is exhausted, published degraded (previous map, empty
+// delta set) rather than killing the process.
 //
 // Shutdown is graceful: the first SIGINT/SIGTERM drains the in-flight
 // epoch, flushes the epoch journal and checkpoints, and gives in-flight
@@ -55,8 +67,15 @@ func main() {
 	epochs := flag.Int("epochs", 0, "stop after N epochs; 0 runs until signalled")
 	epochEvery := flag.Duration("epoch-every", 0, "wall-clock pause between epochs (scheduling only; results are virtual-time)")
 	churnPlan := flag.String("churn-plan", "", "evolve the world between epochs from this JSON plan (default: a moderate built-in plan; see testdata/churnplans)")
-	checkpointDir := flag.String("checkpoint-dir", "", "persist probing rounds here so dataset-only epochs replay instead of re-probing")
-	epochJournal := flag.String("epoch-journal", "", "append one deterministic JSON line per epoch (stage statuses, input hashes, map deltas) to this file")
+	stateDir := flag.String("state-dir", "", "keep all durable state (epoch journal, probing and store checkpoints) here; a restart on the same dir resumes where the previous process stopped")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "write a store checkpoint every N epochs (bounds recovery replay; 0 = 5 with -state-dir)")
+	epochTimeout := flag.Duration("epoch-timeout", 0, "per-epoch deadline; an epoch exceeding it fails and is retried (0 disables)")
+	epochRetries := flag.Int("epoch-retries", 2, "retries before a failed epoch is published degraded")
+	retryBackoff := flag.Duration("retry-backoff", time.Second, "pause before the first retry, doubling per retry")
+	historyLimit := flag.Int("history-limit", 0, "retain at most N epochs of deltas; older askers are told to resync (0 = unlimited)")
+	watchKeepalive := flag.Duration("watch-keepalive", 0, "SSE comment interval on idle /v1/watch streams (0 = 30s, negative disables)")
+	checkpointDir := flag.String("checkpoint-dir", "", "persist probing rounds here so dataset-only epochs replay instead of re-probing (superseded by -state-dir)")
+	epochJournal := flag.String("epoch-journal", "", "append one deterministic CRC-framed JSON line per epoch (stage statuses, input hashes, map deltas) to this file (superseded by -state-dir)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight HTTP requests at shutdown")
 	flag.Parse()
 
@@ -86,17 +105,29 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	daemon, err := service.New(service.Config{
-		Pipeline:      cfg,
-		Churn:         churn,
-		Epochs:        *epochs,
-		EpochEvery:    *epochEvery,
-		CheckpointDir: *checkpointDir,
-		JournalPath:   *epochJournal,
-		Metrics:       reg,
-		Progress:      obs.NewProgress(reg),
+		Pipeline:        cfg,
+		Churn:           churn,
+		Epochs:          *epochs,
+		EpochEvery:      *epochEvery,
+		StateDir:        *stateDir,
+		CheckpointEvery: *checkpointEvery,
+		EpochTimeout:    *epochTimeout,
+		EpochRetries:    *epochRetries,
+		RetryBackoff:    *retryBackoff,
+		HistoryLimit:    *historyLimit,
+		WatchKeepalive:  *watchKeepalive,
+		CheckpointDir:   *checkpointDir,
+		JournalPath:     *epochJournal,
+		Metrics:         reg,
+		Progress:        obs.NewProgress(reg),
+		Log:             log.New(os.Stderr, "cloudmapd: ", log.LstdFlags),
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rec := daemon.Recovery(); rec.Recovered {
+		fmt.Printf("cloudmapd recovered: resuming after epoch %d (checkpoint %d, %d journal records replayed)\n",
+			rec.LastEpoch, rec.CheckpointEpoch, rec.ReplayedEntries)
 	}
 
 	srv, err := obs.ServeHandler(*addr, daemon.Handler())

@@ -129,6 +129,12 @@ func (s *Session) System() *System { return s.sys }
 // zero before the first RunEpoch.
 func (s *Session) Epoch() uint64 { return s.epoch }
 
+// SetEpoch overrides the epoch counter, so the next RunEpoch runs as epoch
+// n+1. Two callers: a rehydrated daemon resuming numbering where its
+// journal left off, and the epoch supervisor rewinding before retrying a
+// failed epoch (a retry must not consume a fresh epoch number).
+func (s *Session) SetEpoch(n uint64) { s.epoch = n }
+
 // SetRegistry replaces the world's public-dataset registry before the next
 // epoch — the churn hook: cloudmapd derives each epoch's registry from the
 // previous one (re-homed prefixes, facility moves) and installs it here.

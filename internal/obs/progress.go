@@ -29,7 +29,14 @@ type Progress struct {
 	unbudgeted    atomic.Bool // retry budget unlimited (retriesLeft meaningless)
 	quarantined   atomic.Int64
 
+	// Daemon-mode epoch state (zero for one-shot runs; omitted from the
+	// /progress document when unset).
+	epoch         atomic.Uint64
+	degraded      atomic.Int64
+	recoveredFrom atomic.Uint64
+
 	gStageIdx, gStageTotal, gTracesDone, gTracesPlanned, gRetriesLeft, gQuarantined *metrics.Gauge
+	gEpoch, gDegraded, gRecoveredFrom                                              *metrics.Gauge
 }
 
 // NewProgress returns a Progress mirroring into reg (nil reg is allowed:
@@ -45,6 +52,9 @@ func NewProgress(reg *metrics.Registry) *Progress {
 		gTracesPlanned: reg.Gauge("progress.traces_planned"),
 		gRetriesLeft:   reg.Gauge("progress.retry_budget_remaining"),
 		gQuarantined:   reg.Gauge("progress.quarantined_records"),
+		gEpoch:         reg.Gauge("progress.epoch"),
+		gDegraded:      reg.Gauge("progress.epochs_degraded"),
+		gRecoveredFrom: reg.Gauge("progress.recovered_from_epoch"),
 	}
 	p.unbudgeted.Store(true)
 	return p
@@ -97,6 +107,34 @@ func (p *Progress) RetrySpent() {
 	p.gRetriesLeft.Set(float64(p.retriesLeft.Add(-1)))
 }
 
+// SetEpoch records the daemon's last published epoch.
+func (p *Progress) SetEpoch(n uint64) {
+	if p == nil {
+		return
+	}
+	p.epoch.Store(n)
+	p.gEpoch.Set(float64(n))
+}
+
+// EpochDegraded counts an epoch the supervisor published degraded (retries
+// exhausted; the previous map republished under the new epoch number).
+func (p *Progress) EpochDegraded() {
+	if p == nil {
+		return
+	}
+	p.gDegraded.Set(float64(p.degraded.Add(1)))
+}
+
+// SetRecoveredFrom records the epoch a restarted daemon rehydrated up to
+// (0 = fresh start, no recovery happened).
+func (p *Progress) SetRecoveredFrom(n uint64) {
+	if p == nil {
+		return
+	}
+	p.recoveredFrom.Store(n)
+	p.gRecoveredFrom.Set(float64(n))
+}
+
 // AddQuarantined counts dataset records the hygiene layer rejected.
 func (p *Progress) AddQuarantined(n int64) {
 	if p == nil {
@@ -116,6 +154,10 @@ type ProgressSnapshot struct {
 	// budget is unlimited.
 	RetriesLeft int64 `json:"retries_left"`
 	Quarantined int64 `json:"quarantined_records"`
+	// Daemon-mode fields, omitted for one-shot runs.
+	Epoch          uint64 `json:"epoch,omitempty"`
+	EpochsDegraded int64  `json:"epochs_degraded,omitempty"`
+	RecoveredFrom  uint64 `json:"recovered_from_epoch,omitempty"`
 }
 
 // Snapshot captures the current progress state.
@@ -129,6 +171,9 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	s.TracesDone = p.tracesDone.Load()
 	s.TracesPlanned = p.tracesPlanned.Load()
 	s.Quarantined = p.quarantined.Load()
+	s.Epoch = p.epoch.Load()
+	s.EpochsDegraded = p.degraded.Load()
+	s.RecoveredFrom = p.recoveredFrom.Load()
 	if p.unbudgeted.Load() {
 		s.RetriesLeft = -1
 	} else {

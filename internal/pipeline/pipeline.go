@@ -23,12 +23,27 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"cloudmap/internal/metrics"
 	"cloudmap/internal/obs"
 )
+
+// StagePanicError is the error a panicking stage is converted into: the
+// runner recovers the panic, records the stage as failed, and marks the
+// remaining stages not-run — a long-running caller (the resident daemon)
+// survives a buggy stage instead of dying mid-epoch. The recovered value
+// and the goroutine stack ride along for the supervisor's log; the stack
+// never enters deterministic artefacts (it contains addresses).
+type StagePanicError struct {
+	Stage string
+	Value any
+	Stack []byte
+}
+
+func (e *StagePanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
 
 // Stage is one named unit of work over the shared state S.
 type Stage[S any] struct {
@@ -335,16 +350,9 @@ func (r *Runner[S]) Run(ctx context.Context, s *S, opts Options) ([]StageResult,
 		start := time.Now()
 
 		status := StatusOK
-		var stageErr error
-		resumed := false
-		if opts.Resume && st.Resume != nil {
-			resumed, stageErr = st.Resume(ctx, s, sc)
-			if resumed && stageErr == nil {
-				status = StatusResumed
-			}
-		}
-		if stageErr == nil && !resumed {
-			stageErr = st.Run(ctx, s, sc)
+		resumed, stageErr := invokeStage(ctx, st, s, sc, opts.Resume)
+		if resumed && stageErr == nil {
+			status = StatusResumed
 		}
 
 		wall := time.Since(start)
@@ -384,4 +392,24 @@ func (r *Runner[S]) Run(ctx context.Context, s *S, opts Options) ([]StageResult,
 	}
 	run.End(obs.Attrs{"status": "ok"})
 	return results, nil
+}
+
+// invokeStage runs the stage's Resume (when enabled) and Run hooks with
+// panic containment: a panic in either hook is recovered into a
+// *StagePanicError, so a misbehaving stage degrades the run — failed
+// stage, downstream not-run — rather than crashing the process.
+func invokeStage[S any](ctx context.Context, st *Stage[S], s *S, sc *StageContext, resume bool) (resumed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resumed = false
+			err = &StagePanicError{Stage: st.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if resume && st.Resume != nil {
+		resumed, err = st.Resume(ctx, s, sc)
+		if resumed || err != nil {
+			return resumed, err
+		}
+	}
+	return false, st.Run(ctx, s, sc)
 }

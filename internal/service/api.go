@@ -3,8 +3,10 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"cloudmap/internal/netblock"
 	"cloudmap/internal/obs"
@@ -35,6 +37,14 @@ type DeltasReply struct {
 	Since  uint64         `json:"since"`
 	Epoch  uint64         `json:"epoch"`
 	Epochs []*EpochDeltas `json:"epochs"`
+}
+
+// ResyncReply is the 410 Gone document for delta requests older than the
+// retained history: the increments are lost, re-fetch /v1/peerings and
+// resume watching from Epoch.
+type ResyncReply struct {
+	Resync bool   `json:"resync"`
+	Epoch  uint64 `json:"epoch"`
 }
 
 // Handler builds the daemon's full HTTP surface: the query API under /v1/
@@ -119,7 +129,17 @@ func (d *Daemon) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		}
 		since = v
 	}
-	reply := DeltasReply{Since: since, Epoch: d.Epoch(), Epochs: d.store.DeltasSince(since)}
+	eds, ok := d.store.DeltasSince(since)
+	if !ok {
+		// The retention limit dropped epochs the caller would need; a
+		// partial answer would silently skip changes. 410 Gone + an explicit
+		// resync document beats pretending.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		json.NewEncoder(w).Encode(ResyncReply{Resync: true, Epoch: d.Epoch()})
+		return
+	}
+	reply := DeltasReply{Since: since, Epoch: d.Epoch(), Epochs: eds}
 	if reply.Epochs == nil {
 		reply.Epochs = []*EpochDeltas{}
 	}
@@ -130,6 +150,13 @@ func (d *Daemon) handleDeltas(w http.ResponseWriter, r *http.Request) {
 // `event: epoch` per completed epoch with the EpochDeltas JSON as data.
 // Past epochs (from ?since=N, default: all recorded) replay first, then the
 // stream goes live until the client disconnects or the server shuts down.
+//
+// Hardening: a periodic SSE comment keepalive keeps idle connections open
+// through proxies and surfaces dead peers as write errors; a subscriber
+// that stalls long enough to overflow its bounded buffer is evicted by the
+// store, and the handler then sends `event: resync` and ends the stream —
+// the client re-fetches /v1/peerings and reconnects. The same resync event
+// answers a replay request older than the retained delta history.
 func (d *Daemon) handleWatch(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -170,10 +197,34 @@ func (d *Daemon) handleWatch(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 		return nil
 	}
-	for _, ed := range d.store.DeltasSince(since) {
-		if err := emit(ed); err != nil {
-			return
+	resync := func() {
+		fmt.Fprintf(w, "event: resync\ndata: {\"resync\":true,\"epoch\":%d}\n\n", d.Epoch())
+		fl.Flush()
+	}
+	catchUp := func() (alive bool) {
+		eds, ok := d.store.DeltasSince(sent)
+		if !ok {
+			// The requested (or fallen-behind) position predates the
+			// retained history: incremental catch-up is impossible.
+			resync()
+			return false
 		}
+		for _, ed := range eds {
+			if err := emit(ed); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if !catchUp() {
+		return
+	}
+
+	var keepalive <-chan time.Time
+	if d.cfg.WatchKeepalive > 0 {
+		t := time.NewTicker(d.cfg.WatchKeepalive)
+		defer t.Stop()
+		keepalive = t.C
 	}
 	for {
 		select {
@@ -181,16 +232,25 @@ func (d *Daemon) handleWatch(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-d.Done():
 			return
+		case <-keepalive:
+			// SSE comment line: ignored by clients, but keeps intermediaries
+			// from idling the connection out and turns a dead peer into a
+			// prompt write error instead of a leaked handler.
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
 		case _, ok := <-live:
 			if !ok {
+				// Evicted: the store closed our subscription because this
+				// client stalled past its buffer. Tell it to start over.
+				resync()
 				return
 			}
 			// Re-read from the store rather than trusting the notification
-			// alone: a watcher whose buffer overflowed catches up here.
-			for _, ed := range d.store.DeltasSince(sent) {
-				if err := emit(ed); err != nil {
-					return
-				}
+			// alone: a watcher that skipped notifications catches up here.
+			if !catchUp() {
+				return
 			}
 		}
 	}

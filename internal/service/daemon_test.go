@@ -179,8 +179,12 @@ func TestJournalByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	if strings.Count(j1, "\n") != 2 {
 		t.Fatalf("journal lines = %d, want 2", strings.Count(j1, "\n"))
 	}
-	// Every line decodes and carries scheduling hashes.
+	// Every line is CRC-framed, decodes, and carries scheduling hashes.
 	for _, line := range strings.Split(strings.TrimSpace(j1), "\n") {
+		payload, err := parseWALLine([]byte(line))
+		if err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
 		var e struct {
 			Epoch  uint64 `json:"epoch"`
 			Stages []struct {
@@ -188,7 +192,7 @@ func TestJournalByteIdenticalAcrossWorkerCounts(t *testing.T) {
 				InputHash    string `json:"input_hash"`
 			} `json:"stages"`
 		}
-		if err := json.Unmarshal([]byte(line), &e); err != nil {
+		if err := json.Unmarshal(payload, &e); err != nil {
 			t.Fatal(err)
 		}
 		if len(e.Stages) == 0 {
@@ -210,7 +214,10 @@ func TestDeltasReconstructFinalSnapshot(t *testing.T) {
 	if err := d.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	history := d.Store().DeltasSince(0)
+	history, ok := d.Store().DeltasSince(0)
+	if !ok {
+		t.Fatal("DeltasSince(0) reported a resync with no retention limit set")
+	}
 	if len(history) != 3 {
 		t.Fatalf("history epochs = %d", len(history))
 	}

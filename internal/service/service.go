@@ -1,11 +1,14 @@
 package service
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -22,22 +25,72 @@ type Config struct {
 	// Churn is the deterministic between-epoch world evolution; nil holds
 	// the world fixed (every epoch after the first hash-skips everything).
 	Churn *ChurnPlan
-	// Epochs caps the run; 0 means run until stopped.
+	// Epochs is the total epoch target — the daemon stops once the journal
+	// holds this many epochs, counting epochs from prior runs of the same
+	// state dir, so a restarted daemon converges on the same journal an
+	// uninterrupted run produces. 0 means run until stopped.
 	Epochs int
 	// EpochEvery is the wall-clock pause between epochs. Zero runs them
 	// back to back. The pause is scheduling only — epoch numbering and
 	// every result are virtual-time, so the interval never affects output.
 	EpochEvery time.Duration
-	// CheckpointDir persists probing rounds for cross-epoch replay.
+	// StateDir, when set, lays out all durable state under one directory:
+	// the epoch journal (epochs.wal), probing checkpoints (probes/), and
+	// periodic store checkpoints (checkpoint-*.ckpt). It overrides
+	// JournalPath and CheckpointDir. A daemon restarted on the same
+	// StateDir resumes exactly where the previous process stopped — see
+	// recover.go.
+	StateDir string
+	// CheckpointEvery writes a store checkpoint every N epochs (bounding
+	// recovery replay). 0 defaults to 5 when StateDir is set; ignored
+	// without a StateDir.
+	CheckpointEvery int
+	// CheckpointDir persists probing rounds for cross-epoch replay
+	// (superseded by StateDir).
 	CheckpointDir string
-	// JournalPath, when non-empty, appends one deterministic JSON line per
-	// epoch (stage statuses + input hashes + deltas; no wall-clock
-	// material), flushed at every epoch and on shutdown.
+	// JournalPath, when non-empty, appends one CRC-framed deterministic
+	// JSON line per epoch (stage statuses + input hashes + deltas; no
+	// wall-clock material), fsynced at every epoch (superseded by
+	// StateDir). An existing journal is continued, not truncated.
 	JournalPath string
+	// EpochTimeout bounds one epoch attempt; an attempt that exceeds it
+	// fails and is retried like any other epoch failure. 0 disables.
+	EpochTimeout time.Duration
+	// EpochRetries is how many times a failed epoch is retried (same epoch
+	// number) before the supervisor gives up and publishes the epoch
+	// degraded. 0 means no retries.
+	EpochRetries int
+	// RetryBackoff is the pause before the first retry, doubling per
+	// subsequent retry. 0 retries immediately.
+	RetryBackoff time.Duration
+	// HistoryLimit caps the retained delta history; clients asking for
+	// deltas older than the horizon are told to resync. 0 keeps everything.
+	HistoryLimit int
+	// WatchBuffer is the per-subscriber delta buffer; a watcher that falls
+	// this many epochs behind is evicted. 0 defaults to 16.
+	WatchBuffer int
+	// WatchKeepalive is the SSE comment-ping interval keeping idle watch
+	// connections alive through proxies and detecting dead peers. 0
+	// defaults to 30s; negative disables.
+	WatchKeepalive time.Duration
 	// Metrics and Progress wire the admin plane; nil values are created.
 	Metrics  *metrics.Registry
 	Progress *obs.Progress
+	// Log receives supervision and recovery events (never journal
+	// material); nil discards.
+	Log *log.Logger
+
+	// testEpochErr, when set, injects a failure before an epoch attempt
+	// (package tests only — the deterministic pipeline cannot be made to
+	// fail on demand). Return nil to let the attempt run.
+	testEpochErr func(epoch uint64, attempt int) error
 }
+
+const (
+	defaultCheckpointEvery = 5
+	defaultWatchKeepalive  = 30 * time.Second
+	journalKindFailure     = "epoch-failed"
+)
 
 // journalStage is the journal's projection of a stage result: scheduling
 // outcome only, none of StageResult's wall-clock or allocation telemetry,
@@ -49,24 +102,55 @@ type journalStage struct {
 	Degraded  bool   `json:"degraded,omitempty"`
 }
 
-// journalEntry is one epoch's journal line.
+// journalEntry is one epoch's journal line: the authoritative record of what
+// the epoch published. Failed marks an epoch whose retries were exhausted —
+// the previous map republished under the new number, deltas empty.
 type journalEntry struct {
 	Epoch    uint64             `json:"epoch"`
+	Failed   bool               `json:"failed,omitempty"`
 	Stages   []journalStage     `json:"stages"`
 	Deltas   []Delta            `json:"deltas"`
 	Peerings int                `json:"peerings"`
 	Summary  map[string]float64 `json:"summary,omitempty"`
 }
 
+// journalFailure is the journal's record of one failed epoch attempt. It
+// documents supervision (what failed, which attempt) and is skipped when the
+// journal is replayed for map state.
+type journalFailure struct {
+	Kind    string         `json:"kind"` // journalKindFailure
+	Epoch   uint64         `json:"epoch"`
+	Attempt int            `json:"attempt"`
+	Error   string         `json:"error"`
+	Stages  []journalStage `json:"stages,omitempty"`
+}
+
 // Daemon is the resident service: a Session advanced epoch by epoch, a
-// Store serving the live map, and an epoch journal. Run drives the loop;
-// Stop drains it gracefully (the in-flight epoch completes, the journal
-// flushes); cancelling Run's context aborts the in-flight epoch instead.
+// Store serving the live map, and a crash-safe epoch journal. Run drives
+// the supervised loop; Stop drains it gracefully (the in-flight epoch
+// completes, its record reaches disk); cancelling Run's context aborts the
+// in-flight epoch instead.
 type Daemon struct {
 	cfg     Config
 	session *cloudmap.Session
 	store   *Store
 	reg     *metrics.Registry
+	log     *log.Logger
+
+	journalPath string
+	ckptDir     string
+	wal         *WAL
+	recovery    RecoveryInfo
+	lastJournal *journalEntry // newest durable epoch record (nil on fresh start)
+
+	cEpochsCompleted *metrics.Counter
+	cEpochFailures   *metrics.Counter
+	cEpochRetries    *metrics.Counter
+	cEpochsDegraded  *metrics.Counter
+	cCheckpoints     *metrics.Counter
+	cWatchEvictions  *metrics.Counter
+	cTornTails       *metrics.Counter
+	gRecoveredEpoch  *metrics.Gauge
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -75,8 +159,9 @@ type Daemon struct {
 	lastReport *cloudmap.EpochReport
 }
 
-// New builds the daemon: world generation happens here, the first epoch in
-// Run.
+// New builds the daemon: world generation happens here, and — when the
+// journal (or state dir) holds a prior run — so does store rehydration. The
+// first epoch (or the recovery warm-up) runs in Run.
 func New(cfg Config) (*Daemon, error) {
 	if cfg.Churn != nil {
 		if err := cfg.Churn.Validate(); err != nil {
@@ -89,15 +174,57 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Progress == nil {
 		cfg.Progress = obs.NewProgress(cfg.Metrics)
 	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	if cfg.WatchKeepalive == 0 {
+		cfg.WatchKeepalive = defaultWatchKeepalive
+	}
+	journalPath, probeDir, ckptDir := cfg.JournalPath, cfg.CheckpointDir, ""
+	if cfg.StateDir != "" {
+		probeDir = filepath.Join(cfg.StateDir, "probes")
+		if err := os.MkdirAll(probeDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: state dir: %w", err)
+		}
+		journalPath = filepath.Join(cfg.StateDir, "epochs.wal")
+		ckptDir = cfg.StateDir
+		if cfg.CheckpointEvery == 0 {
+			cfg.CheckpointEvery = defaultCheckpointEvery
+		}
+	}
 	session, err := cloudmap.NewSession(cfg.Pipeline, cloudmap.SessionOptions{
-		CheckpointDir: cfg.CheckpointDir,
+		CheckpointDir: probeDir,
 		Metrics:       cfg.Metrics,
 		Progress:      cfg.Progress,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Daemon{cfg: cfg, session: session, store: NewStore(), reg: cfg.Metrics, stopCh: make(chan struct{})}, nil
+	store := NewStore()
+	store.historyLimit = cfg.HistoryLimit
+	if cfg.WatchBuffer > 0 {
+		store.watchBuf = cfg.WatchBuffer
+	}
+	d := &Daemon{
+		cfg: cfg, session: session, store: store, reg: cfg.Metrics, log: cfg.Log,
+		journalPath: journalPath, ckptDir: ckptDir,
+
+		cEpochsCompleted: cfg.Metrics.Counter("service.epochs_completed"),
+		cEpochFailures:   cfg.Metrics.Counter("service.epoch_failures"),
+		cEpochRetries:    cfg.Metrics.Counter("service.epoch_retries"),
+		cEpochsDegraded:  cfg.Metrics.Counter("service.epochs_degraded"),
+		cCheckpoints:     cfg.Metrics.Counter("service.checkpoints_written"),
+		cWatchEvictions:  cfg.Metrics.Counter("service.watch_evictions"),
+		cTornTails:       cfg.Metrics.Counter("service.journal_torn_tails"),
+		gRecoveredEpoch:  cfg.Metrics.Gauge("service.recovered_from_epoch"),
+
+		stopCh: make(chan struct{}),
+	}
+	store.onEvict = func() { d.cWatchEvictions.Inc() }
+	if err := d.rehydrate(); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Store exposes the live peering map.
@@ -121,7 +248,7 @@ func (d *Daemon) LastReport() *cloudmap.EpochReport {
 }
 
 // Stop requests a graceful drain: the in-flight epoch finishes, its results
-// publish, the journal flushes, and Run returns nil. Safe to call from any
+// publish and reach the journal, and Run returns nil. Safe to call from any
 // goroutine, repeatedly.
 func (d *Daemon) Stop() {
 	d.stopOnce.Do(func() { close(d.stopCh) })
@@ -130,33 +257,40 @@ func (d *Daemon) Stop() {
 // Done closes when the daemon is stopping (Stop called or Run returned).
 func (d *Daemon) Done() <-chan struct{} { return d.stopCh }
 
-// Run executes the epoch loop until the configured epoch count is reached,
-// Stop is called, or ctx is cancelled (which aborts the in-flight epoch and
-// is the hard path — prefer Stop). Always flushes the journal before
-// returning.
+// Run executes the supervised epoch loop until the configured epoch target
+// is reached, Stop is called, or ctx is cancelled (which aborts the
+// in-flight epoch and is the hard path — prefer Stop). Every published
+// epoch is durable before the loop advances: its journal record is fsynced,
+// so kill -9 at any instant loses at most the epoch in flight, which the
+// next Run regenerates bit-for-bit.
 func (d *Daemon) Run(ctx context.Context) (err error) {
 	// Whatever ends the loop, leave the daemon in the stopped state so
 	// streaming watchers (which select on Done) unblock and the HTTP
 	// server can drain.
 	defer d.Stop()
-	var journal *bufio.Writer
-	if d.cfg.JournalPath != "" {
-		f, ferr := os.Create(d.cfg.JournalPath)
-		if ferr != nil {
-			return fmt.Errorf("service: journal: %w", ferr)
+	if d.journalPath != "" {
+		wal, _, _, werr := openWAL(d.journalPath)
+		if werr != nil {
+			return werr
 		}
-		journal = bufio.NewWriter(f)
+		d.wal = wal
 		defer func() {
-			if jerr := journal.Flush(); err == nil && jerr != nil {
-				err = fmt.Errorf("service: journal flush: %w", jerr)
-			}
-			if cerr := f.Close(); err == nil && cerr != nil {
+			if cerr := wal.Close(); err == nil && cerr != nil {
 				err = fmt.Errorf("service: journal close: %w", cerr)
 			}
 		}()
 	}
+	if d.lastJournal != nil {
+		if d.cfg.Epochs > 0 && d.lastJournal.Epoch >= uint64(d.cfg.Epochs) {
+			// Target already durable: nothing to run, so skip the warm-up
+			// and let the loop condition see the resumed numbering.
+			d.session.SetEpoch(d.lastJournal.Epoch)
+		} else if err := d.warmUp(ctx); err != nil {
+			return err
+		}
+	}
 
-	for n := 0; d.cfg.Epochs == 0 || n < d.cfg.Epochs; n++ {
+	for d.cfg.Epochs == 0 || d.session.Epoch() < uint64(d.cfg.Epochs) {
 		select {
 		case <-d.stopCh:
 			return nil
@@ -164,23 +298,54 @@ func (d *Daemon) Run(ctx context.Context) (err error) {
 			return ctx.Err()
 		default:
 		}
-		if n > 0 && d.cfg.Churn != nil {
+		epoch := d.session.Epoch() + 1
+		if epoch > 1 && d.cfg.Churn != nil {
 			// Derive this epoch's world from the previous registry — churn
-			// compounds, as real dataset drift does.
-			d.session.SetRegistry(d.cfg.Churn.Apply(d.session.System().Registry, d.session.Epoch()+1))
+			// compounds, as real dataset drift does. Applied once per epoch
+			// number: retries re-run the epoch against the same world.
+			d.session.SetRegistry(d.cfg.Churn.Apply(d.session.System().Registry, epoch))
 		}
-		res, rep, runErr := d.session.RunEpoch(ctx)
+
+		res, rep, degraded, runErr := d.superviseEpoch(ctx, epoch)
+		if errors.Is(runErr, errStopped) {
+			return nil // graceful Stop during a retry backoff
+		}
 		if runErr != nil {
 			return runErr
 		}
-		snap := SnapshotFrom(rep.Epoch, res)
+
+		var snap *Snapshot
+		if degraded {
+			// Retries exhausted: republish the previous map under the new
+			// epoch number (empty delta set) rather than dying or going
+			// dark. The journal records the epoch as failed; the next epoch
+			// re-runs every stage (RunEpoch dropped their hashes) and may
+			// recover.
+			snap = &Snapshot{Epoch: epoch}
+			if prev := d.store.Current(); prev != nil {
+				// Copy: Diff mutates next's rows in place, and the previous
+				// snapshot remains reachable through the history.
+				snap.Peerings = append([]Peering(nil), prev.Peerings...)
+			}
+			snap.index()
+			d.cEpochsDegraded.Inc()
+			d.cfg.Progress.EpochDegraded()
+			d.log.Printf("epoch %d degraded after %d attempts: republishing previous map", epoch, 1+d.cfg.EpochRetries)
+		} else {
+			snap = SnapshotFrom(rep.Epoch, res)
+			d.cEpochsCompleted.Inc()
+		}
 		ed := d.store.Publish(snap)
 		d.mu.Lock()
 		d.lastReport = rep
 		d.mu.Unlock()
-		if journal != nil {
+		d.cfg.Progress.SetEpoch(epoch)
+
+		if d.wal != nil {
 			entry := journalEntry{
-				Epoch:    rep.Epoch,
+				Epoch:    epoch,
+				Failed:   degraded,
+				Stages:   journalStages(rep),
 				Deltas:   ed.Deltas,
 				Peerings: len(snap.Peerings),
 				Summary:  rep.Summary,
@@ -188,25 +353,24 @@ func (d *Daemon) Run(ctx context.Context) (err error) {
 			if entry.Deltas == nil {
 				entry.Deltas = []Delta{}
 			}
-			for _, sr := range rep.Stages {
-				if sr.Status == pipeline.StatusNotRun {
-					continue
-				}
-				entry.Stages = append(entry.Stages, journalStage{
-					Name: sr.Name, Status: string(sr.Status), InputHash: sr.InputHash, Degraded: sr.Degraded,
-				})
-			}
 			line, merr := json.Marshal(entry)
 			if merr != nil {
 				return fmt.Errorf("service: journal encode: %w", merr)
 			}
-			journal.Write(line)
-			journal.WriteByte('\n')
-			if ferr := journal.Flush(); ferr != nil {
-				return fmt.Errorf("service: journal flush: %w", ferr)
+			if aerr := d.wal.Append(line); aerr != nil {
+				return aerr
 			}
 		}
-		if d.cfg.EpochEvery > 0 && (d.cfg.Epochs == 0 || n+1 < d.cfg.Epochs) {
+		if d.ckptDir != "" && d.cfg.CheckpointEvery > 0 && epoch%uint64(d.cfg.CheckpointEvery) == 0 {
+			if ck := d.store.checkpointState(); ck != nil {
+				if cerr := writeCheckpoint(d.ckptDir, ck); cerr != nil {
+					return cerr
+				}
+				d.cCheckpoints.Inc()
+			}
+		}
+
+		if d.cfg.EpochEvery > 0 && (d.cfg.Epochs == 0 || d.session.Epoch() < uint64(d.cfg.Epochs)) {
 			select {
 			case <-time.After(d.cfg.EpochEvery):
 			case <-d.stopCh:
@@ -217,4 +381,97 @@ func (d *Daemon) Run(ctx context.Context) (err error) {
 		}
 	}
 	return nil
+}
+
+// superviseEpoch runs one epoch under the supervision policy: each attempt
+// is deadline-bounded and panic-contained (the pipeline converts stage
+// panics to errors); a failed attempt is journaled, backed off, and retried
+// with the same epoch number up to EpochRetries times. degraded reports
+// that every attempt failed and the caller must publish the previous map.
+// A non-nil error is fatal (context cancelled, journal unwritable) and
+// stops the daemon.
+func (d *Daemon) superviseEpoch(ctx context.Context, epoch uint64) (res *cloudmap.Result, rep *cloudmap.EpochReport, degraded bool, err error) {
+	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			// Rewind the counter the failed attempt consumed: a retry must
+			// run as the same epoch, not a fresh one.
+			d.session.SetEpoch(epoch - 1)
+			d.cEpochRetries.Inc()
+		}
+		var runErr error
+		res, rep, runErr = d.attemptEpoch(ctx, epoch, attempt)
+		if runErr == nil {
+			return res, rep, false, nil
+		}
+		if ctx.Err() != nil {
+			// The parent context died (hard abort), not the per-epoch
+			// deadline: stop, don't retry.
+			return nil, nil, false, runErr
+		}
+		d.cEpochFailures.Inc()
+		d.log.Printf("epoch %d attempt %d/%d failed: %v", epoch, attempt, 1+d.cfg.EpochRetries, runErr)
+		if d.wal != nil {
+			rec := journalFailure{Kind: journalKindFailure, Epoch: epoch, Attempt: attempt, Error: runErr.Error(), Stages: journalStages(rep)}
+			line, merr := json.Marshal(rec)
+			if merr != nil {
+				return nil, nil, false, fmt.Errorf("service: journal encode: %w", merr)
+			}
+			if aerr := d.wal.Append(line); aerr != nil {
+				return nil, nil, false, aerr
+			}
+		}
+		if attempt > d.cfg.EpochRetries {
+			return nil, rep, true, nil
+		}
+		if d.cfg.RetryBackoff > 0 {
+			backoff := d.cfg.RetryBackoff << (attempt - 1)
+			select {
+			case <-time.After(backoff):
+			case <-d.stopCh:
+				return nil, nil, false, errStopped
+			case <-ctx.Done():
+				return nil, nil, false, ctx.Err()
+			}
+		}
+	}
+}
+
+// errStopped marks a graceful Stop arriving during a retry backoff; Run
+// translates it to a clean nil return.
+var errStopped = errors.New("service: stopped")
+
+// attemptEpoch runs one epoch attempt under the per-epoch deadline.
+func (d *Daemon) attemptEpoch(ctx context.Context, epoch uint64, attempt int) (*cloudmap.Result, *cloudmap.EpochReport, error) {
+	if d.cfg.testEpochErr != nil {
+		if terr := d.cfg.testEpochErr(epoch, attempt); terr != nil {
+			// Consume the epoch number the way a failed RunEpoch would.
+			d.session.SetEpoch(epoch)
+			return nil, &cloudmap.EpochReport{Epoch: epoch}, terr
+		}
+	}
+	ectx := ctx
+	if d.cfg.EpochTimeout > 0 {
+		var cancel context.CancelFunc
+		ectx, cancel = context.WithTimeout(ctx, d.cfg.EpochTimeout)
+		defer cancel()
+	}
+	return d.session.RunEpoch(ectx)
+}
+
+// journalStages projects an epoch report into the journal's stage records
+// (not-run stages omitted, as scheduling noise).
+func journalStages(rep *cloudmap.EpochReport) []journalStage {
+	if rep == nil {
+		return nil
+	}
+	var out []journalStage
+	for _, sr := range rep.Stages {
+		if sr.Status == pipeline.StatusNotRun {
+			continue
+		}
+		out = append(out, journalStage{
+			Name: sr.Name, Status: string(sr.Status), InputHash: sr.InputHash, Degraded: sr.Degraded,
+		})
+	}
+	return out
 }

@@ -189,14 +189,49 @@ func Diff(prev, next *Snapshot) *EpochDeltas {
 type Store struct {
 	mu      sync.RWMutex
 	current *Snapshot
-	history []*EpochDeltas // history[i].Epoch == i+1
+	history []*EpochDeltas // consecutive epochs, oldest first
+	// trimmed is the newest epoch whose delta set has been dropped from
+	// history (retention limit or checkpoint rehydration). A client asking
+	// for deltas since an epoch <= trimmed-1... strictly: since < trimmed
+	// cannot be served incrementally and must resync from the snapshot.
+	trimmed uint64
+	// historyLimit caps len(history); 0 keeps everything.
+	historyLimit int
+	// watchBuf is the per-subscriber channel buffer (defaulted in
+	// NewStore); a subscriber that falls this many epochs behind without
+	// draining is evicted: dropped from the hub and its channel closed, so
+	// one stalled reader can never stall the epoch loop or hold memory.
+	watchBuf int
+	// onEvict, when non-nil, is called (without the lock) once per evicted
+	// subscriber — the daemon counts evictions in /metrics.
+	onEvict func()
 
 	subs map[chan *EpochDeltas]struct{}
 }
 
 // NewStore returns an empty store (no epoch published yet).
 func NewStore() *Store {
-	return &Store{subs: map[chan *EpochDeltas]struct{}{}}
+	return &Store{subs: map[chan *EpochDeltas]struct{}{}, watchBuf: 16}
+}
+
+// seed installs rehydrated state (recovery only, before any Publish or
+// Subscribe): the snapshot to serve, the retained delta history, and the
+// newest trimmed-away epoch.
+func (st *Store) seed(snap *Snapshot, history []*EpochDeltas, trimmed uint64) {
+	st.mu.Lock()
+	st.current = snap
+	st.history = history
+	st.trimmed = trimmed
+	st.trimLocked()
+	st.mu.Unlock()
+}
+
+// trimLocked enforces the history retention limit. Callers hold st.mu.
+func (st *Store) trimLocked() {
+	for st.historyLimit > 0 && len(st.history) > st.historyLimit {
+		st.trimmed = st.history[0].Epoch
+		st.history = st.history[1:]
+	}
 }
 
 // Publish installs the epoch's snapshot, records its deltas, and fans them
@@ -207,15 +242,34 @@ func (st *Store) Publish(snap *Snapshot) *EpochDeltas {
 	ed := Diff(st.current, snap)
 	st.current = snap
 	st.history = append(st.history, ed)
+	st.trimLocked()
 	subs := make([]chan *EpochDeltas, 0, len(st.subs))
 	for ch := range st.subs {
 		subs = append(subs, ch)
 	}
 	st.mu.Unlock()
+	evicted := 0
 	for _, ch := range subs {
 		select {
 		case ch <- ed:
-		default: // slow watcher: drop rather than stall the epoch loop
+		default:
+			// Slow watcher: its bounded buffer is full, meaning it has not
+			// drained a single epoch in watchBuf epochs. Evict it — delete
+			// from the hub and close the channel — rather than blocking the
+			// epoch loop or buffering without bound. The watch handler sees
+			// the close and tells the client to reconnect.
+			st.mu.Lock()
+			if _, ok := st.subs[ch]; ok {
+				delete(st.subs, ch)
+				close(ch)
+				evicted++
+			}
+			st.mu.Unlock()
+		}
+	}
+	if st.onEvict != nil {
+		for i := 0; i < evicted; i++ {
+			st.onEvict()
 		}
 	}
 	return ed
@@ -228,25 +282,40 @@ func (st *Store) Current() *Snapshot {
 	return st.current
 }
 
-// DeltasSince returns every recorded delta set for epochs > since, oldest
-// first.
-func (st *Store) DeltasSince(since uint64) []*EpochDeltas {
+// DeltasSince returns every retained delta set for epochs > since, oldest
+// first. ok is false when the retention limit (or a checkpoint-based
+// recovery) has dropped epochs the caller would need — the answer would
+// silently skip changes — in which case the caller must resync from the
+// full snapshot instead.
+func (st *Store) DeltasSince(since uint64) (out []*EpochDeltas, ok bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	var out []*EpochDeltas
+	if since < st.trimmed {
+		return nil, false
+	}
 	for _, ed := range st.history {
 		if ed.Epoch > since {
 			out = append(out, ed)
 		}
 	}
-	return out
+	return out, true
+}
+
+// Trimmed returns the newest epoch whose deltas have been dropped from the
+// retained history (0 = nothing dropped yet).
+func (st *Store) Trimmed() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.trimmed
 }
 
 // Subscribe registers a watcher. The returned channel receives each future
-// epoch's deltas (buffered; slow consumers may miss epochs and should
-// reconcile via DeltasSince). cancel unregisters it.
+// epoch's deltas through a bounded buffer; a subscriber that never drains
+// is evicted (channel closed) rather than allowed to stall the publisher —
+// consumers must treat a closed channel as "resync via DeltasSince".
+// cancel unregisters it (idempotent, safe after eviction).
 func (st *Store) Subscribe() (ch <-chan *EpochDeltas, cancel func()) {
-	c := make(chan *EpochDeltas, 16)
+	c := make(chan *EpochDeltas, st.watchBuf)
 	st.mu.Lock()
 	st.subs[c] = struct{}{}
 	st.mu.Unlock()
@@ -255,4 +324,24 @@ func (st *Store) Subscribe() (ch <-chan *EpochDeltas, cancel func()) {
 		delete(st.subs, c)
 		st.mu.Unlock()
 	}
+}
+
+// checkpointState captures the store for a durable checkpoint (nil before
+// the first epoch).
+func (st *Store) checkpointState() *storeCheckpoint {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.current == nil {
+		return nil
+	}
+	ck := &storeCheckpoint{
+		Epoch:    st.current.Epoch,
+		Peerings: append([]Peering(nil), st.current.Peerings...),
+		History:  append([]*EpochDeltas(nil), st.history...),
+		Trimmed:  st.trimmed,
+	}
+	if ck.History == nil {
+		ck.History = []*EpochDeltas{}
+	}
+	return ck
 }

@@ -108,11 +108,11 @@ func TestStorePublishHistoryAndSubscribe(t *testing.T) {
 	if cur := st.Current(); cur == nil || cur.Epoch != 2 || len(cur.Peerings) != 2 {
 		t.Fatalf("current = %+v", st.Current())
 	}
-	all := st.DeltasSince(0)
-	if len(all) != 2 || len(all[0].Deltas) != 1 || len(all[1].Deltas) != 1 {
-		t.Fatalf("history = %+v", all)
+	all, ok := st.DeltasSince(0)
+	if !ok || len(all) != 2 || len(all[0].Deltas) != 1 || len(all[1].Deltas) != 1 {
+		t.Fatalf("history = %+v (ok=%v)", all, ok)
 	}
-	if tail := st.DeltasSince(1); len(tail) != 1 || tail[0].Epoch != 2 {
+	if tail, ok := st.DeltasSince(1); !ok || len(tail) != 1 || tail[0].Epoch != 2 {
 		t.Fatalf("since 1 = %+v", tail)
 	}
 	for want := uint64(1); want <= 2; want++ {

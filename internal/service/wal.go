@@ -1,0 +1,297 @@
+package service
+
+// The epoch journal as a write-ahead log. The daemon's durability story
+// rests on three disciplines implemented here:
+//
+//   - every record is one line, `<crc32-hex8> <json>\n`, CRC'd over the
+//     JSON bytes, so a reader can tell a record that was written whole from
+//     one a crash cut short;
+//   - the file is opened O_APPEND and fsynced after every epoch record, so
+//     a record the daemon acknowledged survives kill -9;
+//   - on open, a torn final line (no newline, short line, or CRC mismatch
+//     at the tail) is truncated away and reported — the record belongs to
+//     an epoch whose results were never durable, and the recovered daemon
+//     re-runs that epoch, deterministically reproducing the same bytes.
+//
+// Corruption anywhere *before* the final record is not crash damage (a
+// crash tears only the tail of an O_APPEND file) and is refused loudly.
+//
+// The same CRC line format carries the store's snapshot checkpoints
+// (checkpoint-<epoch>.ckpt), which are written to a temp file, fsynced,
+// and renamed into place so a crash mid-checkpoint leaves the previous
+// checkpoint intact.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// walLine frames payload as one CRC'd journal line.
+func walLine(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+10)
+	out = append(out, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// parseWALLine validates one complete line (without its newline) and
+// returns the payload.
+func parseWALLine(line []byte) ([]byte, error) {
+	if len(line) < 9 || line[8] != ' ' {
+		return nil, fmt.Errorf("short or unframed line")
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("bad crc field: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return nil, fmt.Errorf("crc mismatch: line says %08x, payload is %08x", uint32(want), got)
+	}
+	return payload, nil
+}
+
+// TornTail describes a journal tail a crash cut short: everything from
+// Offset on failed validation and was discarded on open.
+type TornTail struct {
+	Offset int64  // byte offset the valid prefix ends at
+	Bytes  int64  // how many bytes were discarded
+	Reason string // why the tail was rejected (no newline, bad crc, ...)
+}
+
+// WAL is the open epoch journal: an append-only, CRC-framed, fsync-on-append
+// log. A single writer (the epoch loop) appends; recovery reads happen
+// before the WAL is opened for writing.
+type WAL struct {
+	f    *os.File
+	path string
+}
+
+// readWAL parses the journal at path without opening it for writing: the
+// validated payloads in order, the byte length of the valid prefix, and a
+// description of the torn tail when the last line failed validation. A
+// missing file reads as empty. A bad line that is *not* the final one is
+// real corruption and returns an error.
+func readWAL(path string) (payloads [][]byte, validLen int64, torn *TornTail, err error) {
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return nil, 0, nil, nil
+		}
+		return nil, 0, nil, fmt.Errorf("service: journal: %w", rerr)
+	}
+	off := int64(0)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			torn = &TornTail{Offset: off, Bytes: int64(len(rest)), Reason: "no trailing newline"}
+			break
+		}
+		payload, perr := parseWALLine(rest[:nl])
+		if perr != nil {
+			if off+int64(nl)+1 == int64(len(data)) {
+				// The bad line is the last one: a torn write, not corruption.
+				torn = &TornTail{Offset: off, Bytes: int64(nl) + 1, Reason: perr.Error()}
+				break
+			}
+			return nil, 0, nil, fmt.Errorf("service: journal %s: corrupt record at byte %d (not the final line): %v", path, off, perr)
+		}
+		payloads = append(payloads, payload)
+		off += int64(nl) + 1
+	}
+	return payloads, off, torn, nil
+}
+
+// openWAL opens (creating if needed) the journal for appending, first
+// truncating any torn tail left by a crash. It returns the validated
+// payloads already in the log and the torn-tail report (nil when the log
+// ended cleanly).
+func openWAL(path string) (*WAL, [][]byte, *TornTail, error) {
+	payloads, validLen, torn, err := readWAL(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("service: journal: %w", err)
+	}
+	if torn != nil {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, nil, fmt.Errorf("service: journal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, nil, fmt.Errorf("service: journal: %w", err)
+		}
+	}
+	return &WAL{f: f, path: path}, payloads, torn, nil
+}
+
+// Append frames payload as one CRC'd line, writes it, and fsyncs — the
+// epoch's durability point. When Append returns nil the record survives
+// kill -9.
+func (w *WAL) Append(payload []byte) error {
+	if _, err := w.f.Write(walLine(payload)); err != nil {
+		return fmt.Errorf("service: journal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("service: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file. Records are already durable (Append
+// syncs), so Close has nothing to flush.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// --- store snapshot checkpoints ------------------------------------------
+
+// storeCheckpoint is the durable image of the Store at the end of one
+// epoch: the live snapshot plus the retained delta history, enough to
+// rehydrate without replaying the whole journal. The unexported numeric
+// keys (Peering.ip) are rebuilt from the CBI strings on load.
+type storeCheckpoint struct {
+	Epoch    uint64         `json:"epoch"`
+	Peerings []Peering      `json:"peerings"`
+	History  []*EpochDeltas `json:"history"`
+	// Trimmed is the newest epoch whose deltas have been dropped from the
+	// retained history (0 = nothing dropped).
+	Trimmed uint64 `json:"trimmed_through,omitempty"`
+}
+
+const (
+	checkpointPrefix = "checkpoint-"
+	checkpointSuffix = ".ckpt"
+	// checkpointsKept is how many checkpoint generations survive pruning:
+	// the newest plus one fallback in case the newest is damaged.
+	checkpointsKept = 2
+)
+
+func checkpointFile(dir string, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", checkpointPrefix, epoch, checkpointSuffix))
+}
+
+// writeCheckpoint persists ck atomically: temp file, fsync, rename, then a
+// best-effort directory sync so the rename itself is durable. Older
+// checkpoints beyond checkpointsKept are pruned afterwards.
+func writeCheckpoint(dir string, ck *storeCheckpoint) error {
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("service: checkpoint encode: %w", err)
+	}
+	final := checkpointFile(dir, ck.Epoch)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: checkpoint: %w", err)
+	}
+	_, werr := f.Write(walLine(payload))
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: checkpoint: %w", err)
+	}
+	syncDir(dir)
+	pruneCheckpoints(dir)
+	return nil
+}
+
+// readCheckpoint loads and validates one checkpoint file.
+func readCheckpoint(path string) (*storeCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	line := bytes.TrimSuffix(data, []byte{'\n'})
+	payload, err := parseWALLine(line)
+	if err != nil {
+		return nil, fmt.Errorf("invalid checkpoint %s: %v", filepath.Base(path), err)
+	}
+	var ck storeCheckpoint
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return nil, fmt.Errorf("invalid checkpoint %s: %v", filepath.Base(path), err)
+	}
+	return &ck, nil
+}
+
+// checkpointEpochs lists the epochs with a checkpoint file in dir, oldest
+// first. File names that don't parse are ignored (e.g. stray .tmp files).
+func checkpointEpochs(dir string) []uint64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var epochs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, checkpointSuffix) {
+			continue
+		}
+		n, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, checkpointPrefix), checkpointSuffix), 10, 64)
+		if perr != nil {
+			continue
+		}
+		epochs = append(epochs, n)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs
+}
+
+// loadNewestCheckpoint returns the newest checkpoint in dir that validates,
+// falling back to older generations when the newest is damaged (a crash
+// can interrupt a checkpoint write; rename atomicity makes that unlikely
+// but the fallback costs nothing). Damaged files are reported through
+// reject. Returns nil when no valid checkpoint exists.
+func loadNewestCheckpoint(dir string, reject func(path string, err error)) *storeCheckpoint {
+	epochs := checkpointEpochs(dir)
+	for i := len(epochs) - 1; i >= 0; i-- {
+		path := checkpointFile(dir, epochs[i])
+		ck, err := readCheckpoint(path)
+		if err != nil {
+			if reject != nil {
+				reject(path, err)
+			}
+			continue
+		}
+		return ck
+	}
+	return nil
+}
+
+// pruneCheckpoints removes all but the newest checkpointsKept generations.
+func pruneCheckpoints(dir string) {
+	epochs := checkpointEpochs(dir)
+	for len(epochs) > checkpointsKept {
+		os.Remove(checkpointFile(dir, epochs[0]))
+		epochs = epochs[1:]
+	}
+}
+
+// syncDir fsyncs a directory (making renames/creates in it durable);
+// best-effort because not every platform supports it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "epochs.wal")
+}
+
+func TestWALAppendReadRoundtrip(t *testing.T) {
+	path := walPath(t)
+	w, payloads, torn, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 0 || torn != nil {
+		t.Fatalf("fresh journal read %d payloads, torn=%v", len(payloads), torn)
+	}
+	want := []string{`{"epoch":1}`, `{"epoch":2,"x":"y"}`, `{"epoch":3}`}
+	for _, p := range want {
+		if err := w.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, validLen, torn, err := readWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != nil {
+		t.Fatalf("clean journal reported torn tail %+v", torn)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d payloads, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("payload %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if fi, _ := os.Stat(path); fi.Size() != validLen {
+		t.Fatalf("validLen = %d, file is %d", validLen, fi.Size())
+	}
+}
+
+// A crash can cut the final line anywhere — mid-payload, mid-CRC, or right
+// before the newline. Chopping the journal at every byte offset of the last
+// record must always recover the earlier records, report the torn tail, and
+// (after reopening) continue the journal as if the torn record never
+// happened.
+func TestWALTornTailToleratedAtEveryByteOffset(t *testing.T) {
+	base := walPath(t)
+	w, _, _, err := openWAL(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []string{`{"epoch":1,"deltas":[]}`, `{"epoch":2,"deltas":[]}`}
+	for _, p := range recs {
+		if err := w.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	whole, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixLen := int64(len(walLine([]byte(recs[0]))))
+	continuation := walLine([]byte(`{"epoch":2,"retried":true}`))
+
+	for cut := prefixLen; cut < int64(len(whole)); cut++ {
+		path := filepath.Join(t.TempDir(), "chopped.wal")
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, payloads, torn, err := openWAL(path)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(payloads) != 1 || string(payloads[0]) != recs[0] {
+			t.Fatalf("cut=%d: recovered %d payloads", cut, len(payloads))
+		}
+		if cut == prefixLen {
+			if torn != nil {
+				t.Fatalf("cut=%d: clean boundary reported torn tail %+v", cut, torn)
+			}
+		} else if torn == nil || torn.Offset != prefixLen || torn.Bytes != cut-prefixLen {
+			t.Fatalf("cut=%d: torn = %+v", cut, torn)
+		}
+		// The torn epoch re-runs and must journal as if never interrupted.
+		if err := w.Append([]byte(`{"epoch":2,"retried":true}`)); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFile := append(append([]byte{}, whole[:prefixLen]...), continuation...)
+		if !bytes.Equal(data, wantFile) {
+			t.Fatalf("cut=%d: continued journal diverges:\n%q\nwant\n%q", cut, data, wantFile)
+		}
+	}
+}
+
+// A bad CRC on the final line is a torn write; the same damage anywhere
+// earlier means the storage lied and must be refused, not papered over.
+func TestWALMidFileCorruptionRefused(t *testing.T) {
+	path := walPath(t)
+	w, _, _, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= 3; e++ {
+		if err := w.Append([]byte(fmt.Sprintf(`{"epoch":%d}`, e))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	data, _ := os.ReadFile(path)
+	// Flip one payload byte of the middle record.
+	mid := len(walLine([]byte(`{"epoch":1}`))) + 10
+	data[mid] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := readWAL(path); err == nil || !strings.Contains(err.Error(), "not the final line") {
+		t.Fatalf("mid-file corruption: err = %v", err)
+	}
+	if _, _, _, err := openWAL(path); err == nil {
+		t.Fatal("openWAL accepted a mid-file corrupt journal")
+	}
+}
+
+func TestCheckpointWriteLoadPrune(t *testing.T) {
+	dir := t.TempDir()
+	for e := uint64(5); e <= 20; e += 5 {
+		ck := &storeCheckpoint{
+			Epoch:    e,
+			Peerings: []Peering{{CBI: "10.0.0.1", ASN: 100, FirstEpoch: 1}},
+			History:  []*EpochDeltas{{Epoch: e, Deltas: []Delta{}}},
+			Trimmed:  e - 5,
+		}
+		if err := writeCheckpoint(dir, ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pruning keeps only the newest two generations.
+	if got := checkpointEpochs(dir); fmt.Sprint(got) != "[15 20]" {
+		t.Fatalf("retained checkpoints = %v", got)
+	}
+	ck := loadNewestCheckpoint(dir, nil)
+	if ck == nil || ck.Epoch != 20 || ck.Trimmed != 15 || len(ck.Peerings) != 1 {
+		t.Fatalf("newest checkpoint = %+v", ck)
+	}
+}
+
+// A damaged newest checkpoint falls back to the previous generation, and
+// the damage is reported.
+func TestCheckpointFallbackToOlderGeneration(t *testing.T) {
+	dir := t.TempDir()
+	for e := uint64(5); e <= 10; e += 5 {
+		if err := writeCheckpoint(dir, &storeCheckpoint{Epoch: e, Peerings: []Peering{}, History: []*EpochDeltas{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newest := checkpointFile(dir, 10)
+	if err := os.WriteFile(newest, []byte("deadbeef garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rejected []string
+	ck := loadNewestCheckpoint(dir, func(path string, err error) {
+		rejected = append(rejected, filepath.Base(path))
+	})
+	if ck == nil || ck.Epoch != 5 {
+		t.Fatalf("fallback checkpoint = %+v", ck)
+	}
+	if len(rejected) != 1 || !strings.Contains(rejected[0], "10") {
+		t.Fatalf("rejected = %v", rejected)
+	}
+	// All generations damaged -> nil, and a fresh daemon-style caller would
+	// fall back to full journal replay.
+	if err := os.WriteFile(checkpointFile(dir, 5), []byte("also bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ck := loadNewestCheckpoint(dir, nil); ck != nil {
+		t.Fatalf("all-damaged dir returned %+v", ck)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"cloudmap/internal/bdrmap"
 	"cloudmap/internal/border"
@@ -661,11 +662,18 @@ func (s *pipeState) probeRound(ctx context.Context, sc *pipeline.StageContext, s
 	}
 	if err == nil && s.epochMode {
 		// The freshly written checkpoint now embodies this probing plan;
-		// later epochs with an unchanged plan may replay it.
+		// later epochs with an unchanged plan may replay it. The gate is
+		// persisted next to the tracefile too, so a restarted daemon (whose
+		// in-memory gate is empty) can still replay instead of re-probing.
 		if s.probeGate == nil {
 			s.probeGate = make(map[string]string)
 		}
 		s.probeGate[stage] = s.probePlanNow[stage]
+		if path := s.checkpointPath(stage); path != "" {
+			if werr := os.WriteFile(path+".plan", []byte(s.probePlanNow[stage]+"\n"), 0o644); werr != nil {
+				err = fmt.Errorf("checkpoint gate %s.plan: %w", path, werr)
+			}
+		}
 	}
 	s.recordRoundStats(sc, stage, stats)
 	return err
@@ -719,8 +727,20 @@ func (s *pipeState) resumeRound(stage string, sc *pipeline.StageContext, prepare
 	// probing while the probing plan (topology, fault/retry schedule,
 	// target set) that wrote it still holds. On mismatch — including epoch
 	// one, before any checkpoint was recorded — probe live and overwrite.
-	if s.epochMode && s.probePlanNow[stage] != s.probeGate[stage] {
-		return false, nil
+	// A fresh session (daemon restart) has an empty in-memory gate; the
+	// gate persisted alongside the tracefile stands in for it, so recovery
+	// replays checkpointed probing instead of re-running the campaigns. A
+	// torn or missing gate file simply mismatches and re-probes — safe.
+	if s.epochMode {
+		gate, ok := s.probeGate[stage]
+		if !ok {
+			if data, rerr := os.ReadFile(path + ".plan"); rerr == nil {
+				gate = strings.TrimSpace(string(data))
+			}
+		}
+		if s.probePlanNow[stage] != gate {
+			return false, nil
+		}
 	}
 	sum, err := tracefile.ScanFile(path)
 	if err != nil {
@@ -756,6 +776,14 @@ func (s *pipeState) resumeRound(stage string, sc *pipeline.StageContext, prepare
 	// sitting it out) instead of silently treating the data as clean.
 	if cs, ok := s.prevRounds[stage]; ok {
 		s.recordRoundStats(sc, stage, cs)
+	}
+	if s.epochMode {
+		// The replay validated the persisted gate; cache it in memory so
+		// later epochs skip the file read.
+		if s.probeGate == nil {
+			s.probeGate = make(map[string]string)
+		}
+		s.probeGate[stage] = s.probePlanNow[stage]
 	}
 	return true, nil
 }

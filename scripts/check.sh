@@ -64,6 +64,9 @@ wait "$CLOUDMAPD_PID" || SMOKE_RC=$?
 }
 grep -q '"epoch":1' "$SMOKE_DIR/epochs.jsonl"
 
+echo "==> crash-recovery smoke (kill -9 mid-epoch + restart on the same state dir)"
+sh scripts/crash_smoke.sh "${CLOUDMAPD_CRASH_DIR:-$(mktemp -d)}"
+
 echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
 go test -run '^$' -fuzz '^FuzzRead$' -fuzztime "${FUZZ_SECONDS}s" ./internal/tracefile
 go test -run '^$' -fuzz '^FuzzParseIP$' -fuzztime "${FUZZ_SECONDS}s" ./internal/netblock
