@@ -250,7 +250,7 @@ func TestMidDAGFailureLeavesResumableCheckpoints(t *testing.T) {
 	dir := t.TempDir()
 	// A directory squatting on the expansion checkpoint path makes
 	// tracefile.Create fail, killing the expansion stage mid-DAG.
-	blocker := filepath.Join(dir, "expansion.traces.gz")
+	blocker := filepath.Join(dir, "expansion.traces.bin")
 	if err := os.Mkdir(blocker, 0o755); err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestMidDAGFailureLeavesResumableCheckpoints(t *testing.T) {
 	}
 
 	// The round-1 checkpoint written before the failure must be complete.
-	sum, err := tracefile.ScanFile(filepath.Join(dir, "campaign.traces.gz"))
+	sum, err := tracefile.ScanFile(filepath.Join(dir, "campaign.traces.bin"))
 	if err != nil || !sum.Complete {
 		t.Fatalf("campaign checkpoint after mid-DAG failure: sum=%+v err=%v", sum, err)
 	}

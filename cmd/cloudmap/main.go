@@ -63,7 +63,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel probing workers; <=0 uses all CPUs (output is identical regardless)")
 	skipBdrmap := flag.Bool("skip-bdrmap", false, "skip the §8 bdrmap baseline")
 	out := flag.String("o", "", "also write the report to this file")
-	traces := flag.String("traces", "", "archive the Amazon campaign to this tracefile")
+	traces := flag.String("traces", "", "archive the Amazon campaign to this tracefile (.bin = binary v2, .gz = gzip text)")
 	csvDir := flag.String("csv", "", "dump figure data as CSV files into this directory")
 	checkpointDir := flag.String("checkpoint-dir", "", "persist probing rounds and the run manifest in this directory")
 	resume := flag.Bool("resume", false, "replay complete campaign checkpoints from -checkpoint-dir instead of re-probing")
@@ -113,19 +113,16 @@ func main() {
 		cfg.Dirty = plan
 	}
 
-	var traceWriter *tracefile.Writer
+	// The archive encoding follows the extension: .bin for the v2 binary
+	// format, .gz for gzip text, anything else plain text.
+	var traceWriter *tracefile.FileWriter
 	if *traces != "" {
-		f, err := os.Create(*traces)
+		fw, err := tracefile.Create(*traces)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		w, err := tracefile.NewWriter(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		traceWriter = w
-		cfg.RecordTraces = w.Sink()
+		traceWriter = fw
+		cfg.RecordTraces = fw.Sink()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -176,10 +173,14 @@ func main() {
 		if *checkpointDir != "" && rep != nil {
 			log.Printf("run did not finish; partial checkpoints kept in %s", *checkpointDir)
 		}
+		if traceWriter != nil {
+			// Keep what was captured, without the completeness trailer.
+			traceWriter.Close()
+		}
 		log.Fatal(err)
 	}
 	if traceWriter != nil {
-		if err := traceWriter.Flush(); err != nil {
+		if err := traceWriter.Finish(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("campaign archived to %s\n", *traces)

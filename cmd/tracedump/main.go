@@ -4,9 +4,15 @@
 // plane: where a probe exits Amazon, which segment would be inferred as the
 // interconnection, and how each hop resolves against the public datasets.
 //
+// It is also the tracefile format tool: -convert re-encodes a campaign
+// checkpoint between the text and binary encodings (sniffing text, gzip and
+// binary input transparently), and -stat summarises a file's on-disk shape.
+//
 // Usage:
 //
 //	tracedump -dst 64.0.0.1 [-cloud amazon] [-region 0] [-scale small] [-seed N] [-save traces.txt]
+//	tracedump -convert campaign.traces.bin -to text -o campaign.traces.gz
+//	tracedump -stat campaign.traces.bin
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"cloudmap"
 	"cloudmap/internal/netblock"
@@ -29,7 +36,24 @@ func main() {
 	region := flag.Int("region", 0, "probing region index")
 	dstFlag := flag.String("dst", "", "destination address (required)")
 	save := flag.String("save", "", "append the trace to this tracefile")
+	convert := flag.String("convert", "", "tracefile to re-encode (any encoding; use with -to and -o)")
+	to := flag.String("to", "binary", "conversion target format: text or binary")
+	out := flag.String("o", "", "conversion output path (text output ending in .gz is gzipped)")
+	stat := flag.String("stat", "", "tracefile to summarise (records, chunks, bytes/trace, dictionary hit rate)")
 	flag.Parse()
+
+	if *stat != "" {
+		if err := runStat(*stat); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *convert != "" {
+		if err := runConvert(*convert, *to, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *dstFlag == "" {
 		flag.Usage()
@@ -104,6 +128,81 @@ func main() {
 		}
 		fmt.Printf("saved to %s\n", *save)
 	}
+}
+
+// runConvert re-encodes src into the target format, preserving the
+// completeness mark: a partial input stays a loadable partial output.
+func runConvert(src, to, out string) error {
+	if out == "" {
+		return fmt.Errorf("-convert requires -o (output path)")
+	}
+	f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var w *tracefile.Writer
+	switch to {
+	case "binary":
+		w, err = tracefile.NewBinaryWriter(f)
+	case "text":
+		if strings.HasSuffix(out, ".gz") {
+			w, err = tracefile.NewGzipWriter(f)
+		} else {
+			w, err = tracefile.NewWriter(f)
+		}
+	default:
+		f.Close()
+		return fmt.Errorf("-to %q: want text or binary", to)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	sum, rerr := tracefile.ReplayFile(src, w.Sink())
+	if rerr != nil {
+		f.Close()
+		os.Remove(out)
+		return fmt.Errorf("read %s: %w", src, rerr)
+	}
+	if sum.Complete {
+		err = w.Finish()
+	} else {
+		err = w.Close()
+	}
+	if err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		os.Remove(out)
+		return fmt.Errorf("write %s: %w", out, err)
+	}
+	state := "complete"
+	if !sum.Complete {
+		state = "partial"
+	}
+	fmt.Printf("%s: %d traces (%s) -> %s (%s)\n", src, sum.Traces, state, out, to)
+	return nil
+}
+
+// runStat prints a tracefile's on-disk shape.
+func runStat(path string) error {
+	st, err := tracefile.StatFile(path)
+	if err != nil {
+		return fmt.Errorf("stat %s: %w", path, err)
+	}
+	state := "complete"
+	if !st.Complete {
+		state = "partial"
+	}
+	fmt.Printf("%s: %s, %s\n", path, st.Format, state)
+	fmt.Printf("  records      %d\n", st.Records)
+	fmt.Printf("  bytes        %d (%.2f bytes/trace)\n", st.Bytes, st.BytesPerTrace())
+	fmt.Printf("  hops         %d (%d responsive)\n", st.Hops, st.ResponsiveHops)
+	if st.Format == "binary" || st.Format == "gzip+binary" {
+		fmt.Printf("  chunks       %d\n", st.Chunks)
+		fmt.Printf("  dictionary   %d entries, %.1f%% hit rate\n", st.DictEntries, 100*st.DictHitRate())
+	}
+	return nil
 }
 
 func statusName(s probe.Status) string {

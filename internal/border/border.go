@@ -90,6 +90,19 @@ type Inference struct {
 	asnGranularity bool
 	primaryASN     registry.ASN
 
+	// cloudASNs is reg.CloudASNs[cloud], hoisted at construction: isCloudHop
+	// runs once per responsive hop, and the string-keyed outer lookup is
+	// measurable at campaign scale.
+	cloudASNs map[registry.ASN]bool
+	// annCache memoises reg.Annotate per address, with the two hop
+	// classifications Consume needs pre-computed. Campaigns revisit the
+	// same first hops millions of times (the per-chunk dictionary hit rate
+	// is ~97%), so the cache turns trie walk + classification into one
+	// table probe per hop. The registry is immutable for the lifetime of an
+	// Inference, which makes the memo exact; DisableOrgGrouping resets it
+	// because the cloud flag depends on the grouping mode.
+	annCache annTable
+
 	ABIs     map[netblock.IP]*ABIInfo
 	CBIs     map[netblock.IP]*CBIInfo
 	Segments map[Segment]*SegInfo
@@ -107,6 +120,7 @@ func New(reg *registry.Registry, cloud string) *Inference {
 		reg:              reg,
 		cloud:            cloud,
 		round:            1,
+		cloudASNs:        reg.CloudASNs[cloud],
 		ABIs:             make(map[netblock.IP]*ABIInfo),
 		CBIs:             make(map[netblock.IP]*CBIInfo),
 		Segments:         make(map[Segment]*SegInfo),
@@ -122,6 +136,8 @@ func (inf *Inference) BeginRound2() { inf.round = 2 }
 func (inf *Inference) DisableOrgGrouping(primaryASN registry.ASN) {
 	inf.asnGranularity = true
 	inf.primaryASN = primaryASN
+	// Cached cloud flags were computed under ORG grouping; drop them.
+	inf.annCache = annTable{}
 }
 
 // isCloudHop reports whether a hop still belongs to the probing cloud: its
@@ -138,12 +154,102 @@ func (inf *Inference) isCloudHop(ann registry.Annotation) bool {
 		return ann.ASN == 0 || ann.ASN == inf.primaryASN
 	}
 	if ann.IXP >= 0 {
-		return ann.ASN != 0 && inf.reg.CloudASNs[inf.cloud][ann.ASN]
+		return ann.ASN != 0 && inf.cloudASNs[ann.ASN]
 	}
 	if ann.ASN == 0 {
 		return true
 	}
-	return inf.reg.CloudASNs[inf.cloud][ann.ASN]
+	return inf.cloudASNs[ann.ASN]
+}
+
+// Classification flags memoised alongside each annotation.
+const (
+	// flagCloud is isCloudHop(ann): the hop still belongs to the probing
+	// cloud.
+	flagCloud = 1 << iota
+	// flagStrictCloud is the re-entry predicate (a known cloud ASN, no
+	// private/IXP leniency).
+	flagStrictCloud
+)
+
+// annTable is an open-addressed IP -> (annotation, flags) memo. Addresses
+// are 4 bytes and the hot path tests only the flags, so the probe sequence
+// touches a dense 8-byte-slot array instead of map buckets holding full
+// Annotation values — at campaign scale (hundreds of thousands of distinct
+// hops, millions of lookups) the working set stays several times smaller
+// than a Go map's and the flag test needs no second indirection.
+// netblock.Zero never appears as a key: only responsive hops are looked up.
+type annTable struct {
+	slots []annSlot // len is a power of two
+	anns  []registry.Annotation
+	n     int
+}
+
+type annSlot struct {
+	ip     netblock.IP
+	flags  uint8
+	annIdx uint32 // into annTable.anns
+}
+
+func (t *annTable) find(ip netblock.IP) *annSlot {
+	mask := uint32(len(t.slots) - 1)
+	for i := (uint32(ip) * 0x9e3779b9) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.ip == ip || s.ip == netblock.Zero {
+			return s
+		}
+	}
+}
+
+func (t *annTable) insert(ip netblock.IP, flags uint8, ann registry.Annotation) {
+	if len(t.slots) == 0 || t.n >= len(t.slots)-len(t.slots)/4 {
+		t.grow()
+	}
+	s := t.find(ip)
+	if s.ip == netblock.Zero {
+		t.n++
+		s.ip = ip
+	}
+	s.flags = flags
+	s.annIdx = uint32(len(t.anns))
+	t.anns = append(t.anns, ann)
+}
+
+func (t *annTable) grow() {
+	old := t.slots
+	size := 1 << 13
+	if len(old) > 0 {
+		size = len(old) * 2
+	}
+	t.slots = make([]annSlot, size)
+	for _, s := range old {
+		if s.ip != netblock.Zero {
+			*t.find(s.ip) = s
+		}
+	}
+}
+
+// annotate is reg.Annotate through the per-inference memo.
+func (inf *Inference) annotate(ip netblock.IP) registry.Annotation {
+	return inf.annCache.anns[inf.lookup(ip).annIdx]
+}
+
+func (inf *Inference) lookup(ip netblock.IP) annSlot {
+	if len(inf.annCache.slots) > 0 {
+		if s := inf.annCache.find(ip); s.ip == ip {
+			return *s
+		}
+	}
+	ann := inf.reg.Annotate(ip)
+	var flags uint8
+	if inf.isCloudHop(ann) {
+		flags |= flagCloud
+	}
+	if ann.ASN != 0 && inf.cloudASNs[ann.ASN] {
+		flags |= flagStrictCloud
+	}
+	inf.annCache.insert(ip, flags, ann)
+	return annSlot{ip: ip, flags: flags, annIdx: uint32(len(inf.annCache.anns) - 1)}
 }
 
 // Consume processes one traceroute, applying §4.1's exclusion rules and
@@ -166,10 +272,10 @@ func (inf *Inference) Consume(tr probe.Trace) {
 		if !h.Responsive() {
 			continue
 		}
-		ann := inf.reg.Annotate(h.Addr)
-		if !inf.isCloudHop(ann) {
+		e := inf.lookup(h.Addr)
+		if e.flags&flagCloud == 0 {
 			cbiIdx = i
-			cbiAnn = ann
+			cbiAnn = inf.annCache.anns[e.annIdx]
 			break
 		}
 	}
@@ -179,18 +285,20 @@ func (inf *Inference) Consume(tr probe.Trace) {
 	}
 	inf.Stats.LeftCloud++
 
-	// Exclusion: unresponsive or duplicate hops before the border.
-	seen := make(map[netblock.IP]struct{}, cbiIdx)
+	// Exclusion: unresponsive or duplicate hops before the border. Paths
+	// are short (hop-limited), so a linear dup scan beats allocating a set
+	// per trace — this runs once per trace on the replay hot path.
 	for i := 0; i < cbiIdx; i++ {
 		if !tr.Hops[i].Responsive() {
 			inf.Stats.ExcludedGap++
 			return
 		}
-		if _, dup := seen[tr.Hops[i].Addr]; dup {
-			inf.Stats.ExcludedDup++
-			return
+		for j := 0; j < i; j++ {
+			if tr.Hops[j].Addr == tr.Hops[i].Addr {
+				inf.Stats.ExcludedDup++
+				return
+			}
 		}
-		seen[tr.Hops[i].Addr] = struct{}{}
 	}
 	if cbiIdx == 0 {
 		// No ABI observable; cannot form a segment.
@@ -210,8 +318,7 @@ func (inf *Inference) Consume(tr probe.Trace) {
 		if !tr.Hops[i].Responsive() {
 			continue
 		}
-		ann := inf.reg.Annotate(tr.Hops[i].Addr)
-		if ann.ASN != 0 && inf.reg.CloudASNs[inf.cloud][ann.ASN] {
+		if inf.lookup(tr.Hops[i].Addr).flags&flagStrictCloud != 0 {
 			inf.Stats.ReenteredCloud++
 			return
 		}
@@ -222,7 +329,7 @@ func (inf *Inference) Consume(tr probe.Trace) {
 	}
 
 	abi := tr.Hops[cbiIdx-1].Addr
-	abiAnn := inf.reg.Annotate(abi)
+	abiAnn := inf.annotate(abi)
 	var prev netblock.IP
 	if cbiIdx >= 2 {
 		prev = tr.Hops[cbiIdx-2].Addr
@@ -249,7 +356,7 @@ func (inf *Inference) record(tr probe.Trace, abi netblock.IP, abiAnn registry.An
 		if pi == nil {
 			// Record only if it is already a known ABI; otherwise keep a
 			// lightweight pending entry (it may become one later).
-			pi = &ABIInfo{Addr: prev, Ann: inf.reg.Annotate(prev), NextOrgs: map[string]struct{}{}, CBIs: map[netblock.IP]struct{}{}}
+			pi = &ABIInfo{Addr: prev, Ann: inf.annotate(prev), NextOrgs: map[string]struct{}{}, CBIs: map[netblock.IP]struct{}{}}
 			inf.ABIs[prev] = pi
 		}
 		pi.CloudNext = true

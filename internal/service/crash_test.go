@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"cloudmap/internal/tracefile"
 )
 
 // The crash chaos harness: every scenario kills a daemon somewhere awkward
@@ -214,6 +216,45 @@ func TestCrashRecoveryByteIdentical(t *testing.T) {
 		}
 		if got := rowsJSON(t, d2); got != refRows {
 			t.Errorf("map after checkpoint fallback diverges:\n%s\nwant\n%s", got, refRows)
+		}
+	})
+
+	// Scenario: SIGKILL tears the binary probe checkpoint mid-frame (the
+	// file under probes/ ends inside a CRC frame). The next epoch must
+	// detect the truncation, re-probe instead of trusting the torn file,
+	// and still converge on the reference bytes.
+	t.Run("torn-probe-checkpoint", func(t *testing.T) {
+		t.Parallel()
+		dir := t.TempDir()
+		runChaos(t, chaosConfig(dir, 8, 3))
+		cp := filepath.Join(dir, "probes", "campaign.traces.bin")
+		raw, err := os.ReadFile(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(cp, raw[:len(raw)-31], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		d2, err := New(chaosConfig(dir, 8, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec := d2.Recovery(); !rec.Recovered || rec.LastEpoch != 3 {
+			t.Fatalf("recovery = %+v", rec)
+		}
+		if err := d2.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if got := journalBytes(t, dir); !bytes.Equal(got, refJournal) {
+			t.Errorf("journal after torn probe checkpoint diverges:\n%s\nwant\n%s", got, refJournal)
+		}
+		if got := rowsJSON(t, d2); got != refRows {
+			t.Errorf("map after torn probe checkpoint diverges:\n%s\nwant\n%s", got, refRows)
+		}
+		// Epoch 4 healed the checkpoint by re-probing and rewriting it.
+		if sum, err := tracefile.ScanFile(cp); err != nil || !sum.Complete {
+			t.Fatalf("probe checkpoint not healed: %+v, %v", sum, err)
 		}
 	})
 }

@@ -1,0 +1,129 @@
+package tracefile
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudmap/internal/probe"
+)
+
+// benchTraces is sized so text, gzip and binary encoders all amortise
+// their per-stream overhead and the binary format spans many chunks.
+const benchTraceCount = 50000
+
+func benchEncode(b *testing.B, mk func(io.Writer) (*Writer, error)) {
+	traces := synthTraces(benchTraceCount)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		w, err := mk(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tr := range traces {
+			w.Write(tr)
+		}
+		if err := w.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.SetBytes(int64(buf.Len()))
+	b.ReportMetric(float64(benchTraceCount)*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+	b.ReportMetric(float64(buf.Len())/float64(benchTraceCount), "bytes/trace")
+}
+
+func BenchmarkTracefileEncode(b *testing.B) {
+	b.Run("text", func(b *testing.B) { benchEncode(b, NewWriter) })
+	b.Run("gzip", func(b *testing.B) { benchEncode(b, NewGzipWriter) })
+	b.Run("binary", func(b *testing.B) { benchEncode(b, NewBinaryWriter) })
+}
+
+func benchDecode(b *testing.B, raw []byte) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = 0
+		sum, err := Replay(bytes.NewReader(raw), func(probe.Trace) { n++ })
+		if err != nil || !sum.Complete || n != benchTraceCount {
+			b.Fatalf("replay: %+v, %v (n=%d)", sum, err, n)
+		}
+	}
+	b.ReportMetric(float64(benchTraceCount)*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+}
+
+func encodeAll(b *testing.B, mk func(io.Writer) (*Writer, error)) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	w, err := mk(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tr := range synthTraces(benchTraceCount) {
+		w.Write(tr)
+	}
+	if err := w.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkTracefileDecode(b *testing.B) {
+	b.Run("text", func(b *testing.B) { benchDecode(b, encodeAll(b, NewWriter)) })
+	b.Run("gzip", func(b *testing.B) { benchDecode(b, encodeAll(b, NewGzipWriter)) })
+	b.Run("binary", func(b *testing.B) { benchDecode(b, encodeAll(b, NewBinaryWriter)) })
+	b.Run("binary-parallel", func(b *testing.B) {
+		dir := b.TempDir()
+		path := filepath.Join(dir, "bench.traces.bin")
+		if err := os.WriteFile(path, encodeAll(b, NewBinaryWriter), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			sum, err := ReplayFileParallel(path, 8, func(probe.Trace) { n++ })
+			if err != nil || !sum.Complete || n != benchTraceCount {
+				b.Fatalf("replay: %+v, %v (n=%d)", sum, err, n)
+			}
+		}
+		b.ReportMetric(float64(benchTraceCount)*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+	})
+}
+
+// BenchmarkTracefileScan measures the completeness probe alone — the cost
+// resume pays before deciding a checkpoint is usable. The binary scan walks
+// CRC frames without decoding records.
+func BenchmarkTracefileScan(b *testing.B) {
+	for _, f := range []struct {
+		name string
+		mk   func(io.Writer) (*Writer, error)
+		ext  string
+	}{
+		{"gzip", NewGzipWriter, "traces.gz"},
+		{"binary", NewBinaryWriter, "traces.bin"},
+	} {
+		b.Run(f.name, func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "scan."+f.ext)
+			if err := os.WriteFile(path, encodeAll(b, f.mk), 0o644); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum, err := ScanFile(path)
+				if err != nil || !sum.Complete || sum.Traces != benchTraceCount {
+					b.Fatalf("scan: %+v, %v", sum, err)
+				}
+			}
+			b.ReportMetric(float64(benchTraceCount)*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+		})
+	}
+}

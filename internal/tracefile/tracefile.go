@@ -2,18 +2,31 @@
 // the role scamper's warts files play in the paper's workflow (§3: 16 days
 // of probing are collected once, then analysed many times).
 //
-// The format is a compact line-oriented text format, one record per trace:
+// Two encodings share one reader surface:
 //
-//	T <cloud>/<region> <dst> <status> <hop>[,<hop>...]
+//   - The v1 text format, one record per line:
 //
-// where each hop is either "*" (unresponsive) or "<addr>/<rtt-µs>". Lines
-// beginning with '#' are comments; the header records a format version, and
-// a cleanly finished file ends with a "# complete <n>" trailer so readers
-// can tell a whole campaign from an interrupted one (checkpoint resume
-// depends on that distinction). Text keeps the files greppable and
-// diffable; addresses repeat heavily, so the optional gzip layer (sniffed
-// transparently on read, produced by NewGzipWriter or a ".gz" Create path)
-// compresses full-scale campaigns roughly an order of magnitude.
+//     T <cloud>/<region> <dst> <status> <hop>[,<hop>...]
+//
+//     where each hop is either "*" (unresponsive) or "<addr>/<rtt-µs>".
+//     Lines beginning with '#' are comments; the header records a format
+//     version, and a cleanly finished file ends with a "# complete <n>"
+//     trailer so readers can tell a whole campaign from an interrupted one.
+//     Text keeps the files greppable and diffable; the optional gzip layer
+//     (NewGzipWriter, or a ".gz" Create path) compresses them roughly an
+//     order of magnitude. Text survives as the import/export format.
+//
+//   - The v2 binary columnar format (binary.go): chunked frames with
+//     per-chunk string-interned address dictionaries, varint-delta-encoded
+//     destinations, hops and RTTs, CRC32-framed payloads, and a fixed-width
+//     chunk index in the footer so a resume can seek straight to chunks
+//     (and decode them in parallel) instead of scanning one gzip stream.
+//     This is the checkpoint format: decoding it is an order of magnitude
+//     cheaper than parsing text, which is what makes replay cheaper than
+//     the probing it avoids. A ".bin" Create path selects it.
+//
+// Readers sniff text, gzip and binary transparently (Replay/ReplayFile/
+// ScanFile); cmd/tracedump converts between the encodings.
 package tracefile
 
 import (
@@ -22,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -30,29 +44,50 @@ import (
 	"cloudmap/internal/probe"
 )
 
-// ErrTruncated marks a stream that ended mid-record — typically a gzip
-// checkpoint cut off by a crash before the footer was flushed. Callers
-// detect it with errors.Is and treat the file like a trailer-less
-// (interrupted) checkpoint: re-probe rather than trust it.
+// ErrTruncated marks a stream that ended mid-record — typically a checkpoint
+// cut off by a crash before the footer was flushed (a torn gzip stream, or a
+// binary file whose final frame or index is incomplete). Callers detect it
+// with errors.Is and treat the file like a trailer-less (interrupted)
+// checkpoint: re-probe rather than trust it.
 var ErrTruncated = errors.New("tracefile: truncated stream")
 
-// version is bumped when the record layout changes.
+// version is bumped when the text record layout changes.
 const version = 1
 
 // trailerPrefix introduces the completeness trailer. It parses as a comment,
 // so files carrying it stay readable by older readers.
 const trailerPrefix = "# complete "
 
-// Writer streams traces to an output.
+// rttMicros converts a hop RTT to the exact microsecond count both formats
+// store. Rounding to nearest (not the old float-multiply truncation) makes
+// encode→decode→encode an identity: the decoded value µs/1000 re-encodes to
+// the same µs.
+func rttMicros(ms float64) int64 { return int64(math.Round(ms * 1000)) }
+
+// appendIP formats ip as a dotted quad without allocating.
+func appendIP(b []byte, ip netblock.IP) []byte {
+	b = strconv.AppendUint(b, uint64(ip>>24), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(ip>>16&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(ip>>8&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(ip&0xff), 10)
+	return b
+}
+
+// Writer streams traces to an output in one of the supported encodings.
 type Writer struct {
 	w   *bufio.Writer
 	gz  *gzip.Writer // non-nil when writing a gzip stream
+	bin *binWriter   // non-nil when writing the v2 binary format
+	buf []byte       // text record assembly buffer, reused across Writes
 	n   int          // records written
 	err error
 }
 
-// NewWriter writes the header and returns a Writer. Callers must Flush (or
-// Finish, which also writes the completeness trailer).
+// NewWriter writes the text header and returns a Writer. Callers must Flush
+// (or Finish, which also writes the completeness trailer).
 func NewWriter(w io.Writer) (*Writer, error) {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "# cloudmap tracefile v%d\n", version); err != nil {
@@ -61,8 +96,8 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return &Writer{w: bw}, nil
 }
 
-// NewGzipWriter layers the tracefile stream over gzip. Callers must Close
-// (or Finish) to flush the gzip footer; Flush alone leaves a syncable but
+// NewGzipWriter layers the text stream over gzip. Callers must Close (or
+// Finish) to flush the gzip footer; Flush alone leaves a syncable but
 // unterminated stream.
 func NewGzipWriter(w io.Writer) (*Writer, error) {
 	gz := gzip.NewWriter(w)
@@ -74,25 +109,59 @@ func NewGzipWriter(w io.Writer) (*Writer, error) {
 	return tw, nil
 }
 
+// NewBinaryWriter writes the v2 binary header and returns a Writer in
+// binary mode. Finish writes the chunk index and CRC-framed trailer that
+// mark the file complete; Close without Finish leaves a loadable partial
+// file (whole chunks only, no index).
+func NewBinaryWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bin, err := newBinWriter(bw)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, bin: bin}, nil
+}
+
 // Write appends one trace. The first error sticks and is returned by Flush.
 func (w *Writer) Write(tr probe.Trace) {
 	if w.err != nil {
 		return
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "T %s/%d %s %d ", tr.Src.Cloud, tr.Src.Region, tr.Dst, tr.Status)
+	if w.bin != nil {
+		if w.err = w.bin.encode(tr); w.err == nil {
+			w.n++
+		}
+		return
+	}
+	b := append(w.buf[:0], 'T', ' ')
+	b = append(b, tr.Src.Cloud...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(tr.Src.Region), 10)
+	b = append(b, ' ')
+	b = appendIP(b, tr.Dst)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(tr.Status), 10)
+	b = append(b, ' ')
 	for i, h := range tr.Hops {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
 		if !h.Responsive() {
-			b.WriteByte('*')
+			b = append(b, '*')
 			continue
 		}
-		fmt.Fprintf(&b, "%s/%d", h.Addr, int64(h.RTTms*1000))
+		us := rttMicros(h.RTTms)
+		if us < 0 {
+			w.err = fmt.Errorf("tracefile: negative RTT %v on hop %s", h.RTTms, h.Addr)
+			return
+		}
+		b = appendIP(b, h.Addr)
+		b = append(b, '/')
+		b = strconv.AppendInt(b, us, 10)
 	}
-	b.WriteByte('\n')
-	if _, w.err = w.w.WriteString(b.String()); w.err == nil {
+	b = append(b, '\n')
+	w.buf = b
+	if _, w.err = w.w.Write(b); w.err == nil {
 		w.n++
 	}
 }
@@ -102,10 +171,17 @@ func (w *Writer) Count() int { return w.n }
 
 // Flush drains buffers and reports the first write error. On a gzip stream
 // it emits a sync block so everything written so far is decodable, without
-// terminating the stream.
+// terminating the stream; on a binary stream it frames the current partial
+// chunk for the same guarantee.
 func (w *Writer) Flush() error {
 	if w.err != nil {
 		return w.err
+	}
+	if w.bin != nil {
+		if err := w.bin.flushChunk(); err != nil {
+			w.err = err
+			return err
+		}
 	}
 	if err := w.w.Flush(); err != nil {
 		w.err = err
@@ -122,10 +198,18 @@ func (w *Writer) Flush() error {
 
 // Finish writes the completeness trailer and flushes. A file without the
 // trailer replays fine but reports Complete == false — the mark of an
-// interrupted campaign.
+// interrupted campaign. For text that trailer is the "# complete <n>"
+// comment; for binary it is the chunk index plus the CRC-framed footer.
 func (w *Writer) Finish() error {
 	if w.err != nil {
 		return w.err
+	}
+	if w.bin != nil {
+		if err := w.bin.finish(); err != nil {
+			w.err = err
+			return err
+		}
+		return w.Close()
 	}
 	if _, err := fmt.Fprintf(w.w, "%s%d\n", trailerPrefix, w.n); err != nil {
 		w.err = err
@@ -158,7 +242,8 @@ type FileWriter struct {
 }
 
 // Create opens path for writing (truncating any previous content) and
-// returns a FileWriter; a ".gz" suffix selects the gzip layer. Callers end
+// returns a FileWriter; a ".bin" suffix selects the v2 binary format, a
+// ".gz" suffix the gzip text layer, anything else plain text. Callers end
 // the file with Finish (complete) or Close (partial but loadable).
 func Create(path string) (*FileWriter, error) {
 	f, err := os.Create(path)
@@ -166,9 +251,12 @@ func Create(path string) (*FileWriter, error) {
 		return nil, err
 	}
 	var w *Writer
-	if strings.HasSuffix(path, ".gz") {
+	switch {
+	case strings.HasSuffix(path, ".bin"):
+		w, err = NewBinaryWriter(f)
+	case strings.HasSuffix(path, ".gz"):
 		w, err = NewGzipWriter(f)
-	} else {
+	default:
 		w, err = NewWriter(f)
 	}
 	if err != nil {
@@ -236,12 +324,17 @@ func Read(r io.Reader, sink probe.TraceSink) error {
 	return err
 }
 
-// Replay is Read plus a Summary: it transparently decompresses gzip input
-// (sniffing the magic bytes) and reports whether the stream carried a valid
-// completeness trailer.
+// Replay replays every trace in the input into sink and reports a Summary.
+// It sniffs the encoding — v1 text, gzip-compressed text, or v2 binary —
+// from the leading magic bytes, and reports whether the stream carried a
+// valid completeness trailer.
 func Replay(r io.Reader, sink probe.TraceSink) (Summary, error) {
-	br := bufio.NewReader(r)
-	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+	return replaySniff(bufio.NewReaderSize(r, 1<<16), sink)
+}
+
+func replaySniff(br *bufio.Reader, sink probe.TraceSink) (Summary, error) {
+	magic, _ := br.Peek(8)
+	if len(magic) >= 2 && magic[0] == 0x1f && magic[1] == 0x8b {
 		zr, err := gzip.NewReader(br)
 		if err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) {
@@ -250,7 +343,14 @@ func Replay(r io.Reader, sink probe.TraceSink) (Summary, error) {
 			return Summary{}, fmt.Errorf("tracefile: gzip: %w", err)
 		}
 		defer zr.Close()
-		return replay(zr, sink)
+		zbr := bufio.NewReaderSize(zr, 1<<16)
+		if inner, _ := zbr.Peek(8); isBinMagic(inner) {
+			return replayBinary(zbr, sink)
+		}
+		return replay(zbr, sink)
+	}
+	if isBinMagic(magic) {
+		return replayBinary(br, sink)
 	}
 	return replay(br, sink)
 }
@@ -268,8 +368,19 @@ func ReplayFile(path string, sink probe.TraceSink) (Summary, error) {
 
 // ScanFile validates the tracefile at path without delivering its traces —
 // the cheap completeness probe resume logic runs before deciding to replay.
+// For binary files this verifies frame CRCs and the chunk index without
+// decoding any record, so scanning costs I/O plus a checksum, not a parse.
 func ScanFile(path string) (Summary, error) {
-	return ReplayFile(path, func(probe.Trace) {})
+	f, err := os.Open(path)
+	if err != nil {
+		return Summary{}, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	if magic, _ := br.Peek(8); isBinMagic(magic) {
+		return scanBinary(br)
+	}
+	return replaySniff(br, func(probe.Trace) {})
 }
 
 func replay(r io.Reader, sink probe.TraceSink) (Summary, error) {
@@ -345,7 +456,7 @@ func parseRecord(text string) (probe.Trace, error) {
 		return tr, fmt.Errorf("malformed source %q", fields[1])
 	}
 	region, err := strconv.Atoi(fields[1][slash+1:])
-	if err != nil {
+	if err != nil || region < 0 {
 		return tr, fmt.Errorf("malformed region in %q", fields[1])
 	}
 	tr.Src = probe.VMRef{Cloud: fields[1][:slash], Region: region}

@@ -110,7 +110,7 @@ func TestCancelMidCampaignLeavesPartialCheckpoint(t *testing.T) {
 	}
 
 	// The partial checkpoint replays but is marked incomplete.
-	sum, err := tracefile.ScanFile(filepath.Join(dir, "campaign.traces.gz"))
+	sum, err := tracefile.ScanFile(filepath.Join(dir, "campaign.traces.bin"))
 	if err != nil {
 		t.Fatalf("partial checkpoint unreadable: %v", err)
 	}
@@ -215,7 +215,7 @@ func TestInterruptAfterCampaignResumes(t *testing.T) {
 			t.Fatalf("campaign should have completed before the interrupt: %+v", st)
 		}
 	}
-	sum, err := tracefile.ScanFile(filepath.Join(dir, "campaign.traces.gz"))
+	sum, err := tracefile.ScanFile(filepath.Join(dir, "campaign.traces.bin"))
 	if err != nil || !sum.Complete {
 		t.Fatalf("campaign checkpoint not complete: %+v, %v", sum, err)
 	}
@@ -274,5 +274,135 @@ func TestConfigHashStability(t *testing.T) {
 	diff.Topology.Seed++
 	if configHash(diff) == h {
 		t.Error("seed change did not change the config hash")
+	}
+}
+
+// TestTornBinaryCheckpointReprobes is the binary-format crash-chaos leg: a
+// checkpoint cut mid-frame (the file a SIGKILLed run leaves behind) must
+// degrade to live re-probing through the checkpoint-truncated path, exactly
+// like torn gzip text, and the re-probed run must match an uninterrupted one.
+func TestTornBinaryCheckpointReprobes(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Topology.Seed = 7
+	dir := t.TempDir()
+	if _, _, err := RunPipeline(context.Background(), nil, cfg, RunOptions{CheckpointDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "campaign.traces.bin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file mid-frame: drop the trailer plus a few payload bytes so
+	// neither the index nor a clean chunk boundary survives.
+	if err := os.WriteFile(path, raw[:len(raw)-40], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tracefile.ScanFile(path); !errors.Is(err, tracefile.ErrTruncated) {
+		t.Fatalf("torn checkpoint scan = %v, want ErrTruncated", err)
+	}
+
+	cfg2 := SmallConfig()
+	cfg2.Topology.Seed = 7
+	res, rep, err := RunPipeline(context.Background(), nil, cfg2, RunOptions{CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range rep.Manifest.Stages {
+		if st.Name == "campaign" {
+			if st.Status != pipeline.StatusOK {
+				t.Fatalf("campaign over a torn checkpoint: status %q, want re-probed ok", st.Status)
+			}
+			if st.Counters["checkpoint-truncated"] != 1 {
+				t.Errorf("truncation not recorded: %+v", st.Counters)
+			}
+		}
+	}
+	ref, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report() != ref.Report() {
+		t.Fatal("re-probed run diverged from an uninterrupted run")
+	}
+	// The re-probe overwrote the torn file with a complete checkpoint.
+	if sum, err := tracefile.ScanFile(path); err != nil || !sum.Complete {
+		t.Fatalf("checkpoint not healed after re-probe: %+v, %v", sum, err)
+	}
+}
+
+// TestLegacyTextCheckpointResumes: a checkpoint directory written by a
+// pre-v2 run (gzip text under the old *.traces.gz names) still resumes.
+func TestLegacyTextCheckpointResumes(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Topology.Seed = 21
+	dir := t.TempDir()
+	res0, _, err := RunPipeline(context.Background(), nil, cfg, RunOptions{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Downgrade both checkpoints to the legacy encoding and name.
+	for _, stage := range []string{"campaign", "expansion"} {
+		binPath := filepath.Join(dir, stage+".traces.bin")
+		gzPath := filepath.Join(dir, stage+".traces.gz")
+		w, err := tracefile.Create(gzPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tracefile.ReplayFile(binPath, w.Sink()); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(binPath); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg2 := SmallConfig()
+	cfg2.Topology.Seed = 21
+	res, rep, err := RunPipeline(context.Background(), nil, cfg2, RunOptions{CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range rep.Manifest.Stages {
+		if st.Name == "campaign" || st.Name == "expansion" {
+			if st.Status != pipeline.StatusResumed {
+				t.Fatalf("stage %s over a legacy checkpoint: status %q, want resumed", st.Name, st.Status)
+			}
+		}
+	}
+	if res.Report() != res0.Report() {
+		t.Fatal("legacy-checkpoint resume diverged from the original run")
+	}
+}
+
+// TestResumeWorkerInvariance is the parallel-decode acceptance criterion:
+// resuming the same checkpoint at workers=1 and workers=8 produces
+// byte-identical reports (chunks decode concurrently but deliver in order).
+func TestResumeWorkerInvariance(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Topology.Seed = 33
+	dir := t.TempDir()
+	ref, _, err := RunPipeline(context.Background(), nil, cfg, RunOptions{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		cfgW := SmallConfig()
+		cfgW.Topology.Seed = 33
+		cfgW.Workers = workers
+		res, rep, err := RunPipeline(context.Background(), nil, cfgW, RunOptions{CheckpointDir: dir, Resume: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, st := range rep.Manifest.Stages {
+			if st.Name == "campaign" && st.Status != pipeline.StatusResumed {
+				t.Fatalf("workers=%d: campaign status %q, want resumed", workers, st.Status)
+			}
+		}
+		if res.Report() != ref.Report() {
+			t.Fatalf("workers=%d: resumed report diverged from the fresh run", workers)
+		}
 	}
 }

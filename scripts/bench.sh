@@ -16,6 +16,9 @@ trap 'rm -f "$RAW"' EXIT
 echo "==> go test -bench BenchmarkPipeline -benchtime 1x ."
 go test -run '^$' -bench 'BenchmarkPipeline' -benchtime 1x . | tee "$RAW"
 
+echo "==> go test -bench BenchmarkTracefile ./internal/tracefile"
+go test -run '^$' -bench 'BenchmarkTracefile' ./internal/tracefile | tee -a "$RAW"
+
 # Benchmark lines look like:
 #   BenchmarkPipelineRun-8  1  123456789 ns/op  456.7 campaign-ms  ...
 # i.e. name, iteration count, then (value, unit) pairs.

@@ -67,8 +67,21 @@ grep -q '"epoch":1' "$SMOKE_DIR/epochs.jsonl"
 echo "==> crash-recovery smoke (kill -9 mid-epoch + restart on the same state dir)"
 sh scripts/crash_smoke.sh "${CLOUDMAPD_CRASH_DIR:-$(mktemp -d)}"
 
+echo "==> tracefile format round-trip smoke (binary <-> text byte-identity)"
+RT_DIR="$(mktemp -d)"
+go build -o "$RT_DIR/" ./cmd/cloudmap ./cmd/tracedump
+"$RT_DIR/cloudmap" -scale small -traces "$RT_DIR/camp.traces.bin" >/dev/null
+"$RT_DIR/tracedump" -stat "$RT_DIR/camp.traces.bin" | grep -q 'binary, complete'
+"$RT_DIR/tracedump" -convert "$RT_DIR/camp.traces.bin" -to text -o "$RT_DIR/camp.traces.gz"
+"$RT_DIR/tracedump" -convert "$RT_DIR/camp.traces.gz" -to binary -o "$RT_DIR/camp2.traces.bin"
+cmp "$RT_DIR/camp.traces.bin" "$RT_DIR/camp2.traces.bin"
+"$RT_DIR/tracedump" -convert "$RT_DIR/camp2.traces.bin" -to text -o "$RT_DIR/camp2.traces.gz"
+cmp "$RT_DIR/camp.traces.gz" "$RT_DIR/camp2.traces.gz"
+rm -rf "$RT_DIR"
+
 echo "==> fuzz smoke (${FUZZ_SECONDS}s per target)"
 go test -run '^$' -fuzz '^FuzzRead$' -fuzztime "${FUZZ_SECONDS}s" ./internal/tracefile
+go test -run '^$' -fuzz '^FuzzReadBinary$' -fuzztime "${FUZZ_SECONDS}s" ./internal/tracefile
 go test -run '^$' -fuzz '^FuzzParseIP$' -fuzztime "${FUZZ_SECONDS}s" ./internal/netblock
 go test -run '^$' -fuzz '^FuzzParsePrefix$' -fuzztime "${FUZZ_SECONDS}s" ./internal/netblock
 for target in FuzzRIB FuzzWhois FuzzIXPs FuzzFacilities FuzzAs2org FuzzASRel FuzzCones FuzzRDNS; do
