@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz chaos hygiene crash
+.PHONY: build test check bench fuzz chaos hygiene crash agent-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ hygiene:
 # also part of 'make check').
 crash:
 	sh scripts/crash_smoke.sh
+
+# Distributed-probing smoke: run cloudmapd against a real three-agent
+# fleet, SIGKILL one cloudmapagent mid-chunk, and verify /v1/peerings is
+# byte-identical to a local-only run (see scripts/agent_smoke.sh; also
+# part of 'make check').
+agent-smoke:
+	sh scripts/agent_smoke.sh
 
 fuzz:
 	sh scripts/check.sh 30

@@ -1,0 +1,108 @@
+package cloudmap
+
+// Distributed-execution chaos: the acceptance test for the dispatch layer.
+// A campaign leased to a fleet where one agent chaos-crashes mid-chunk and
+// another stalls past every lease deadline must still produce a report
+// byte-identical to the single-process run — re-leasing, hedging, and local
+// fallback change who does the work, never the bytes.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cloudmap/internal/dispatch"
+	"cloudmap/internal/faults"
+	"cloudmap/internal/metrics"
+)
+
+// chaosAgent spins up one in-process agent over httptest. A chaos crash
+// cannot os.Exit the test binary, so the Exit hook kills the agent the way
+// a dead process looks from outside: the listener closes and every open
+// connection drops mid-request.
+func chaosAgent(t *testing.T, sys *System, id, fp string, plan *faults.AgentPlan) *httptest.Server {
+	t.Helper()
+	chaos, err := plan.Bind(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srv *httptest.Server
+	agent := dispatch.NewAgent(dispatch.AgentOptions{
+		ID: id, Prober: sys.Prober, Fingerprint: fp, Chaos: chaos,
+		Exit: func(string) {
+			srv.Listener.Close()
+			srv.CloseClientConnections()
+		},
+	})
+	srv = httptest.NewServer(agent.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestChaosDistributedByteIdentical: a 3-agent distributed run of the
+// faulted pipeline — one agent crashed by its chaos plan, one stalled past
+// the lease deadline on every chunk, one healthy — at a different worker
+// count than the local baseline, must reproduce the baseline's report and
+// summary byte for byte.
+func TestChaosDistributedByteIdentical(t *testing.T) {
+	baseline, baseRep := chaosRun(t) // shared local run, default workers
+
+	cfg := chaosConfig(t)
+	cfg.Workers = 2 // byte-identity must hold at any worker count
+
+	// The agents share one world built from the same config; the prober is
+	// stateless across chunks, so one instance serves all three.
+	agentSys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := dispatch.Fingerprint(cfg.Topology, cfg.Faults)
+	crashPlan := &faults.AgentPlan{Seed: 1, WindowChunks: 1, Crash: &faults.AgentCrashPlan{Prob: 1}}
+	stallPlan := &faults.AgentPlan{Seed: 1, WindowChunks: 1, Stall: &faults.AgentStallPlan{Prob: 1, Sec: 30}}
+	healthyPlan := &faults.AgentPlan{Seed: 1}
+	crash := chaosAgent(t, agentSys, "chaos-crash", fp, crashPlan)
+	stall := chaosAgent(t, agentSys, "chaos-stall", fp, stallPlan)
+	healthy := chaosAgent(t, agentSys, "healthy", fp, healthyPlan)
+
+	reg := metrics.NewRegistry()
+	res, rep, err := RunPipeline(context.Background(), nil, cfg, RunOptions{
+		Dispatch: &dispatch.Options{
+			Agents:       []string{crash.URL, stall.URL, healthy.URL},
+			LeaseTimeout: 500 * time.Millisecond,
+			RetryBackoff: 10 * time.Millisecond,
+			Heartbeat:    100 * time.Millisecond,
+			Metrics:      reg,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := res.Report(), baseline.Report(); got != want {
+		t.Errorf("distributed report diverged from single-process run (%d vs %d bytes)", len(got), len(want))
+	}
+	if got, want := len(rep.Manifest.Summary), len(baseRep.Manifest.Summary); got != want {
+		t.Fatalf("summary key count %d != %d", got, want)
+	}
+	for k, want := range baseRep.Manifest.Summary {
+		if got := rep.Manifest.Summary[k]; got != want {
+			t.Errorf("summary[%q] = %v, want %v", k, got, want)
+		}
+	}
+
+	// The failure schedule must actually have fired: the crash agent was
+	// lost, the stall agent expired leases, and work still flowed remotely.
+	granted := reg.Counter("dispatch.leases_granted").Value()
+	expired := reg.Counter("dispatch.leases_expired").Value()
+	lost := reg.Counter("dispatch.agents_lost").Value()
+	if granted == 0 {
+		t.Error("no leases granted: the run never went distributed")
+	}
+	if lost == 0 {
+		t.Error("no agent marked lost despite a chaos crash")
+	}
+	if expired == 0 {
+		t.Error("no lease expired despite a permanently stalled agent")
+	}
+}

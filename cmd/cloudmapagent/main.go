@@ -1,0 +1,121 @@
+// Command cloudmapagent is a remote probe agent: it builds the same
+// simulated world as its controller (same scale, seed, and fault plan),
+// then serves the dispatch lease protocol — GET /agent/v1/health heartbeats
+// and POST /agent/v1/lease work leases — executing campaign chunks against
+// its local probing plane and streaming the results back as CRC-framed
+// binary tracefiles.
+//
+// Usage:
+//
+//	cloudmapagent [-scale small|medium|paper] [-seed N] [-workers N]
+//	              [-addr 127.0.0.1:0] [-addr-file F] [-agent-id ID]
+//	              [-fault-plan plan.json] [-agent-plan plan.json]
+//
+// The controller (cloudmapd -agents, or cloudmap with dispatch wired in)
+// refuses to exchange work with an agent whose world fingerprint — the hash
+// of the topology config and fault plan — differs from its own, so a
+// mis-started agent degrades to "ignored", never to "wrong results".
+//
+// -agent-plan injects the deterministic agent-fault schedule (crashes,
+// stalls, partitions; see internal/faults.AgentPlan) for chaos drills: a
+// chaos crash exits the process with status 3 so a supervisor (or the
+// smoke script) can observe it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cloudmap"
+	"cloudmap/internal/dispatch"
+	"cloudmap/internal/faults"
+	"cloudmap/internal/obs"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "topology scale: small, medium, or paper (must match the controller)")
+	seed := flag.Uint64("seed", 1, "generation seed (must match the controller)")
+	workers := flag.Int("workers", 0, "concurrently executing leases; <=0 uses all CPUs")
+	addr := flag.String("addr", "127.0.0.1:0", "serve the agent protocol on this address (\":0\" picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	agentID := flag.String("agent-id", "", "agent name in logs, health documents, and chaos draws (default: agent-<pid>)")
+	faultPlan := flag.String("fault-plan", "", "probe-side fault plan JSON (must match the controller; see testdata/faultplans)")
+	agentPlan := flag.String("agent-plan", "", "agent chaos plan JSON: deterministic crashes, stalls, partitions (see testdata/agentplans)")
+	flag.Parse()
+
+	var cfg cloudmap.Config
+	switch *scale {
+	case "small":
+		cfg = cloudmap.SmallConfig()
+	case "medium":
+		cfg = cloudmap.MediumConfig()
+	case "paper":
+		cfg = cloudmap.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q (want small, medium, or paper)", *scale)
+	}
+	cfg.Topology.Seed = *seed
+	if *faultPlan != "" {
+		plan, err := faults.LoadPlan(*faultPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = plan
+	}
+
+	id := *agentID
+	if id == "" {
+		id = fmt.Sprintf("agent-%d", os.Getpid())
+	}
+	logger := log.New(os.Stderr, "cloudmapagent: ", log.LstdFlags)
+
+	var chaos *faults.AgentChaos
+	if *agentPlan != "" {
+		plan, err := faults.LoadAgentPlan(*agentPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chaos, err = plan.Bind(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logger.Printf("agent %s: chaos plan %s armed", id, *agentPlan)
+	}
+
+	sys, err := cloudmap.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp := dispatch.Fingerprint(cfg.Topology, cfg.Faults)
+
+	agent := dispatch.NewAgent(dispatch.AgentOptions{
+		ID:          id,
+		Prober:      sys.Prober,
+		Fingerprint: fp,
+		Workers:     *workers,
+		Chaos:       chaos,
+		Log:         logger,
+		// Default Exit: os.Exit(3) — a chaos crash kills the real process.
+	})
+
+	srv, err := obs.ServeHandler(*addr, agent.Handler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cloudmapagent %s serving on http://%s (world %s)\n", id, srv.Addr(), fp)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	<-sigs
+	fmt.Fprintln(os.Stderr, "cloudmapagent: stopping")
+	srv.Close()
+}

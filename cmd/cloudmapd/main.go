@@ -12,6 +12,7 @@
 //	          [-history-limit N] [-watch-keepalive 30s]
 //	          [-checkpoint-dir DIR] [-epoch-journal j.jsonl]
 //	          [-drain-timeout 30s]
+//	          [-agents URL,URL,...] [-lease-timeout 60s]
 //
 // Each epoch the daemon derives the next world state from the churn plan
 // (re-homed prefixes, facility tenant moves, DNS renames — all
@@ -48,6 +49,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,6 +58,18 @@ import (
 	"cloudmap/internal/obs"
 	"cloudmap/internal/service"
 )
+
+// splitAgents parses the -agents list: comma-separated base URLs, empty
+// entries dropped.
+func splitAgents(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
 
 func main() {
 	scale := flag.String("scale", "small", "topology scale: small, medium, or paper")
@@ -77,6 +91,8 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "persist probing rounds here so dataset-only epochs replay instead of re-probing (superseded by -state-dir)")
 	epochJournal := flag.String("epoch-journal", "", "append one deterministic CRC-framed JSON line per epoch (stage statuses, input hashes, map deltas) to this file (superseded by -state-dir)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight HTTP requests at shutdown")
+	agents := flag.String("agents", "", "comma-separated cloudmapagent base URLs (e.g. http://127.0.0.1:7091,http://127.0.0.1:7092); probing campaigns dispatch chunks to the fleet, falling back to local execution when no agent can finish a chunk")
+	leaseTimeout := flag.Duration("lease-timeout", 0, "per-lease deadline for dispatched chunks; a straggling agent is marked lost and the chunk re-dispatches (0 = 60s)")
 	flag.Parse()
 
 	var cfg cloudmap.Config
@@ -118,6 +134,8 @@ func main() {
 		WatchKeepalive:  *watchKeepalive,
 		CheckpointDir:   *checkpointDir,
 		JournalPath:     *epochJournal,
+		Agents:          splitAgents(*agents),
+		LeaseTimeout:    *leaseTimeout,
 		Metrics:         reg,
 		Progress:        obs.NewProgress(reg),
 		Log:             log.New(os.Stderr, "cloudmapd: ", log.LstdFlags),

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"cloudmap/internal/datasets"
+	"cloudmap/internal/dispatch"
 	"cloudmap/internal/metrics"
 	"cloudmap/internal/netblock"
 	"cloudmap/internal/obs"
@@ -45,6 +46,10 @@ type SessionOptions struct {
 	Metrics *metrics.Registry
 	// Progress, when non-nil, receives live stage/trace updates.
 	Progress *obs.Progress
+	// Dispatch, when non-nil, leases the probing campaigns' chunks to the
+	// configured remote agents; one controller (heartbeats, hedging state)
+	// persists across the session's epochs. Close releases it.
+	Dispatch *dispatch.Options
 }
 
 // EpochReport records one epoch's scheduling outcome: which stages ran,
@@ -119,8 +124,24 @@ func NewSession(cfg Config, opts SessionOptions) (*Session, error) {
 		probePlanNow: make(map[string]string),
 		probeGate:    make(map[string]string),
 	}
+	if opts.Dispatch != nil {
+		st.disp = dispatch.NewController(*opts.Dispatch, dispatch.Fingerprint(cfg.Topology, cfg.Faults))
+	}
 	return &Session{cfg: cfg, opts: opts, sys: sys, st: st, reg: reg, prev: make(map[string]string)}, nil
 }
+
+// Close releases session resources: the dispatch controller's heartbeat
+// loop, when distributed probing is configured. Safe on a nil-dispatch
+// session and safe to call repeatedly.
+func (s *Session) Close() {
+	if s.st.disp != nil {
+		s.st.disp.Close()
+	}
+}
+
+// Dispatch exposes the session's dispatch controller; nil when probing runs
+// in-process. The daemon reads its Stats for the status surface.
+func (s *Session) Dispatch() *dispatch.Controller { return s.st.disp }
 
 // System exposes the session's simulated world.
 func (s *Session) System() *System { return s.sys }

@@ -1,0 +1,174 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"cloudmap/internal/faults"
+	"cloudmap/internal/probe"
+	"cloudmap/internal/tracefile"
+)
+
+// AgentOptions configures one probe agent.
+type AgentOptions struct {
+	// ID names the agent in logs, health documents, and chaos draws.
+	ID string
+	// Prober is the agent's probing plane, built from the same config the
+	// controller runs (same scale, seed, and fault plan).
+	Prober *probe.Prober
+	// Fingerprint guards the lease protocol; leases carrying a different
+	// fingerprint are refused with 409 (see Fingerprint).
+	Fingerprint string
+	// Workers bounds concurrently executing leases; <=0 uses all CPUs.
+	Workers int
+	// Chaos, when non-nil, injects the deterministic agent-fault schedule
+	// (crashes, stalls, partitions) — test and chaos-drill machinery.
+	Chaos *faults.AgentChaos
+	// Exit is the crash hook Chaos uses: a real agent process exits
+	// (cmd/cloudmapagent installs os.Exit), in-process test agents close
+	// their listener instead. Nil defaults to os.Exit(3).
+	Exit func(reason string)
+	// Log receives lease and chaos events; nil discards.
+	Log *log.Logger
+}
+
+// Agent executes work leases against a local probing plane and reports the
+// results as complete single-campaign binary tracefiles. Handlers are safe
+// for concurrent use; lease execution is bounded by Workers.
+type Agent struct {
+	opts AgentOptions
+	sem  chan struct{}
+	done atomic.Int64
+}
+
+// NewAgent builds the agent server state.
+func NewAgent(opts AgentOptions) *Agent {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Exit == nil {
+		opts.Exit = func(reason string) {
+			if opts.Log != nil {
+				opts.Log.Printf("agent %s: exiting: %s", opts.ID, reason)
+			}
+			os.Exit(3)
+		}
+	}
+	if opts.Log == nil {
+		opts.Log = log.New(io.Discard, "", 0)
+	}
+	return &Agent{opts: opts, sem: make(chan struct{}, opts.Workers)}
+}
+
+// Handler serves the agent protocol: GET /agent/v1/health heartbeats and
+// POST /agent/v1/lease work leases.
+func (a *Agent) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(healthPath, a.handleHealth)
+	mux.HandleFunc(leasePath, a.handleLease)
+	return mux
+}
+
+func (a *Agent) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(Health{ID: a.opts.ID, Fingerprint: a.opts.Fingerprint, LeasesDone: a.done.Load()})
+}
+
+func (a *Agent) handleLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var lease Lease
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&lease); err != nil {
+		http.Error(w, fmt.Sprintf("lease decode: %v", err), http.StatusBadRequest)
+		return
+	}
+	if lease.Fingerprint != a.opts.Fingerprint {
+		a.opts.Log.Printf("agent %s: refusing lease %s: fingerprint %s != %s (world mismatch)",
+			a.opts.ID, lease.ID, lease.Fingerprint, a.opts.Fingerprint)
+		http.Error(w, "world fingerprint mismatch", http.StatusConflict)
+		return
+	}
+	if crc := TargetsCRC(lease.Targets); crc != lease.TargetsCRC {
+		a.opts.Log.Printf("agent %s: refusing lease %s: target CRC %08x != %08x", a.opts.ID, lease.ID, crc, lease.TargetsCRC)
+		http.Error(w, "lease target crc mismatch", http.StatusBadRequest)
+		return
+	}
+
+	// Chaos, in severity order. Partition: the agent is unreachable for
+	// this window — refuse at transport level (the controller treats any
+	// non-200 as a failed lease and re-dispatches). Stall: freeze before
+	// probing, long enough to trip the lease deadline. Crash: the process
+	// dies mid-chunk; the controller sees the connection drop.
+	chunk := lease.Chunk.Index
+	if a.opts.Chaos.PartitionedOn(chunk) {
+		a.opts.Log.Printf("agent %s: chaos partition: refusing lease %s (chunk %d)", a.opts.ID, lease.ID, chunk)
+		http.Error(w, "chaos: partitioned", http.StatusServiceUnavailable)
+		return
+	}
+	if d := a.opts.Chaos.StallFor(chunk); d > 0 {
+		a.opts.Log.Printf("agent %s: chaos stall %s on lease %s (chunk %d)", a.opts.ID, d, lease.ID, chunk)
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return // controller gave up; nothing useful to send
+		}
+	}
+	if a.opts.Chaos.CrashOn(chunk) {
+		a.opts.Log.Printf("agent %s: chaos crash on lease %s (chunk %d)", a.opts.ID, lease.ID, chunk)
+		a.opts.Exit(fmt.Sprintf("chaos crash on chunk %d", chunk))
+		return // in-process agents: the listener is gone, the response goes nowhere
+	}
+
+	a.sem <- struct{}{}
+	defer func() { <-a.sem }()
+	a.opts.Log.Printf("agent %s: lease %s: chunk %d %s (%d targets)", a.opts.ID, lease.ID, chunk, lease.Chunk.Span(), len(lease.Targets))
+
+	traces, stats, err := a.opts.Prober.RunChunkObs(r.Context(), nil, nil, lease.Chunk, lease.Targets, lease.Retry, lease.Epoch, lease.Budget, 0)
+	if err != nil {
+		a.opts.Log.Printf("agent %s: lease %s failed: %v", a.opts.ID, lease.ID, err)
+		http.Error(w, fmt.Sprintf("lease execution: %v", err), http.StatusInternalServerError)
+		return
+	}
+
+	// The result frame is a complete binary tracefile v2: CRC-framed
+	// chunks plus index and trailer, so the controller verifies integrity
+	// and completeness with the format's own machinery.
+	var buf bytes.Buffer
+	tw, err := tracefile.NewBinaryWriter(&buf)
+	if err == nil {
+		for _, tr := range traces {
+			tw.Write(tr)
+		}
+		err = tw.Finish()
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("lease encode: %v", err), http.StatusInternalServerError)
+		return
+	}
+	statsJSON, err := json.Marshal(stats)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("lease stats encode: %v", err), http.StatusInternalServerError)
+		return
+	}
+	a.done.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(hdrStats, string(statsJSON))
+	w.Header().Set(hdrAgent, a.opts.ID)
+	w.Write(buf.Bytes())
+}

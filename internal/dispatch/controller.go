@@ -1,0 +1,631 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudmap/internal/metrics"
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/obs"
+	"cloudmap/internal/probe"
+	"cloudmap/internal/tracefile"
+)
+
+// Options tunes the dispatch controller.
+type Options struct {
+	// Agents lists the agent base URLs (http://host:port). Empty means
+	// every campaign runs locally.
+	Agents []string
+	// LeaseTimeout is the per-lease deadline; an expired lease counts as
+	// failed and the chunk re-dispatches. Defaults to 60s.
+	LeaseTimeout time.Duration
+	// MaxAttempts bounds remote dispatch attempts per chunk before the
+	// controller runs the chunk locally. Defaults to 3.
+	MaxAttempts int
+	// RetryBackoff is the pause before a chunk's second dispatch attempt,
+	// doubling per further attempt. Defaults to 200ms.
+	RetryBackoff time.Duration
+	// Heartbeat is the agent health-poll interval. Defaults to 1s.
+	Heartbeat time.Duration
+	// HedgeFactor duplicates a lease once it outlives factor × the p95 of
+	// observed lease durations (straggler hedging). Defaults to 2.
+	HedgeFactor float64
+	// HedgeMin floors the hedge delay so fast campaigns do not hedge on
+	// noise. Defaults to 250ms.
+	HedgeMin time.Duration
+	// HedgeMinSamples is how many lease durations must be observed before
+	// hedging arms. Defaults to 8.
+	HedgeMinSamples int
+	// Metrics receives the lease counters, named <MetricsPrefix>.leases_granted,
+	// .leases_expired, .chunks_rehedged, .agents_lost, .chunks_local, and
+	// .lease_failures. Nil creates a private registry.
+	Metrics *metrics.Registry
+	// MetricsPrefix defaults to "dispatch"; the daemon installs "service".
+	MetricsPrefix string
+	// Log receives lease lifecycle events; nil discards.
+	Log *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 60 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 200 * time.Millisecond
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = time.Second
+	}
+	if o.HedgeFactor <= 0 {
+		o.HedgeFactor = 2
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = 250 * time.Millisecond
+	}
+	if o.HedgeMinSamples <= 0 {
+		o.HedgeMinSamples = 8
+	}
+	if o.Metrics == nil {
+		o.Metrics = metrics.NewRegistry()
+	}
+	if o.MetricsPrefix == "" {
+		o.MetricsPrefix = "dispatch"
+	}
+	if o.Log == nil {
+		o.Log = log.New(io.Discard, "", 0)
+	}
+	return o
+}
+
+// healthResurrect is how many consecutive heartbeat successes bring a lost
+// agent back; downMark how many consecutive failures take a live one out.
+// healthTimeoutFloor bounds the health-poll deadline from below: a fast
+// heartbeat cadence must not imply a hair-trigger timeout, or an agent
+// merely busy executing leases gets marked lost on scheduling noise.
+const (
+	healthResurrect    = 3
+	downMark           = 2
+	healthTimeoutFloor = time.Second
+)
+
+// agentState is the controller's view of one agent.
+type agentState struct {
+	url      string
+	live     atomic.Bool
+	inflight atomic.Int64
+	fails    atomic.Int64 // consecutive health failures
+	oks      atomic.Int64 // consecutive health successes while down
+	needOK   atomic.Int64 // successes required to (re)join; 1 initially, healthResurrect after a loss
+}
+
+// Stats is a snapshot of the controller's dispatch telemetry.
+type Stats struct {
+	LeasesGranted  int64 // leases issued (including hedges and retries)
+	LeasesExpired  int64 // leases that exceeded the deadline
+	ChunksRehedged int64 // chunks duplicate-dispatched against stragglers
+	AgentsLost     int64 // live→lost transitions
+	ChunksLocal    int64 // chunks executed locally (fallback)
+	LeaseFailures  int64 // failed leases (transport, refusal, bad frame)
+}
+
+// Controller leases campaign chunks to remote agents and merges their
+// results deterministically. One controller serves many campaigns (the
+// daemon's epochs); Close stops its heartbeat loop.
+type Controller struct {
+	opts        Options
+	fingerprint string
+	client      *http.Client
+	agents      []*agentState
+
+	cGranted  *metrics.Counter
+	cExpired  *metrics.Counter
+	cRehedged *metrics.Counter
+	cLost     *metrics.Counter
+	cLocal    *metrics.Counter
+	cFailed   *metrics.Counter
+
+	leaseSeq atomic.Int64
+
+	durMu sync.Mutex
+	durs  []time.Duration // recent lease durations (hedge-delay estimator)
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	closed    chan struct{}
+	hbDone    chan struct{}
+}
+
+// NewController builds a controller for the given agent set. fingerprint is
+// the probing-world guard every lease carries (see Fingerprint). Heartbeats
+// start lazily on the first campaign.
+func NewController(opts Options, fingerprint string) *Controller {
+	opts = opts.withDefaults()
+	c := &Controller{
+		opts:        opts,
+		fingerprint: fingerprint,
+		client:      &http.Client{},
+		closed:      make(chan struct{}),
+		hbDone:      make(chan struct{}),
+
+		cGranted:  opts.Metrics.Counter(opts.MetricsPrefix + ".leases_granted"),
+		cExpired:  opts.Metrics.Counter(opts.MetricsPrefix + ".leases_expired"),
+		cRehedged: opts.Metrics.Counter(opts.MetricsPrefix + ".chunks_rehedged"),
+		cLost:     opts.Metrics.Counter(opts.MetricsPrefix + ".agents_lost"),
+		cLocal:    opts.Metrics.Counter(opts.MetricsPrefix + ".chunks_local"),
+		cFailed:   opts.Metrics.Counter(opts.MetricsPrefix + ".lease_failures"),
+	}
+	for _, u := range opts.Agents {
+		a := &agentState{url: u}
+		a.needOK.Store(1)
+		c.agents = append(c.agents, a)
+	}
+	return c
+}
+
+// Stats snapshots the dispatch counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		LeasesGranted:  c.cGranted.Value(),
+		LeasesExpired:  c.cExpired.Value(),
+		ChunksRehedged: c.cRehedged.Value(),
+		AgentsLost:     c.cLost.Value(),
+		ChunksLocal:    c.cLocal.Value(),
+		LeaseFailures:  c.cFailed.Value(),
+	}
+}
+
+// LiveAgents counts agents currently considered healthy.
+func (c *Controller) LiveAgents() int {
+	n := 0
+	for _, a := range c.agents {
+		if a.live.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops the heartbeat loop. Safe to call repeatedly; campaigns in
+// flight finish their current leases.
+func (c *Controller) Close() {
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.startOnce.Do(func() { close(c.hbDone) }) // never started: nothing to wait for
+	<-c.hbDone
+}
+
+// start runs the initial synchronous health sweep (so the first campaign
+// sees accurate liveness) and launches the heartbeat loop.
+func (c *Controller) start() {
+	c.sweep()
+	go func() {
+		defer close(c.hbDone)
+		t := time.NewTicker(c.opts.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.closed:
+				return
+			case <-t.C:
+				c.sweep()
+			}
+		}
+	}()
+}
+
+// sweep health-polls every agent once, updating liveness.
+func (c *Controller) sweep() {
+	var wg sync.WaitGroup
+	for _, a := range c.agents {
+		wg.Add(1)
+		go func(a *agentState) {
+			defer wg.Done()
+			if c.checkHealth(a) {
+				a.fails.Store(0)
+				if !a.live.Load() && a.oks.Add(1) >= a.needOK.Load() {
+					a.live.Store(true)
+					c.opts.Log.Printf("dispatch: agent %s live", a.url)
+				}
+			} else {
+				a.oks.Store(0)
+				if a.live.Load() && a.fails.Add(1) >= downMark {
+					c.markDown(a, "heartbeat failures")
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+}
+
+func (c *Controller) checkHealth(a *agentState) bool {
+	to := 2 * c.opts.Heartbeat
+	if to < healthTimeoutFloor {
+		to = healthTimeoutFloor
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), to)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.url+healthPath, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var h Health
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil {
+		return false
+	}
+	if h.Fingerprint != c.fingerprint {
+		// A live process probing a different world is worse than a dead
+		// one; keep it out of the rotation permanently.
+		return false
+	}
+	return true
+}
+
+// markDown transitions an agent to lost (idempotent) and raises the bar for
+// its return to a few consecutive healthy heartbeats.
+func (c *Controller) markDown(a *agentState, reason string) {
+	if a.live.CompareAndSwap(true, false) {
+		a.oks.Store(0)
+		a.needOK.Store(healthResurrect)
+		c.cLost.Inc()
+		c.opts.Log.Printf("dispatch: agent %s lost (%s)", a.url, reason)
+	}
+}
+
+// pickAgent selects the least-loaded live agent, skipping except; nil when
+// none is live.
+func (c *Controller) pickAgent(except *agentState) *agentState {
+	var best *agentState
+	var bestLoad int64
+	for _, a := range c.agents {
+		if a == except || !a.live.Load() {
+			continue
+		}
+		load := a.inflight.Load()
+		if best == nil || load < bestLoad {
+			best, bestLoad = a, load
+		}
+	}
+	return best
+}
+
+// observeDuration records a completed lease's wall time for the hedge-delay
+// estimator (bounded window of recent samples).
+func (c *Controller) observeDuration(d time.Duration) {
+	c.durMu.Lock()
+	defer c.durMu.Unlock()
+	if len(c.durs) >= 256 {
+		copy(c.durs, c.durs[1:])
+		c.durs = c.durs[:len(c.durs)-1]
+	}
+	c.durs = append(c.durs, d)
+}
+
+// hedgeDelay returns how long a lease may run before a duplicate dispatches:
+// HedgeFactor × the observed p95, floored at HedgeMin. Hedging stays
+// disarmed (ok=false) until HedgeMinSamples leases have completed.
+func (c *Controller) hedgeDelay() (time.Duration, bool) {
+	c.durMu.Lock()
+	defer c.durMu.Unlock()
+	if len(c.durs) < c.opts.HedgeMinSamples {
+		return 0, false
+	}
+	sorted := append([]time.Duration(nil), c.durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p95 := sorted[len(sorted)*95/100]
+	d := time.Duration(float64(p95) * c.opts.HedgeFactor)
+	if d < c.opts.HedgeMin {
+		d = c.opts.HedgeMin
+	}
+	return d, true
+}
+
+// Campaign runs one probing campaign across the agent fleet, mirroring
+// probe.CampaignRetryObsCtx's contract exactly: traces stream to sink in
+// campaign order, stats merge in chunk order, and the result is
+// byte-identical to a local run at any agent count, worker count, or
+// failure schedule. Chunks that exhaust their remote attempts — or the
+// whole campaign, when no agents are live — run locally on p.
+func (c *Controller) Campaign(ctx context.Context, sp *obs.Span, prog *obs.Progress, p *probe.Prober, vms []probe.VMRef, targets []netblock.IP, workers int, pol probe.RetryPolicy, epoch uint64, sink probe.TraceSink) (probe.CampaignStats, error) {
+	c.startOnce.Do(c.start)
+	chunks := probe.ChunkCampaign(vms, targets)
+	if len(chunks) == 0 {
+		return probe.CampaignStats{}, nil
+	}
+	if c.LiveAgents() == 0 {
+		// Graceful degradation: no fleet, no protocol — the local engine
+		// runs the identical campaign (same chunk spans, same bytes).
+		c.opts.Log.Printf("dispatch: no live agents; running %d chunks locally", len(chunks))
+		c.cLocal.Add(int64(len(chunks)))
+		return p.CampaignRetryObsCtx(ctx, sp, prog, vms, targets, workers, pol, epoch, sink)
+	}
+
+	runChunk := func(wc probe.WorkChunk, lane int) ([]probe.Trace, probe.CampaignStats, error) {
+		return c.runChunk(ctx, sp, prog, p, wc, targets[wc.From:wc.To], len(chunks), pol, epoch, lane)
+	}
+
+	var total probe.CampaignStats
+	if workers <= 1 {
+		for _, wc := range chunks {
+			batch, cs, err := runChunk(wc, 1)
+			if err != nil {
+				return total, err
+			}
+			total.Merge(cs)
+			for _, tr := range batch {
+				sink(tr)
+			}
+		}
+		return total, nil
+	}
+
+	// The ordered-delivery discipline the local engine uses: workers claim
+	// chunk indexes atomically and publish into per-chunk slots; the
+	// delivery loop merges in chunk order.
+	type result struct {
+		traces []probe.Trace
+		stats  probe.CampaignStats
+	}
+	results := make([]chan result, len(chunks))
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+	var (
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				idx := int(next.Add(1)) - 1
+				if idx >= len(chunks) {
+					return
+				}
+				batch, cs, err := runChunk(chunks[idx], lane)
+				if err != nil {
+					setErr(err)
+					results[idx] <- result{}
+					return
+				}
+				results[idx] <- result{traces: batch, stats: cs}
+			}
+		}(w + 1)
+	}
+
+deliver:
+	for i := range chunks {
+		var r result
+		select {
+		case r = <-results[i]:
+		case <-ctx.Done():
+			break deliver
+		}
+		if r.traces == nil {
+			break
+		}
+		total.Merge(r.stats)
+		for _, tr := range r.traces {
+			sink(tr)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = fmt.Errorf("dispatch: campaign interrupted: %w", ctx.Err())
+	}
+	return total, firstErr
+}
+
+// runChunk executes one chunk: lease it remotely (with deadline, hedging,
+// and exponential-backoff re-dispatch) up to MaxAttempts times, then fall
+// back to the local prober. Only a context cancellation or a local
+// execution error is fatal; agent trouble never fails the campaign.
+func (c *Controller) runChunk(ctx context.Context, sp *obs.Span, prog *obs.Progress, p *probe.Prober, wc probe.WorkChunk, targets []netblock.IP, nChunks int, pol probe.RetryPolicy, epoch uint64, lane int) ([]probe.Trace, probe.CampaignStats, error) {
+	share := probe.ChunkRetryBudget(pol.Budget, nChunks, wc.Index)
+	backoff := c.opts.RetryBackoff
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: campaign interrupted: %w", err)
+		}
+		ag := c.pickAgent(nil)
+		if ag == nil {
+			break
+		}
+		traces, cs, err := c.leaseHedged(ctx, sp, ag, wc, targets, pol, share, epoch)
+		if err == nil {
+			return traces, cs, nil
+		}
+		if ctx.Err() != nil {
+			return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: campaign interrupted: %w", ctx.Err())
+		}
+		c.opts.Log.Printf("dispatch: chunk %d attempt %d/%d failed: %v; redispatching", wc.Index, attempt, c.opts.MaxAttempts, err)
+		sp.Detail("lease", "redispatch", uint64(wc.Index)<<8|uint64(attempt), obs.Attrs{
+			"chunk":   strconv.Itoa(wc.Index),
+			"attempt": strconv.Itoa(attempt),
+		})
+		if attempt < c.opts.MaxAttempts {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: campaign interrupted: %w", ctx.Err())
+			}
+			backoff *= 2
+		}
+	}
+	// Graceful degradation: the fleet could not finish this chunk; the
+	// local engine produces the identical bytes.
+	c.cLocal.Inc()
+	c.opts.Log.Printf("dispatch: chunk %d running locally", wc.Index)
+	sp.Detail("lease", "local", uint64(wc.Index), obs.Attrs{"chunk": strconv.Itoa(wc.Index)})
+	return p.RunChunkObs(ctx, sp, prog, wc, targets, pol, epoch, share, lane)
+}
+
+// leaseHedged issues one lease, arming a straggler hedge: if the lease
+// outlives the hedge delay and another live agent is free, a duplicate
+// dispatches and the first valid result wins. Both executions are
+// deterministic, so discarding the loser cannot change the output.
+func (c *Controller) leaseHedged(ctx context.Context, sp *obs.Span, ag *agentState, wc probe.WorkChunk, targets []netblock.IP, pol probe.RetryPolicy, budget int64, epoch uint64) ([]probe.Trace, probe.CampaignStats, error) {
+	type res struct {
+		traces []probe.Trace
+		stats  probe.CampaignStats
+		err    error
+		dur    time.Duration
+	}
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan res, 2)
+	launch := func(a *agentState) {
+		go func() {
+			start := time.Now()
+			traces, stats, err := c.lease(lctx, a, wc, targets, pol, budget, epoch)
+			ch <- res{traces, stats, err, time.Since(start)}
+		}()
+	}
+	launch(ag)
+	outstanding := 1
+
+	var hedgeC <-chan time.Time
+	if d, ok := c.hedgeDelay(); ok {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				c.observeDuration(r.dur)
+				return r.traces, r.stats, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if alt := c.pickAgent(ag); alt != nil {
+				c.cRehedged.Inc()
+				c.opts.Log.Printf("dispatch: chunk %d straggling on %s; hedging to %s", wc.Index, ag.url, alt.url)
+				sp.Detail("lease", "hedge", uint64(wc.Index), obs.Attrs{"chunk": strconv.Itoa(wc.Index)})
+				launch(alt)
+				outstanding++
+			}
+		case <-ctx.Done():
+			// In-flight goroutines drain into the buffered channel.
+			return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: campaign interrupted: %w", ctx.Err())
+		}
+	}
+	return nil, probe.CampaignStats{}, firstErr
+}
+
+// lease executes one lease RPC against one agent under the lease deadline,
+// verifying the returned tracefile frame end to end.
+func (c *Controller) lease(ctx context.Context, a *agentState, wc probe.WorkChunk, targets []netblock.IP, pol probe.RetryPolicy, budget int64, epoch uint64) ([]probe.Trace, probe.CampaignStats, error) {
+	lease := Lease{
+		ID:          fmt.Sprintf("l%06d", c.leaseSeq.Add(1)),
+		Fingerprint: c.fingerprint,
+		Chunk:       wc,
+		Targets:     targets,
+		TargetsCRC:  TargetsCRC(targets),
+		Retry:       pol,
+		Budget:      budget,
+		Epoch:       epoch,
+	}
+	body, err := json.Marshal(lease)
+	if err != nil {
+		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease encode: %w", err)
+	}
+	lctx, cancel := context.WithTimeout(ctx, c.opts.LeaseTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(lctx, http.MethodPost, a.url+leasePath, bytes.NewReader(body))
+	if err != nil {
+		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	a.inflight.Add(1)
+	defer a.inflight.Add(-1)
+	c.cGranted.Inc()
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.cFailed.Inc()
+		if lctx.Err() != nil && ctx.Err() == nil {
+			// The lease deadline (not the campaign) expired: the agent
+			// straggled past its lease. Bench it until it proves healthy.
+			c.cExpired.Inc()
+			c.markDown(a, "lease deadline exceeded")
+			return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s expired on %s after %s", lease.ID, a.url, c.opts.LeaseTimeout)
+		}
+		// Transport failure: the agent is gone (crashed, partitioned).
+		c.markDown(a, "lease transport error")
+		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s on %s: %w", lease.ID, a.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.cFailed.Inc()
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		if resp.StatusCode == http.StatusConflict {
+			// World mismatch: this agent can never serve us.
+			c.markDown(a, "fingerprint mismatch")
+		}
+		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s refused by %s: %s (%s)", lease.ID, a.url, resp.Status, bytes.TrimSpace(msg))
+	}
+
+	var stats probe.CampaignStats
+	if err := json.Unmarshal([]byte(resp.Header.Get(hdrStats)), &stats); err != nil {
+		c.cFailed.Inc()
+		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s stats frame: %w", lease.ID, err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.cFailed.Inc()
+		c.markDown(a, "lease transport error")
+		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s body: %w", lease.ID, err)
+	}
+	traces := make([]probe.Trace, 0, len(targets))
+	sum, err := tracefile.Replay(bytes.NewReader(payload), func(tr probe.Trace) { traces = append(traces, tr) })
+	if err != nil {
+		c.cFailed.Inc()
+		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s result frame: %w", lease.ID, err)
+	}
+	if !sum.Complete || len(traces) != len(targets) {
+		c.cFailed.Inc()
+		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s returned %d/%d traces (complete=%v)", lease.ID, len(traces), len(targets), sum.Complete)
+	}
+	return traces, stats, nil
+}

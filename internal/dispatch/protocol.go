@@ -1,0 +1,63 @@
+package dispatch
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"cloudmap/internal/netblock"
+	"cloudmap/internal/probe"
+)
+
+// Protocol endpoints (relative to the agent's base URL).
+const (
+	healthPath = "/agent/v1/health"
+	leasePath  = "/agent/v1/lease"
+)
+
+// Response headers carrying lease metadata alongside the tracefile body.
+const (
+	hdrStats = "X-Cloudmap-Stats" // compact CampaignStats JSON
+	hdrAgent = "X-Cloudmap-Agent" // agent ID echo
+)
+
+// Lease is one CRC-framed work lease: a campaign chunk plus everything the
+// agent needs to execute it bit-for-bit — the world guard (fingerprint),
+// the explicit target list (expansion targets derive from controller-side
+// round-1 state, so they cannot be recomputed remotely), the retry policy
+// and this chunk's deterministic budget share, and the probing epoch. The
+// lease ID is controller-unique and names the lease in logs and spans; the
+// chunk index is its deterministic identity.
+type Lease struct {
+	ID          string          `json:"lease_id"`
+	Fingerprint string          `json:"fingerprint"`
+	Chunk       probe.WorkChunk `json:"chunk"`
+	Targets     []netblock.IP   `json:"targets"`
+	// TargetsCRC is CRC32 (IEEE) over the big-endian packed target
+	// addresses; the agent refuses a lease whose list does not verify.
+	TargetsCRC uint32            `json:"targets_crc32"`
+	Retry      probe.RetryPolicy `json:"retry"`
+	// Budget is this chunk's retry-budget share; negative = unlimited.
+	Budget int64 `json:"budget"`
+	// Epoch separates the virtual fault-time schedules of the probing
+	// rounds (1 = campaign, 2 = expansion).
+	Epoch uint64 `json:"epoch"`
+}
+
+// TargetsCRC computes the lease frame check: CRC32 (IEEE) over every target
+// address packed big-endian in order.
+func TargetsCRC(targets []netblock.IP) uint32 {
+	h := crc32.NewIEEE()
+	var buf [4]byte
+	for _, ip := range targets {
+		binary.BigEndian.PutUint32(buf[:], uint32(ip))
+		h.Write(buf[:])
+	}
+	return h.Sum32()
+}
+
+// Health is the heartbeat document agents serve on /agent/v1/health.
+type Health struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	LeasesDone  int64  `json:"leases_done"`
+}

@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAgentPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan AgentPlan
+		want string // substring of the error; "" = valid
+	}{
+		{"zero plan", AgentPlan{}, ""},
+		{"full plan", AgentPlan{Seed: 7, WindowChunks: 4,
+			Crash: &AgentCrashPlan{Prob: 0.5}, Stall: &AgentStallPlan{Prob: 0.5, Sec: 1}, Partition: &AgentPartitionPlan{Prob: 0.5}}, ""},
+		{"crash prob high", AgentPlan{Crash: &AgentCrashPlan{Prob: 1.5}}, "crash.prob"},
+		{"stall prob negative", AgentPlan{Stall: &AgentStallPlan{Prob: -0.1, Sec: 1}}, "stall.prob"},
+		{"stall sec zero", AgentPlan{Stall: &AgentStallPlan{Prob: 0.5}}, "stall.sec"},
+		{"partition prob high", AgentPlan{Partition: &AgentPartitionPlan{Prob: 2}}, "partition.prob"},
+		{"negative window", AgentPlan{WindowChunks: -1}, "window_chunks"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseAgentPlanRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseAgentPlan([]byte(`{"seed": 1, "crashes": {"prob": 1}}`)); err == nil {
+		t.Fatal("typoed field accepted")
+	}
+	p, err := ParseAgentPlan([]byte(`{"seed": 9, "stall": {"prob": 1, "sec": 2.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 || p.Stall == nil || p.Stall.Sec != 2.5 {
+		t.Fatalf("parsed plan mangled: %+v", p)
+	}
+}
+
+func TestLoadAgentPlanTestdata(t *testing.T) {
+	p, err := LoadAgentPlan("../../testdata/agentplans/moderate.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Crash == nil || p.Stall == nil || p.Partition == nil {
+		t.Fatalf("moderate plan missing sections: %+v", p)
+	}
+}
+
+// TestAgentChaosDeterministic: draws are a pure function of (seed, agent ID,
+// window) — same inputs agree, different agents and different windows
+// diverge somewhere, and all chunks of one window agree.
+func TestAgentChaosDeterministic(t *testing.T) {
+	plan := &AgentPlan{Seed: 42, WindowChunks: 4,
+		Crash: &AgentCrashPlan{Prob: 0.5}, Stall: &AgentStallPlan{Prob: 0.5, Sec: 3}, Partition: &AgentPartitionPlan{Prob: 0.5}}
+	a1, err := plan.Bind("agent-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1b, _ := plan.Bind("agent-a")
+	a2, _ := plan.Bind("agent-b")
+
+	sameAsTwin, differsFromOther, windowsDiffer := true, false, false
+	for chunk := 0; chunk < 256; chunk++ {
+		if a1.CrashOn(chunk) != a1b.CrashOn(chunk) || a1.StallFor(chunk) != a1b.StallFor(chunk) || a1.PartitionedOn(chunk) != a1b.PartitionedOn(chunk) {
+			sameAsTwin = false
+		}
+		if a1.CrashOn(chunk) != a2.CrashOn(chunk) {
+			differsFromOther = true
+		}
+	}
+	// Windows: all chunks inside one window draw identically.
+	for w := 0; w < 32; w++ {
+		base := a1.CrashOn(w * 4)
+		for i := 1; i < 4; i++ {
+			if a1.CrashOn(w*4+i) != base {
+				t.Fatalf("window %d not constant: chunk %d disagrees", w, w*4+i)
+			}
+		}
+		if w > 0 && a1.CrashOn(w*4) != a1.CrashOn(0) {
+			windowsDiffer = true
+		}
+	}
+	if !sameAsTwin {
+		t.Error("same plan+ID produced different draws")
+	}
+	if !differsFromOther {
+		t.Error("different agent IDs never diverged in 256 chunks (prob 0.5)")
+	}
+	if !windowsDiffer {
+		t.Error("no window differed from window 0 in 32 windows (prob 0.5)")
+	}
+	if d := a1.StallFor(0); d != 0 && d != 3*time.Second {
+		t.Errorf("stall duration %v, want 0 or 3s", d)
+	}
+}
+
+// TestAgentChaosNilSafe: a nil plan binds to a nil chaos, and a nil chaos
+// injects nothing.
+func TestAgentChaosNilSafe(t *testing.T) {
+	var plan *AgentPlan
+	c, err := plan.Bind("any")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != nil {
+		t.Fatal("nil plan bound to non-nil chaos")
+	}
+	if c.CrashOn(0) || c.StallFor(0) != 0 || c.PartitionedOn(0) {
+		t.Fatal("nil chaos injected something")
+	}
+}

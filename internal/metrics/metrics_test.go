@@ -159,6 +159,12 @@ func TestWritePrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("campaign.traces").Add(42)
 	r.Counter("expansion.hops-per-trace").Add(7)
+	// Dispatch counters as the service registers them (MetricsPrefix
+	// "service"): lease grants/expiries, hedged chunks, lost agents.
+	r.Counter("service.agents_lost").Add(1)
+	r.Counter("service.chunks_rehedged").Add(2)
+	r.Counter("service.leases_expired").Add(3)
+	r.Counter("service.leases_granted").Add(56)
 	r.Gauge("progress.inf").Set(math.Inf(1))
 	r.Gauge("progress.rate").Set(math.NaN())
 	r.Gauge("progress.share").Set(0.5)
@@ -173,6 +179,14 @@ func TestWritePrometheusGolden(t *testing.T) {
 campaign_traces 42
 # TYPE expansion_hops_per_trace counter
 expansion_hops_per_trace 7
+# TYPE service_agents_lost counter
+service_agents_lost 1
+# TYPE service_chunks_rehedged counter
+service_chunks_rehedged 2
+# TYPE service_leases_expired counter
+service_leases_expired 3
+# TYPE service_leases_granted counter
+service_leases_granted 56
 # TYPE progress_inf gauge
 progress_inf +Inf
 # TYPE progress_rate gauge

@@ -89,6 +89,15 @@ func (p *Progress) TraceDone() {
 	p.gTracesDone.Set(float64(p.tracesDone.Add(1)))
 }
 
+// TracesDone counts n delivered traces in one update — the batched form of
+// TraceDone for sinks that flush per chunk instead of per trace.
+func (p *Progress) TracesDone(n int64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.gTracesDone.Set(float64(p.tracesDone.Add(n)))
+}
+
 // SetRetryBudget installs the campaign retry budget (0 = unlimited).
 func (p *Progress) SetRetryBudget(budget int64) {
 	if p == nil {

@@ -87,7 +87,9 @@ func (s CampaignStats) Degraded() bool {
 	return s.Lost > 0 || s.RateLimited > 0 || s.Outages > 0 || s.Flapped > 0 || s.BudgetExhausted
 }
 
-func (s *CampaignStats) merge(o CampaignStats) {
+// Merge folds another chunk's stats into s (order-independent except
+// BudgetExhausted, which is an OR).
+func (s *CampaignStats) Merge(o CampaignStats) {
 	s.Targets += o.Targets
 	s.Probes += o.Probes
 	s.HopProbes += o.HopProbes
@@ -278,6 +280,97 @@ func chunkAttrs(cs CampaignStats) obs.Attrs {
 	return a
 }
 
+// WorkChunk is one schedulable unit of campaign work: one vantage VM and a
+// contiguous target-index range, identified by its deterministic position in
+// the campaign's chunk sequence. Chunks are the currency of both the local
+// worker pool and the distributed dispatch layer — a chunk's traces are a
+// pure function of (world, fault plan, policy, epoch, chunk), so any
+// executor produces byte-identical results.
+type WorkChunk struct {
+	VM   VMRef `json:"vm"`
+	From int   `json:"from"` // target index range [From, To)
+	To   int   `json:"to"`
+	// Index is the chunk's position in ChunkCampaign's sequence; results
+	// merge in Index order and budget shares are assigned by it.
+	Index int `json:"index"`
+}
+
+// Span names the chunk's deterministic label ("amazon/3:2048-3072").
+func (c WorkChunk) Span() string { return fmt.Sprintf("%s:%d-%d", c.VM, c.From, c.To) }
+
+// ChunkCampaign splits a campaign (every VM × the target list) into its
+// deterministic work chunks: VMs in order, target ranges of campaignChunk
+// addresses each. The split depends only on the inputs, never on worker
+// count or scheduling.
+func ChunkCampaign(vms []VMRef, targets []netblock.IP) []WorkChunk {
+	var chunks []WorkChunk
+	for _, vm := range vms {
+		for from := 0; from < len(targets); from += campaignChunk {
+			to := from + campaignChunk
+			if to > len(targets) {
+				to = len(targets)
+			}
+			chunks = append(chunks, WorkChunk{VM: vm, From: from, To: to, Index: len(chunks)})
+		}
+	}
+	return chunks
+}
+
+// ChunkRetryBudget computes chunk idx's share of a campaign retry budget
+// split across n chunks: Budget/n, with the first Budget%n chunks taking
+// one extra, so the total is exact and independent of execution order.
+// A non-positive budget returns -1 (unlimited).
+func ChunkRetryBudget(budget int64, n, idx int) int64 {
+	if budget <= 0 || n <= 0 {
+		return -1
+	}
+	share := budget / int64(n)
+	if int64(idx) < budget%int64(n) {
+		share++
+	}
+	return share
+}
+
+// RunChunkObs executes one work chunk: every target in order, with retries
+// under pol and the chunk's retry-budget share (negative = unlimited). The
+// targets slice holds exactly the chunk's targets (wc.From/wc.To label the
+// chunk's position in the campaign; they do not index into targets). lane
+// places the chunk span on a Chrome-trace lane; sp and prog may be nil.
+// The returned traces and stats are deterministic — identical wherever and
+// whenever the chunk runs.
+func (p *Prober) RunChunkObs(ctx context.Context, sp *obs.Span, prog *obs.Progress, wc WorkChunk, targets []netblock.IP, pol RetryPolicy, epoch uint64, budget int64, lane int) ([]Trace, CampaignStats, error) {
+	pol = pol.withDefaults()
+	vm, err := p.vm(wc.VM)
+	if err != nil {
+		return nil, CampaignStats{}, err
+	}
+	vmKey := uint64(vm.Cloud)<<16 | uint64(vm.Region)
+	var budgetPtr *int64
+	if budget >= 0 {
+		budgetPtr = &budget
+	}
+	// The chunk span's identity is (campaign span, chunk index) — pure
+	// position, no scheduling dependence; the lane only places the span
+	// in the Chrome trace so worker occupancy is visible.
+	csp := sp.ChildLane("chunk", wc.Span(), uint64(wc.Index), lane)
+	var cs CampaignStats
+	out := make([]Trace, 0, len(targets))
+	for _, dst := range targets {
+		if err := ctx.Err(); err != nil {
+			csp.End(obs.Attrs{"status": "interrupted"})
+			return nil, cs, fmt.Errorf("probe: campaign interrupted: %w", err)
+		}
+		tr, err := p.traceRetry(csp, prog, wc.VM, vmKey, dst, pol, epoch, budgetPtr, &cs)
+		if err != nil {
+			csp.End(obs.Attrs{"status": "error"})
+			return nil, cs, err
+		}
+		out = append(out, tr)
+	}
+	csp.End(chunkAttrs(cs))
+	return out, cs, nil
+}
+
 // CampaignRetryObsCtx is CampaignRetryCtx with observability: each work
 // chunk runs under a span (kind "chunk", keyed by the deterministic chunk
 // index, placed on the Chrome lane of the worker that executed it), fault
@@ -286,73 +379,21 @@ func chunkAttrs(cs CampaignStats) obs.Attrs {
 // nil (no-ops); the hot path then pays one nil check per probe.
 func (p *Prober) CampaignRetryObsCtx(ctx context.Context, sp *obs.Span, prog *obs.Progress, vms []VMRef, targets []netblock.IP, workers int, pol RetryPolicy, epoch uint64, sink TraceSink) (CampaignStats, error) {
 	pol = pol.withDefaults()
+	chunks := ChunkCampaign(vms, targets)
 
-	type chunk struct {
-		vm       VMRef
-		from, to int // target index range
-	}
-	var chunks []chunk
-	for _, vm := range vms {
-		for from := 0; from < len(targets); from += campaignChunk {
-			to := from + campaignChunk
-			if to > len(targets) {
-				to = len(targets)
-			}
-			chunks = append(chunks, chunk{vm: vm, from: from, to: to})
-		}
-	}
-
-	// Budget shares: chunk i gets Budget/n, the first Budget%n chunks one
-	// extra, so the total is exact and independent of execution order.
-	chunkBudget := func(i int) *int64 {
-		if pol.Budget <= 0 {
-			return nil
-		}
-		n := int64(len(chunks))
-		share := pol.Budget / n
-		if int64(i) < pol.Budget%n {
-			share++
-		}
-		return &share
-	}
-
-	runChunk := func(c chunk, idx, lane int) ([]Trace, CampaignStats, error) {
-		vm, err := p.vm(c.vm)
-		if err != nil {
-			return nil, CampaignStats{}, err
-		}
-		vmKey := uint64(vm.Cloud)<<16 | uint64(vm.Region)
-		budget := chunkBudget(idx)
-		// The chunk span's identity is (campaign span, chunk index) — pure
-		// position, no scheduling dependence; the lane only places the span
-		// in the Chrome trace so worker occupancy is visible.
-		csp := sp.ChildLane("chunk", fmt.Sprintf("%s:%d-%d", c.vm, c.from, c.to), uint64(idx), lane)
-		var cs CampaignStats
-		out := make([]Trace, 0, c.to-c.from)
-		for _, dst := range targets[c.from:c.to] {
-			if err := ctx.Err(); err != nil {
-				csp.End(obs.Attrs{"status": "interrupted"})
-				return nil, cs, fmt.Errorf("probe: campaign interrupted: %w", err)
-			}
-			tr, err := p.traceRetry(csp, prog, c.vm, vmKey, dst, pol, epoch, budget, &cs)
-			if err != nil {
-				csp.End(obs.Attrs{"status": "error"})
-				return nil, cs, err
-			}
-			out = append(out, tr)
-		}
-		csp.End(chunkAttrs(cs))
-		return out, cs, nil
+	runChunk := func(c WorkChunk, lane int) ([]Trace, CampaignStats, error) {
+		share := ChunkRetryBudget(pol.Budget, len(chunks), c.Index)
+		return p.RunChunkObs(ctx, sp, prog, c, targets[c.From:c.To], pol, epoch, share, lane)
 	}
 
 	var total CampaignStats
 	if workers <= 1 {
-		for i, c := range chunks {
-			batch, cs, err := runChunk(c, i, 1)
+		for _, c := range chunks {
+			batch, cs, err := runChunk(c, 1)
 			if err != nil {
 				return total, err
 			}
-			total.merge(cs)
+			total.Merge(cs)
 			for _, tr := range batch {
 				sink(tr)
 			}
@@ -393,7 +434,7 @@ func (p *Prober) CampaignRetryObsCtx(ctx context.Context, sp *obs.Span, prog *ob
 				if idx >= len(chunks) {
 					return
 				}
-				batch, cs, err := runChunk(chunks[idx], idx, lane)
+				batch, cs, err := runChunk(chunks[idx], lane)
 				if err != nil {
 					setErr(err)
 					results[idx] <- result{}
@@ -415,7 +456,7 @@ deliver:
 		if r.traces == nil {
 			break
 		}
-		total.merge(r.stats)
+		total.Merge(r.stats)
 		for _, tr := range r.traces {
 			sink(tr)
 		}

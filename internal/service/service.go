@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cloudmap"
+	"cloudmap/internal/dispatch"
 	"cloudmap/internal/metrics"
 	"cloudmap/internal/obs"
 	"cloudmap/internal/pipeline"
@@ -73,6 +74,15 @@ type Config struct {
 	// connections alive through proxies and detecting dead peers. 0
 	// defaults to 30s; negative disables.
 	WatchKeepalive time.Duration
+	// Agents lists remote probe-agent base URLs (cloudmapagent processes
+	// built from the same world); when non-empty the probing campaigns
+	// dispatch their chunks to the fleet, with local fallback when no agent
+	// can finish a chunk. Empty probes in-process.
+	Agents []string
+	// LeaseTimeout is the per-lease deadline for dispatched chunks; an
+	// agent that exceeds it is marked lost and the chunk re-dispatches. 0
+	// uses the dispatch default (60s).
+	LeaseTimeout time.Duration
 	// Metrics and Progress wire the admin plane; nil values are created.
 	Metrics  *metrics.Registry
 	Progress *obs.Progress
@@ -192,10 +202,24 @@ func New(cfg Config) (*Daemon, error) {
 			cfg.CheckpointEvery = defaultCheckpointEvery
 		}
 	}
+	var disp *dispatch.Options
+	if len(cfg.Agents) > 0 {
+		// The dispatch counters join the service.* namespace so the admin
+		// plane's /metrics exposes service.leases_granted, .leases_expired,
+		// .chunks_rehedged, .agents_lost alongside the epoch counters.
+		disp = &dispatch.Options{
+			Agents:        cfg.Agents,
+			LeaseTimeout:  cfg.LeaseTimeout,
+			Metrics:       cfg.Metrics,
+			MetricsPrefix: "service",
+			Log:           cfg.Log,
+		}
+	}
 	session, err := cloudmap.NewSession(cfg.Pipeline, cloudmap.SessionOptions{
 		CheckpointDir: probeDir,
 		Metrics:       cfg.Metrics,
 		Progress:      cfg.Progress,
+		Dispatch:      disp,
 	})
 	if err != nil {
 		return nil, err
@@ -268,6 +292,9 @@ func (d *Daemon) Run(ctx context.Context) (err error) {
 	// streaming watchers (which select on Done) unblock and the HTTP
 	// server can drain.
 	defer d.Stop()
+	// The session's dispatch controller (heartbeat loop) lives as long as
+	// the epoch loop.
+	defer d.session.Close()
 	if d.journalPath != "" {
 		wal, _, _, werr := openWAL(d.journalPath)
 		if werr != nil {

@@ -35,6 +35,7 @@ package tracefile
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -672,6 +673,14 @@ func readBinaryIndex(f *os.File) ([]binChunkInfo, uint64, error) {
 // consumer-visible artefact stays byte-identical at any worker count. Text,
 // gzip, partial and torn files fall back to the sequential sniffing reader.
 func ReplayFileParallel(path string, workers int, sink probe.TraceSink) (Summary, error) {
+	return ReplayFileParallelCtx(context.Background(), path, workers, sink)
+}
+
+// ReplayFileParallelCtx is ReplayFileParallel under a context: cancellation
+// stops delivery between batches, drains the worker pool without leaking a
+// goroutine (every per-chunk channel is buffered and written at most once,
+// so no sender can block), and returns an error wrapping ctx.Err().
+func ReplayFileParallelCtx(ctx context.Context, path string, workers int, sink probe.TraceSink) (Summary, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Summary{}, err
@@ -681,6 +690,9 @@ func ReplayFileParallel(path string, workers int, sink probe.TraceSink) (Summary
 	if ierr != nil || workers <= 1 || len(chunks) < 2 {
 		// Not an indexed binary file (or no parallelism to exploit): the
 		// sequential reader handles every format and damage mode.
+		if err := ctx.Err(); err != nil {
+			return Summary{}, fmt.Errorf("tracefile: replay interrupted: %w", err)
+		}
 		return Replay(f, sink)
 	}
 
@@ -705,6 +717,9 @@ func ReplayFileParallel(path string, workers int, sink probe.TraceSink) (Summary
 			defer scratchPool.Put(sc)
 			var buf []byte
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				idx := int(next.Add(1)) - 1
 				if idx >= len(chunks) {
 					return
@@ -737,15 +752,24 @@ func ReplayFileParallel(path string, workers int, sink probe.TraceSink) (Summary
 
 	var sum Summary
 	var firstErr error
+deliver:
 	for i := range chunks {
-		res := <-results[i]
+		var res result
+		select {
+		case res = <-results[i]:
+		case <-ctx.Done():
+			// Workers see the cancellation at their next loop check and
+			// exit; chunks already published stay in their buffered
+			// channels for the garbage collector. Nothing blocks.
+			break deliver
+		}
 		if res.err != nil {
 			if firstErr == nil {
 				firstErr = res.err
 			}
 			continue
 		}
-		if firstErr == nil {
+		if firstErr == nil && ctx.Err() == nil {
 			for _, tr := range *res.batch {
 				sink(tr)
 			}
@@ -753,8 +777,14 @@ func ReplayFileParallel(path string, workers int, sink probe.TraceSink) (Summary
 		}
 		*res.batch = (*res.batch)[:0]
 		batchPool.Put(res.batch)
+		if ctx.Err() != nil {
+			break
+		}
 	}
 	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = fmt.Errorf("tracefile: replay interrupted: %w", ctx.Err())
+	}
 	if firstErr != nil {
 		return sum, firstErr
 	}

@@ -1,0 +1,79 @@
+package tracefile
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"cloudmap/internal/probe"
+)
+
+// TestReplayParallelCancelMidReplay: cancelling the context mid-replay must
+// stop delivery promptly, return an error wrapping context.Canceled, and
+// leave no worker goroutine behind. The per-chunk result channels are
+// buffered (capacity 1, at most one send each), so no sender can block on
+// an abandoned receive — this test pins that property.
+func TestReplayParallelCancelMidReplay(t *testing.T) {
+	in := synthTraces(6 * binChunkRecords)
+	path := filepath.Join(t.TempDir(), "cancel.traces.bin")
+	if err := os.WriteFile(path, writeBinary(t, in, true), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var delivered int
+	sum, err := ReplayFileParallelCtx(ctx, path, 4, func(probe.Trace) {
+		delivered++
+		if delivered == binChunkRecords+17 { // mid-second-chunk
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if sum.Complete {
+		t.Error("interrupted replay reported Complete")
+	}
+	if delivered >= len(in) {
+		t.Errorf("sink saw all %d traces despite cancellation", delivered)
+	}
+
+	// Leak check: the worker pool must drain back to the pre-call count.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutines leaked after cancel: %d > %d\n%s", g, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestReplayParallelCancelBeforeStart: an already-cancelled context fails
+// fast on both the parallel and the sequential-fallback paths, without
+// touching the sink.
+func TestReplayParallelCancelBeforeStart(t *testing.T) {
+	in := synthTraces(3 * binChunkRecords)
+	path := filepath.Join(t.TempDir(), "pre.traces.bin")
+	if err := os.WriteFile(path, writeBinary(t, in, true), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} { // 1 exercises the sequential fallback
+		called := false
+		_, err := ReplayFileParallelCtx(ctx, path, workers, func(probe.Trace) { called = true })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want wrapped context.Canceled", workers, err)
+		}
+		if called {
+			t.Errorf("workers=%d: sink ran under a dead context", workers)
+		}
+	}
+}

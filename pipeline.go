@@ -26,6 +26,7 @@ import (
 	"cloudmap/internal/bdrmap"
 	"cloudmap/internal/border"
 	"cloudmap/internal/datasets"
+	"cloudmap/internal/dispatch"
 	"cloudmap/internal/faults"
 	"cloudmap/internal/metrics"
 	"cloudmap/internal/midar"
@@ -69,6 +70,12 @@ type RunOptions struct {
 	// Progress, when non-nil, receives live stage/trace/retry/quarantine
 	// updates for the CLI ticker and the debug server's /progress endpoint.
 	Progress *obs.Progress
+	// Dispatch, when non-nil, leases the probing campaigns' chunks to the
+	// configured remote agents (cmd/cloudmapagent) instead of probing
+	// in-process; chunks the fleet cannot finish fall back to local
+	// execution. Results are byte-identical to a local run, so Dispatch —
+	// like Workers — is excluded from the config hash.
+	Dispatch *dispatch.Options
 }
 
 // manifestVersion is bumped when the manifest schema changes.
@@ -220,6 +227,10 @@ func RunPipeline(ctx context.Context, sys *System, cfg Config, opts RunOptions) 
 	}
 
 	st := &pipeState{cfg: cfg, opts: opts, sys: sys, prog: opts.Progress}
+	if opts.Dispatch != nil {
+		st.disp = dispatch.NewController(*opts.Dispatch, dispatch.Fingerprint(cfg.Topology, cfg.Faults))
+		defer st.disp.Close()
+	}
 	if prev != nil && prev.Degradation != nil {
 		st.prevRounds = prev.Degradation.Rounds
 	}
@@ -296,6 +307,9 @@ type pipeState struct {
 	hyg *datasets.View
 	// prog is the live progress view (nil when no ticker/debug server).
 	prog *obs.Progress
+	// disp, when non-nil, leases campaign chunks to remote agents (with
+	// local fallback); nil probes in-process.
+	disp *dispatch.Controller
 
 	// summary is filled by the evaluate stage and lands in the manifest.
 	summary map[string]float64
@@ -594,20 +608,61 @@ func (s *pipeState) datasets(_ context.Context, sc *pipeline.StageContext) error
 }
 
 // roundSink builds the trace consumer for one probing round: stage counters
-// and the hop histogram (all atomic — the campaign hot path), the optional
-// caller archive sink, and border inference.
-func (s *pipeState) roundSink(sc *pipeline.StageContext) probe.TraceSink {
+// and the hop histogram, the optional caller archive sink, and border
+// inference. Trace delivery is single-goroutine (the campaign's ordered
+// merge), so the counter and histogram updates batch in plain locals and
+// flush through the shared atomics once per sinkBatch traces instead of
+// once per trace — the returned flush must run after the round drains to
+// push the final partial batch.
+func (s *pipeState) roundSink(sc *pipeline.StageContext) (probe.TraceSink, func()) {
 	traces := sc.Counter("traces")
 	completed := sc.Counter("completed")
 	hops := sc.Histogram("hops-per-trace")
-	prog := s.prog // hoisted: TraceDone is two atomics, no lookups
-	sink := func(tr probe.Trace) {
-		traces.Inc()
-		if tr.Status == probe.StatusCompleted {
-			completed.Inc()
+	prog := s.prog
+	const sinkBatch = 1024
+	var (
+		nTraces    int64
+		nCompleted int64
+		hopSmall   [64]int64 // hop-count histogram batch; len(Hops) ≥ 64 overflows to hopBig
+		hopBig     map[int64]int64
+	)
+	flush := func() {
+		if nTraces == 0 {
+			return
 		}
-		hops.Observe(int64(len(tr.Hops)))
-		prog.TraceDone()
+		traces.Add(nTraces)
+		if nCompleted > 0 {
+			completed.Add(nCompleted)
+		}
+		for h, n := range hopSmall {
+			if n > 0 {
+				hops.ObserveN(int64(h), n)
+				hopSmall[h] = 0
+			}
+		}
+		for h, n := range hopBig {
+			hops.ObserveN(h, n)
+			delete(hopBig, h)
+		}
+		prog.TracesDone(nTraces)
+		nTraces, nCompleted = 0, 0
+	}
+	sink := func(tr probe.Trace) {
+		nTraces++
+		if tr.Status == probe.StatusCompleted {
+			nCompleted++
+		}
+		if h := len(tr.Hops); h < len(hopSmall) {
+			hopSmall[h]++
+		} else {
+			if hopBig == nil {
+				hopBig = make(map[int64]int64)
+			}
+			hopBig[int64(h)]++
+		}
+		if nTraces >= sinkBatch {
+			flush()
+		}
 		s.inf.Consume(tr)
 	}
 	if rec := s.cfg.RecordTraces; rec != nil {
@@ -617,7 +672,7 @@ func (s *pipeState) roundSink(sc *pipeline.StageContext) probe.TraceSink {
 			inner(tr)
 		}
 	}
-	return sink
+	return sink, flush
 }
 
 // checkpointPath names a probing round's tracefile; "" when checkpointing
@@ -667,7 +722,7 @@ func (s *pipeState) resolveCheckpoint(stage string) string {
 // of trusting it. Fault/retry telemetry lands in the stage's instruments,
 // s.roundStats, and — when the round was degraded — a sc.Degrade note.
 func (s *pipeState) probeRound(ctx context.Context, sc *pipeline.StageContext, stage string, epoch uint64, targets []netblock.IP) error {
-	sink := s.roundSink(sc)
+	sink, flushSink := s.roundSink(sc)
 	var fw *tracefile.FileWriter
 	if path := s.checkpointPath(stage); path != "" {
 		var err error
@@ -683,7 +738,14 @@ func (s *pipeState) probeRound(ctx context.Context, sc *pipeline.StageContext, s
 	}
 	s.prog.AddPlanned(int64(len(s.vms)) * int64(len(targets)))
 	s.prog.SetRetryBudget(s.cfg.Retry.Budget)
-	stats, err := s.sys.Prober.CampaignRetryObsCtx(ctx, sc.Span(), s.prog, s.vms, targets, s.cfg.Workers, s.cfg.Retry, epoch, sink)
+	var stats probe.CampaignStats
+	var err error
+	if s.disp != nil {
+		stats, err = s.disp.Campaign(ctx, sc.Span(), s.prog, s.sys.Prober, s.vms, targets, s.cfg.Workers, s.cfg.Retry, epoch, sink)
+	} else {
+		stats, err = s.sys.Prober.CampaignRetryObsCtx(ctx, sc.Span(), s.prog, s.vms, targets, s.cfg.Workers, s.cfg.Retry, epoch, sink)
+	}
+	flushSink()
 	if fw != nil {
 		if err != nil {
 			fw.Close()
@@ -755,7 +817,7 @@ func (s *pipeState) recordRoundStats(sc *pipeline.StageContext, stage string, st
 
 // resumeRound replays a complete checkpoint into the round's sink. prepare
 // runs only once the checkpoint is known to be usable (e.g. BeginRound2).
-func (s *pipeState) resumeRound(stage string, sc *pipeline.StageContext, prepare func()) (bool, error) {
+func (s *pipeState) resumeRound(ctx context.Context, stage string, sc *pipeline.StageContext, prepare func()) (bool, error) {
 	path := s.resolveCheckpoint(stage)
 	if path == "" {
 		return false, nil
@@ -806,7 +868,10 @@ func (s *pipeState) resumeRound(stage string, sc *pipeline.StageContext, prepare
 	// Binary checkpoints carry a chunk index, so the replay fans decode out
 	// across the probing workers; text and legacy gzip files fall back to
 	// the sequential reader inside. Delivery order is identical either way.
-	if _, err := tracefile.ReplayFileParallel(path, s.cfg.Workers, s.roundSink(sc)); err != nil {
+	sink, flushSink := s.roundSink(sc)
+	_, err = tracefile.ReplayFileParallelCtx(ctx, path, s.cfg.Workers, sink)
+	flushSink()
+	if err != nil {
 		return false, fmt.Errorf("checkpoint %s: %w", path, err)
 	}
 	sc.Counter("replayed").Add(int64(sum.Traces))
@@ -838,8 +903,8 @@ func (s *pipeState) campaign(ctx context.Context, sc *pipeline.StageContext) err
 	return nil
 }
 
-func (s *pipeState) resumeCampaign(_ context.Context, sc *pipeline.StageContext) (bool, error) {
-	return s.resumeRound("campaign", sc, nil)
+func (s *pipeState) resumeCampaign(ctx context.Context, sc *pipeline.StageContext) (bool, error) {
+	return s.resumeRound(ctx, "campaign", sc, nil)
 }
 
 // borderSnapshot records the §4.1 round-1 view (Table 1's pre-expansion
@@ -868,8 +933,8 @@ func (s *pipeState) expansion(ctx context.Context, sc *pipeline.StageContext) er
 	return nil
 }
 
-func (s *pipeState) resumeExpansion(_ context.Context, sc *pipeline.StageContext) (bool, error) {
-	return s.resumeRound("expansion", sc, s.inf.BeginRound2)
+func (s *pipeState) resumeExpansion(ctx context.Context, sc *pipeline.StageContext) (bool, error) {
+	return s.resumeRound(ctx, "expansion", sc, s.inf.BeginRound2)
 }
 
 // alias is the §5.2 prerequisite: MIDAR-style alias resolution over all

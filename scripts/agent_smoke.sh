@@ -1,0 +1,143 @@
+#!/bin/sh
+# agent_smoke.sh — end-to-end distributed-probing smoke for cloudmapd.
+#
+# Runs one epoch local-only as the baseline, then the same epoch against a
+# real three-agent fleet where one cloudmapagent is SIGKILLed mid-chunk (a
+# chaos stall plan holds its lease open so the kill is guaranteed to land
+# while a chunk is in flight), and verifies the dispatch contract from the
+# outside:
+#
+#   - the served map (/v1/peerings) is byte-identical to the local-only
+#     run — re-leasing, agent loss, and local fallback change who does the
+#     work, never the bytes,
+#   - the daemon log shows the failure handling (a lost agent and at least
+#     one re-dispatched chunk),
+#   - /metrics reports leases actually granted to the fleet.
+#
+# Usage: scripts/agent_smoke.sh [work-dir]
+# The work dir (default: a fresh mktemp -d) keeps the daemon and agent logs
+# and both peering captures for post-mortem; CI uploads it as an artifact.
+set -eu
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+
+go build -o "$WORK/" ./cmd/cloudmapd ./cmd/cloudmapctl ./cmd/cloudmapagent
+
+status_epoch() {
+	"$WORK/cloudmapctl" -addr "$(cat "$WORK/$1")" -json status 2>/dev/null |
+		sed -n 's/.*"epoch": \([0-9]*\).*/\1/p' | head -1
+}
+
+wait_epoch1() { # $1 = addr file, $2 = pid, $3 = log
+	for _ in $(seq 1 600); do
+		if [ -s "$WORK/$1" ] && [ "$(status_epoch "$1" || echo 0)" -ge 1 ] 2>/dev/null; then
+			return 0
+		fi
+		if ! kill -0 "$2" 2>/dev/null; then
+			echo "cloudmapd died before epoch 1:" >&2
+			cat "$WORK/$3" >&2
+			exit 1
+		fi
+		sleep 0.5
+	done
+	echo "never reached epoch 1 (see $WORK/$3)" >&2
+	exit 1
+}
+
+# --- Phase 1: local-only baseline. ---------------------------------------
+"$WORK/cloudmapd" -scale small -seed 1 -epochs 0 -epoch-every 1h \
+	-addr 127.0.0.1:0 -addr-file "$WORK/addr-local.txt" \
+	>"$WORK/cloudmapd-local.log" 2>&1 &
+LOCAL_PID=$!
+wait_epoch1 addr-local.txt "$LOCAL_PID" cloudmapd-local.log
+curl -fsS "http://$(cat "$WORK/addr-local.txt")/v1/peerings" >"$WORK/peerings-local.json"
+kill -TERM "$LOCAL_PID"
+wait "$LOCAL_PID" || { echo "local-only cloudmapd exited dirty" >&2; exit 1; }
+echo "local baseline captured ($(wc -c <"$WORK/peerings-local.json") bytes)"
+
+# --- Phase 2: a three-agent fleet, one victim. ---------------------------
+# The victim stalls every chunk for 60s — far past the 2s lease deadline —
+# so it is always holding a lease mid-chunk; the SIGKILL below lands while
+# a chunk is in flight on it.
+cat >"$WORK/stall.json" <<'EOF'
+{"seed": 1, "window_chunks": 1, "stall": {"prob": 1, "sec": 60}}
+EOF
+for a in 1 2 3; do
+	PLAN_ARGS=""
+	[ "$a" = 1 ] && PLAN_ARGS="-agent-plan $WORK/stall.json"
+	# shellcheck disable=SC2086
+	"$WORK/cloudmapagent" -scale small -seed 1 -agent-id "agent$a" \
+		-addr 127.0.0.1:0 -addr-file "$WORK/agent$a.txt" $PLAN_ARGS \
+		>"$WORK/agent$a.log" 2>&1 &
+	eval "AGENT${a}_PID=\$!"
+done
+for a in 1 2 3; do
+	for _ in $(seq 1 120); do
+		[ -s "$WORK/agent$a.txt" ] && break
+		sleep 0.5
+	done
+	[ -s "$WORK/agent$a.txt" ] || { echo "agent$a never bound" >&2; cat "$WORK/agent$a.log" >&2; exit 1; }
+done
+AGENTS="http://$(cat "$WORK/agent1.txt"),http://$(cat "$WORK/agent2.txt"),http://$(cat "$WORK/agent3.txt")"
+
+"$WORK/cloudmapd" -scale small -seed 1 -epochs 0 -epoch-every 1h \
+	-addr 127.0.0.1:0 -addr-file "$WORK/addr-dist.txt" \
+	-agents "$AGENTS" -lease-timeout 2s \
+	>"$WORK/cloudmapd-dist.log" 2>&1 &
+DIST_PID=$!
+
+# SIGKILL the victim as soon as its log shows a lease stalled mid-chunk.
+KILLED=0
+for _ in $(seq 1 600); do
+	if grep -q 'chaos stall' "$WORK/agent1.log" 2>/dev/null; then
+		kill -9 "$AGENT1_PID"
+		wait "$AGENT1_PID" 2>/dev/null || true
+		KILLED=1
+		echo "SIGKILLed agent1 mid-chunk"
+		break
+	fi
+	if ! kill -0 "$DIST_PID" 2>/dev/null; then
+		echo "cloudmapd died before agent1 held a lease:" >&2
+		cat "$WORK/cloudmapd-dist.log" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+[ "$KILLED" = 1 ] || { echo "agent1 never received a lease" >&2; cat "$WORK/cloudmapd-dist.log" >&2; exit 1; }
+
+wait_epoch1 addr-dist.txt "$DIST_PID" cloudmapd-dist.log
+DIST_ADDR="$(cat "$WORK/addr-dist.txt")"
+curl -fsS "http://$DIST_ADDR/v1/peerings" >"$WORK/peerings-dist.json"
+
+# The distributed map must match the local-only run byte for byte.
+cmp "$WORK/peerings-local.json" "$WORK/peerings-dist.json" || {
+	echo "/v1/peerings diverged between local-only and distributed runs" >&2
+	exit 1
+}
+
+# The failure handling must have actually fired and been observable.
+grep -q 'dispatch: agent .* lost' "$WORK/cloudmapd-dist.log" || {
+	echo "daemon log never marked the killed agent lost:" >&2
+	cat "$WORK/cloudmapd-dist.log" >&2
+	exit 1
+}
+grep -q 'redispatching' "$WORK/cloudmapd-dist.log" || {
+	echo "daemon log shows no re-dispatched chunk:" >&2
+	cat "$WORK/cloudmapd-dist.log" >&2
+	exit 1
+}
+GRANTED="$(curl -fsS "http://$DIST_ADDR/metrics" | sed -n 's/^service_leases_granted \([0-9]*\).*/\1/p')"
+[ "${GRANTED:-0}" -gt 0 ] || {
+	echo "/metrics reports no leases granted (service_leases_granted=$GRANTED)" >&2
+	exit 1
+}
+
+# Clean shutdown of the daemon and the surviving agents.
+kill -TERM "$DIST_PID"
+wait "$DIST_PID" || { echo "distributed cloudmapd exited dirty" >&2; cat "$WORK/cloudmapd-dist.log" >&2; exit 1; }
+kill -TERM "$AGENT2_PID" "$AGENT3_PID" 2>/dev/null || true
+wait "$AGENT2_PID" "$AGENT3_PID" 2>/dev/null || true
+
+echo "agent smoke passed: map byte-identical under agent loss ($GRANTED leases granted)"

@@ -67,6 +67,9 @@ grep -q '"epoch":1' "$SMOKE_DIR/epochs.jsonl"
 echo "==> crash-recovery smoke (kill -9 mid-epoch + restart on the same state dir)"
 sh scripts/crash_smoke.sh "${CLOUDMAPD_CRASH_DIR:-$(mktemp -d)}"
 
+echo "==> distributed-probing smoke (3-agent fleet, kill -9 one agent mid-chunk)"
+sh scripts/agent_smoke.sh "${CLOUDMAPD_AGENT_DIR:-$(mktemp -d)}"
+
 echo "==> tracefile format round-trip smoke (binary <-> text byte-identity)"
 RT_DIR="$(mktemp -d)"
 go build -o "$RT_DIR/" ./cmd/cloudmap ./cmd/tracedump
