@@ -45,17 +45,32 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"cloudmap"
 	"cloudmap/internal/datasets"
+	"cloudmap/internal/dispatch"
 	"cloudmap/internal/faults"
 	"cloudmap/internal/metrics"
 	"cloudmap/internal/obs"
+	olog "cloudmap/internal/obs/log"
 	"cloudmap/internal/probe"
 	"cloudmap/internal/tracefile"
 )
+
+// splitAgents parses the -agents list: comma-separated base URLs, empty
+// entries dropped.
+func splitAgents(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
 
 func main() {
 	scale := flag.String("scale", "small", "topology scale: small, medium, or paper")
@@ -77,6 +92,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve live /metrics (Prometheus text), /progress, and /debug/pprof on this address while the run executes")
 	progressEvery := flag.Duration("progress", 5*time.Second, "print a one-line progress ticker to stderr at this interval (0 disables)")
+	agents := flag.String("agents", "", "comma-separated cloudmapagent base URLs; probing campaigns dispatch chunks to the fleet, falling back to local execution (output is byte-identical either way)")
+	leaseTimeout := flag.Duration("lease-timeout", 0, "per-lease deadline for dispatched chunks (0 = 60s)")
 	flag.Parse()
 
 	var cfg cloudmap.Config
@@ -143,6 +160,16 @@ func main() {
 		defer stopTicker()
 	}
 
+	var disp *dispatch.Options
+	if *agents != "" {
+		disp = &dispatch.Options{
+			Agents:       splitAgents(*agents),
+			LeaseTimeout: *leaseTimeout,
+			Metrics:      reg,
+			Log:          olog.New(os.Stderr, olog.Info),
+		}
+	}
+
 	start := time.Now()
 	res, rep, err := cloudmap.RunPipeline(ctx, nil, cfg, cloudmap.RunOptions{
 		CheckpointDir: *checkpointDir,
@@ -152,6 +179,7 @@ func main() {
 		JournalPath:   *journalOut,
 		TracePath:     *traceOut,
 		Progress:      prog,
+		Dispatch:      disp,
 	})
 	if rep != nil && *metricsOut != "" {
 		f, merr := os.Create(*metricsOut)

@@ -5,13 +5,16 @@
 //	cloudmapctl [-addr 127.0.0.1:7080] [-json] status
 //	cloudmapctl [-addr ...] [-json] peerings [-as N] [-metro CODE] [-cbi IP]
 //	cloudmapctl [-addr ...] [-json] watch [-since N]
+//	cloudmapctl [-addr ...] [-json] fleet
 //
 // status prints the daemon's epoch, map size, and the last epoch's
 // incremental-scheduling outcome (which stages re-ran, which hash-skipped).
 // peerings prints the live map, optionally filtered to one AS, metro, or
 // interface. watch replays the delta history after -since and then streams
-// each new epoch's changes until interrupted. -json emits the server
-// documents unformatted.
+// each new epoch's changes until interrupted. fleet prints per-agent health
+// from the dispatch controller: state (healthy, penalty-box, lost),
+// heartbeat age, lease accounting, the agent's self-reported telemetry, and
+// its recent throughput. -json emits the server documents unformatted.
 package main
 
 import (
@@ -33,7 +36,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7080", "cloudmapd address")
 	asJSON := flag.Bool("json", false, "print raw JSON instead of tables")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: cloudmapctl [-addr HOST:PORT] [-json] status|peerings|watch [args]")
+		fmt.Fprintln(os.Stderr, "usage: cloudmapctl [-addr HOST:PORT] [-json] status|peerings|watch|fleet [args]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,8 +53,10 @@ func main() {
 		err = runPeerings(base, *asJSON, flag.Args()[1:])
 	case "watch":
 		err = runWatch(base, *asJSON, flag.Args()[1:])
+	case "fleet":
+		err = runFleet(base, *asJSON)
 	default:
-		log.Fatalf("unknown subcommand %q (want status, peerings, or watch)", cmd)
+		log.Fatalf("unknown subcommand %q (want status, peerings, watch, or fleet)", cmd)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -83,6 +88,15 @@ func runStatus(base string, raw bool) error {
 		return err
 	}
 	service.FormatStatus(os.Stdout, &st)
+	return nil
+}
+
+func runFleet(base string, raw bool) error {
+	var fl service.FleetReply
+	if err := get(base, "/v1/fleet", raw, &fl); err != nil || raw {
+		return err
+	}
+	service.FormatFleet(os.Stdout, &fl)
 	return nil
 }
 

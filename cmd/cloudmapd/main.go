@@ -11,7 +11,7 @@
 //	          [-epoch-timeout 0s] [-epoch-retries 2] [-retry-backoff 1s]
 //	          [-history-limit N] [-watch-keepalive 30s]
 //	          [-checkpoint-dir DIR] [-epoch-journal j.jsonl]
-//	          [-drain-timeout 30s]
+//	          [-drain-timeout 30s] [-log-level info]
 //	          [-agents URL,URL,...] [-lease-timeout 60s]
 //
 // Each epoch the daemon derives the next world state from the churn plan
@@ -24,8 +24,11 @@
 // epoch and the deltas stream to watchers.
 //
 // The HTTP surface on -addr serves the query API (/v1/status,
-// /v1/peerings, /v1/deltas, /v1/watch) alongside the admin plane
-// (/metrics, /progress, /debug/pprof/). cloudmapctl is the CLI client.
+// /v1/peerings, /v1/deltas, /v1/watch, /v1/fleet) alongside the admin
+// plane (/metrics, /progress, /logz, /debug/pprof/). cloudmapctl is the
+// CLI client. With -agents, /v1/fleet reports live per-agent health
+// (state, heartbeat age, lease accounting, throughput) and /metrics grows
+// per-agent service.agent.<id>.* series.
 //
 // With -state-dir the daemon is crash-safe: every epoch is fsynced to a
 // CRC-framed journal before the loop advances, the store checkpoints every
@@ -56,6 +59,7 @@ import (
 	"cloudmap"
 	"cloudmap/internal/metrics"
 	"cloudmap/internal/obs"
+	olog "cloudmap/internal/obs/log"
 	"cloudmap/internal/service"
 )
 
@@ -93,7 +97,13 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight HTTP requests at shutdown")
 	agents := flag.String("agents", "", "comma-separated cloudmapagent base URLs (e.g. http://127.0.0.1:7091,http://127.0.0.1:7092); probing campaigns dispatch chunks to the fleet, falling back to local execution when no agent can finish a chunk")
 	leaseTimeout := flag.Duration("lease-timeout", 0, "per-lease deadline for dispatched chunks; a straggling agent is marked lost and the chunk re-dispatches (0 = 60s)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
+
+	level, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var cfg cloudmap.Config
 	switch *scale {
@@ -138,7 +148,7 @@ func main() {
 		LeaseTimeout:    *leaseTimeout,
 		Metrics:         reg,
 		Progress:        obs.NewProgress(reg),
-		Log:             log.New(os.Stderr, "cloudmapd: ", log.LstdFlags),
+		Log:             olog.New(os.Stderr, level),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -152,7 +162,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cloudmapd serving on http://%s (/v1/status, /v1/peerings, /v1/deltas, /v1/watch)\n", srv.Addr())
+	fmt.Printf("cloudmapd serving on http://%s (/v1/status, /v1/peerings, /v1/deltas, /v1/watch, /v1/fleet)\n", srv.Addr())
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(srv.Addr()), 0o644); err != nil {
 			log.Fatal(err)

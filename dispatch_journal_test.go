@@ -1,0 +1,120 @@
+package cloudmap
+
+// Trace-context propagation acceptance: a campaign dispatched across a
+// chaos-ridden agent fleet must journal exactly what a local run journals.
+// Agents execute chunks under RemoteSpan-derived children of the
+// controller's stage span and ship the captured events back with the result
+// frame; only the winning lease's events are imported, and lease lifecycle
+// noise (redispatch, hedging, local fallback) never reaches the journal —
+// so the sorted journal stays a pure function of the run config.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudmap/internal/datasets"
+	"cloudmap/internal/dispatch"
+	"cloudmap/internal/faults"
+)
+
+// journalRunDispatched mirrors journalRun with the campaign leased to a
+// 3-agent fleet: one chaos-crashed, one stalled past every lease deadline,
+// one healthy.
+func journalRunDispatched(t *testing.T, workers int, dir string) ([]string, *TraceReport) {
+	t.Helper()
+	cfg := chaosConfig(t)
+	dirty, err := datasets.LoadDirtyPlan("testdata/dirtyplans/moderate.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dirty = dirty
+	cfg.Workers = workers
+
+	agentSys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := dispatch.Fingerprint(cfg.Topology, cfg.Faults)
+	crash := chaosAgent(t, agentSys, "chaos-crash", fp,
+		&faults.AgentPlan{Seed: 1, WindowChunks: 1, Crash: &faults.AgentCrashPlan{Prob: 1}})
+	stall := chaosAgent(t, agentSys, "chaos-stall", fp,
+		&faults.AgentPlan{Seed: 1, WindowChunks: 1, Stall: &faults.AgentStallPlan{Prob: 1, Sec: 30}})
+	healthy := chaosAgent(t, agentSys, "healthy", fp, &faults.AgentPlan{Seed: 1})
+
+	journal := filepath.Join(dir, "journal.jsonl")
+	_, rep, err := RunPipeline(context.Background(), nil, cfg, RunOptions{
+		JournalPath: journal,
+		Dispatch: &dispatch.Options{
+			Agents:       []string{crash.URL, stall.URL, healthy.URL},
+			LeaseTimeout: 500 * time.Millisecond,
+			RetryBackoff: 10 * time.Millisecond,
+			Heartbeat:    100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	sort.Strings(lines)
+	return lines, rep.Manifest.Trace
+}
+
+// TestDispatchedJournalByteIdentical: the sorted journal of a distributed
+// chaos run equals the local baseline's byte for byte, at both ends of the
+// worker-count range, and the manifest span counts agree.
+func TestDispatchedJournalByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple pipeline runs skipped in -short mode")
+	}
+	base, baseTrace := journalRun(t, 1, t.TempDir())
+	for _, workers := range []int{1, 8} {
+		got, gotTrace := journalRunDispatched(t, workers, t.TempDir())
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: journal length %d, local baseline %d", workers, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: sorted journals diverge at line %d:\ndispatched: %s\nlocal:      %s",
+					workers, i, got[i], base[i])
+			}
+		}
+		if gotTrace == nil || baseTrace == nil {
+			t.Fatal("manifest trace section missing")
+		}
+		for k, n := range baseTrace.Spans {
+			if gotTrace.Spans[k] != n {
+				t.Fatalf("workers=%d: span count %s: %d dispatched, %d local", workers, k, gotTrace.Spans[k], n)
+			}
+		}
+		// The chunk events in the journal must really have crossed the wire:
+		// a fleet with a healthy agent does not fall back to local for every
+		// chunk (the chunk spans would be identical either way — that is the
+		// point — so check the chunk kind is present at all, too).
+		var chunks int
+		for _, ln := range got {
+			var ev struct {
+				Kind string `json:"kind"`
+			}
+			if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+				t.Fatalf("bad journal line %q: %v", ln, err)
+			}
+			if ev.Kind == "chunk" {
+				chunks++
+			}
+		}
+		if chunks == 0 {
+			t.Fatalf("workers=%d: no chunk events in the dispatched journal", workers)
+		}
+	}
+}

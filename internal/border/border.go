@@ -103,6 +103,13 @@ type Inference struct {
 	// because the cloud flag depends on the grouping mode.
 	annCache annTable
 
+	// memo short-circuits record for runs of traces that resolve to the
+	// same (ABI, CBI, prev) triple — within a chunk, consecutive targets
+	// behind one peering usually do. On a hit, record skips the five map
+	// lookups and touches only the per-trace fields (segment count, region
+	// bit, reachable /24), which is the replay hot path's bulk.
+	memo recordMemo
+
 	ABIs     map[netblock.IP]*ABIInfo
 	CBIs     map[netblock.IP]*CBIInfo
 	Segments map[Segment]*SegInfo
@@ -136,8 +143,21 @@ func (inf *Inference) BeginRound2() { inf.round = 2 }
 func (inf *Inference) DisableOrgGrouping(primaryASN registry.ASN) {
 	inf.asnGranularity = true
 	inf.primaryASN = primaryASN
-	// Cached cloud flags were computed under ORG grouping; drop them.
+	// Cached cloud flags were computed under ORG grouping; drop them. The
+	// record memo caches annotation-derived state too.
 	inf.annCache = annTable{}
+	inf.memo = recordMemo{}
+}
+
+// recordMemo caches the map-resident state record resolved for the last
+// (ABI, CBI, prev) triple. Valid only while the underlying maps hold these
+// exact entries — true for the life of an Inference, which never deletes.
+type recordMemo struct {
+	valid          bool
+	abi, cbi, prev netblock.IP
+	ci             *CBIInfo
+	si             *SegInfo
+	reach          map[netblock.IP]struct{} // nil when the CBI's ASN is 0
 }
 
 // isCloudHop reports whether a hop still belongs to the probing cloud: its
@@ -338,6 +358,20 @@ func (inf *Inference) Consume(tr probe.Trace) {
 }
 
 func (inf *Inference) record(tr probe.Trace, abi netblock.IP, abiAnn registry.Annotation, cbi netblock.IP, cbiAnn registry.Annotation, prev netblock.IP) {
+	// Fast path: same (ABI, CBI, prev) triple as the last trace. Every
+	// set insert and backfill below is idempotent and already happened when
+	// the memo was populated, so only the per-trace updates remain.
+	if m := &inf.memo; m.valid && m.abi == abi && m.cbi == cbi && m.prev == prev {
+		m.si.Count++
+		if tr.Src.Region < 32 {
+			m.ci.Regions |= 1 << uint(tr.Src.Region)
+		}
+		if m.reach != nil {
+			m.reach[netblock.Slash24(tr.Dst).Addr] = struct{}{}
+		}
+		return
+	}
+
 	ai := inf.ABIs[abi]
 	if ai == nil {
 		ai = &ABIInfo{Addr: abi, Ann: abiAnn, NextOrgs: map[string]struct{}{}, CBIs: map[netblock.IP]struct{}{}}
@@ -385,14 +419,17 @@ func (inf *Inference) record(tr probe.Trace, abi netblock.IP, abiAnn registry.An
 
 	// Reachability accounting for Fig. 6: the destination /24 was probed
 	// through this peer.
+	var reach map[netblock.IP]struct{}
 	if cbiAnn.ASN != 0 {
-		set := inf.ReachableSlash24[cbiAnn.ASN]
-		if set == nil {
-			set = map[netblock.IP]struct{}{}
-			inf.ReachableSlash24[cbiAnn.ASN] = set
+		reach = inf.ReachableSlash24[cbiAnn.ASN]
+		if reach == nil {
+			reach = map[netblock.IP]struct{}{}
+			inf.ReachableSlash24[cbiAnn.ASN] = reach
 		}
-		set[netblock.Slash24(tr.Dst).Addr] = struct{}{}
+		reach[netblock.Slash24(tr.Dst).Addr] = struct{}{}
 	}
+
+	inf.memo = recordMemo{valid: true, abi: abi, cbi: cbi, prev: prev, ci: ci, si: si, reach: reach}
 }
 
 // pendingOnly reports whether an ABI entry exists only as hybrid-evidence

@@ -6,10 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +15,7 @@ import (
 	"cloudmap/internal/metrics"
 	"cloudmap/internal/netblock"
 	"cloudmap/internal/obs"
+	olog "cloudmap/internal/obs/log"
 	"cloudmap/internal/probe"
 	"cloudmap/internal/tracefile"
 )
@@ -48,12 +47,14 @@ type Options struct {
 	HedgeMinSamples int
 	// Metrics receives the lease counters, named <MetricsPrefix>.leases_granted,
 	// .leases_expired, .chunks_rehedged, .agents_lost, .chunks_local, and
-	// .lease_failures. Nil creates a private registry.
+	// .lease_failures, plus the fleet lease-RTT histogram .lease_rtt_ms and
+	// per-agent series under <MetricsPrefix>.agent.<id>.*. Nil creates a
+	// private registry.
 	Metrics *metrics.Registry
 	// MetricsPrefix defaults to "dispatch"; the daemon installs "service".
 	MetricsPrefix string
 	// Log receives lease lifecycle events; nil discards.
-	Log *log.Logger
+	Log *olog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -84,9 +85,7 @@ func (o Options) withDefaults() Options {
 	if o.MetricsPrefix == "" {
 		o.MetricsPrefix = "dispatch"
 	}
-	if o.Log == nil {
-		o.Log = log.New(io.Discard, "", 0)
-	}
+	o.Log = o.Log.With("dispatch")
 	return o
 }
 
@@ -101,6 +100,13 @@ const (
 	healthTimeoutFloor = time.Second
 )
 
+// agentMetrics is one agent's per-agent series on the controller registry,
+// created lazily once the agent's ID is known from its first heartbeat.
+type agentMetrics struct {
+	up, inflight, traces, retries, faults, leases *metrics.Gauge
+	rtt                                           *metrics.Histogram
+}
+
 // agentState is the controller's view of one agent.
 type agentState struct {
 	url      string
@@ -109,6 +115,17 @@ type agentState struct {
 	fails    atomic.Int64 // consecutive health failures
 	oks      atomic.Int64 // consecutive health successes while down
 	needOK   atomic.Int64 // successes required to (re)join; 1 initially, healthResurrect after a loss
+	granted  atomic.Int64 // leases dispatched to this agent
+	expired  atomic.Int64 // leases that blew the deadline on this agent
+	hedged   atomic.Int64 // leases hedged away because this agent straggled
+
+	mu       sync.Mutex
+	id       string     // agent's self-reported ID (from heartbeats)
+	lastBeat time.Time  // last successful heartbeat
+	stats    AgentStats // latest self-report (heartbeat or lease response)
+	tpsStats AgentStats // stats at lastBeat, for throughput deltas
+	tps      float64    // traces/sec between the last two heartbeats
+	m        *agentMetrics
 }
 
 // Stats is a snapshot of the controller's dispatch telemetry.
@@ -119,6 +136,31 @@ type Stats struct {
 	AgentsLost     int64 // live→lost transitions
 	ChunksLocal    int64 // chunks executed locally (fallback)
 	LeaseFailures  int64 // failed leases (transport, refusal, bad frame)
+}
+
+// AgentInfo is one agent's row in the fleet health document.
+type AgentInfo struct {
+	URL string `json:"url"`
+	ID  string `json:"id,omitempty"`
+	// State is "healthy" (in rotation), "penalty-box" (lost, heartbeating
+	// again, not yet trusted), or "lost".
+	State            string `json:"state"`
+	ConsecutiveFails int64  `json:"consecutive_fails"`
+	// LastHeartbeatMS is the age of the last successful heartbeat in
+	// milliseconds; -1 means the agent has never answered.
+	LastHeartbeatMS int64      `json:"last_heartbeat_ms"`
+	Inflight        int64      `json:"inflight"`
+	LeasesGranted   int64      `json:"leases_granted"`
+	LeasesExpired   int64      `json:"leases_expired"`
+	LeasesHedged    int64      `json:"leases_hedged"`
+	ThroughputTPS   float64    `json:"throughput_tps"`
+	Stats           AgentStats `json:"stats"`
+}
+
+// Fleet is the live fleet-health snapshot served at /v1/fleet.
+type Fleet struct {
+	Agents []AgentInfo `json:"agents"`
+	Stats  Stats       `json:"stats"`
 }
 
 // Controller leases campaign chunks to remote agents and merges their
@@ -136,6 +178,7 @@ type Controller struct {
 	cLost     *metrics.Counter
 	cLocal    *metrics.Counter
 	cFailed   *metrics.Counter
+	hRTT      *metrics.Histogram
 
 	leaseSeq atomic.Int64
 
@@ -166,6 +209,7 @@ func NewController(opts Options, fingerprint string) *Controller {
 		cLost:     opts.Metrics.Counter(opts.MetricsPrefix + ".agents_lost"),
 		cLocal:    opts.Metrics.Counter(opts.MetricsPrefix + ".chunks_local"),
 		cFailed:   opts.Metrics.Counter(opts.MetricsPrefix + ".lease_failures"),
+		hRTT:      opts.Metrics.Histogram(opts.MetricsPrefix + ".lease_rtt_ms"),
 	}
 	for _, u := range opts.Agents {
 		a := &agentState{url: u}
@@ -185,6 +229,44 @@ func (c *Controller) Stats() Stats {
 		ChunksLocal:    c.cLocal.Value(),
 		LeaseFailures:  c.cFailed.Value(),
 	}
+}
+
+// Fleet snapshots per-agent health for the fleet API: liveness state,
+// heartbeat age, lease accounting, the agent's own telemetry self-report,
+// and its recent probing throughput.
+func (c *Controller) Fleet() Fleet {
+	now := time.Now()
+	f := Fleet{Stats: c.Stats(), Agents: make([]AgentInfo, 0, len(c.agents))}
+	for _, a := range c.agents {
+		info := AgentInfo{
+			URL:              a.url,
+			ConsecutiveFails: a.fails.Load(),
+			Inflight:         a.inflight.Load(),
+			LeasesGranted:    a.granted.Load(),
+			LeasesExpired:    a.expired.Load(),
+			LeasesHedged:     a.hedged.Load(),
+		}
+		a.mu.Lock()
+		info.ID = a.id
+		info.Stats = a.stats
+		info.ThroughputTPS = a.tps
+		if a.lastBeat.IsZero() {
+			info.LastHeartbeatMS = -1
+		} else {
+			info.LastHeartbeatMS = now.Sub(a.lastBeat).Milliseconds()
+		}
+		a.mu.Unlock()
+		switch {
+		case a.live.Load():
+			info.State = "healthy"
+		case a.oks.Load() > 0:
+			info.State = "penalty-box"
+		default:
+			info.State = "lost"
+		}
+		f.Agents = append(f.Agents, info)
+	}
+	return f
 }
 
 // LiveAgents counts agents currently considered healthy.
@@ -225,22 +307,25 @@ func (c *Controller) start() {
 	}()
 }
 
-// sweep health-polls every agent once, updating liveness.
+// sweep health-polls every agent once, updating liveness and telemetry.
 func (c *Controller) sweep() {
 	var wg sync.WaitGroup
 	for _, a := range c.agents {
 		wg.Add(1)
 		go func(a *agentState) {
 			defer wg.Done()
-			if c.checkHealth(a) {
+			if h, ok := c.checkHealth(a); ok {
+				c.noteHealth(a, h)
 				a.fails.Store(0)
 				if !a.live.Load() && a.oks.Add(1) >= a.needOK.Load() {
 					a.live.Store(true)
-					c.opts.Log.Printf("dispatch: agent %s live", a.url)
+					c.opts.Log.Info("agent live", "agent", a.url, "id", h.ID)
 				}
 			} else {
 				a.oks.Store(0)
-				if a.live.Load() && a.fails.Add(1) >= downMark {
+				// The failure streak counts even while the agent is down —
+				// the fleet document reports it as consecutive_fails.
+				if a.fails.Add(1) >= downMark && a.live.Load() {
 					c.markDown(a, "heartbeat failures")
 				}
 			}
@@ -249,7 +334,7 @@ func (c *Controller) sweep() {
 	wg.Wait()
 }
 
-func (c *Controller) checkHealth(a *agentState) bool {
+func (c *Controller) checkHealth(a *agentState) (Health, bool) {
 	to := 2 * c.opts.Heartbeat
 	if to < healthTimeoutFloor {
 		to = healthTimeoutFloor
@@ -258,23 +343,84 @@ func (c *Controller) checkHealth(a *agentState) bool {
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.url+healthPath, nil)
 	if err != nil {
-		return false
+		return Health{}, false
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return false
+		return Health{}, false
 	}
 	defer resp.Body.Close()
 	var h Health
 	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil {
-		return false
+		return Health{}, false
 	}
 	if h.Fingerprint != c.fingerprint {
 		// A live process probing a different world is worse than a dead
 		// one; keep it out of the rotation permanently.
-		return false
+		return Health{}, false
 	}
-	return true
+	return h, true
+}
+
+// noteHealth folds one successful heartbeat into the agent's telemetry view:
+// identity, last-seen time, self-reported stats, the heartbeat-to-heartbeat
+// throughput estimate, and the per-agent gauge series.
+func (c *Controller) noteHealth(a *agentState, h Health) {
+	now := time.Now()
+	a.mu.Lock()
+	a.id = h.ID
+	if !a.lastBeat.IsZero() {
+		if dt := now.Sub(a.lastBeat).Seconds(); dt > 0 {
+			a.tps = float64(h.Stats.TracesProbed-a.tpsStats.TracesProbed) / dt
+		}
+	}
+	a.lastBeat = now
+	a.tpsStats = h.Stats
+	a.stats = h.Stats
+	m := c.ensureAgentMetricsLocked(a)
+	a.mu.Unlock()
+	if m != nil {
+		m.up.Set(1)
+		setAgentGauges(m, h.Stats)
+	}
+}
+
+// noteStats folds a lease response's stats self-report into the agent view
+// (heartbeat timing and throughput are left to noteHealth).
+func (c *Controller) noteStats(a *agentState, s AgentStats) {
+	a.mu.Lock()
+	a.stats = s
+	m := c.ensureAgentMetricsLocked(a)
+	a.mu.Unlock()
+	if m != nil {
+		setAgentGauges(m, s)
+	}
+}
+
+// ensureAgentMetricsLocked lazily creates the agent's per-agent series once
+// its self-reported ID is known. Caller holds a.mu.
+func (c *Controller) ensureAgentMetricsLocked(a *agentState) *agentMetrics {
+	if a.m == nil && a.id != "" {
+		p := c.opts.MetricsPrefix + ".agent." + a.id + "."
+		a.m = &agentMetrics{
+			up:       c.opts.Metrics.Gauge(p + "up"),
+			inflight: c.opts.Metrics.Gauge(p + "inflight"),
+			traces:   c.opts.Metrics.Gauge(p + "traces_probed"),
+			retries:  c.opts.Metrics.Gauge(p + "retries"),
+			faults:   c.opts.Metrics.Gauge(p + "faults"),
+			leases:   c.opts.Metrics.Gauge(p + "leases_done"),
+			rtt:      c.opts.Metrics.Histogram(p + "lease_rtt_ms"),
+		}
+	}
+	return a.m
+}
+
+func setAgentGauges(m *agentMetrics, s AgentStats) {
+	m.inflight.Set(float64(s.Inflight))
+	m.traces.Set(float64(s.TracesProbed))
+	m.retries.Set(float64(s.Retries))
+	m.faults.Set(float64(s.Faults()))
+	m.leases.Set(float64(s.LeasesDone))
 }
 
 // markDown transitions an agent to lost (idempotent) and raises the bar for
@@ -284,7 +430,13 @@ func (c *Controller) markDown(a *agentState, reason string) {
 		a.oks.Store(0)
 		a.needOK.Store(healthResurrect)
 		c.cLost.Inc()
-		c.opts.Log.Printf("dispatch: agent %s lost (%s)", a.url, reason)
+		c.opts.Log.Warn("agent lost", "agent", a.url, "reason", reason)
+		a.mu.Lock()
+		m := a.m
+		a.mu.Unlock()
+		if m != nil {
+			m.up.Set(0)
+		}
 	}
 }
 
@@ -306,8 +458,15 @@ func (c *Controller) pickAgent(except *agentState) *agentState {
 }
 
 // observeDuration records a completed lease's wall time for the hedge-delay
-// estimator (bounded window of recent samples).
-func (c *Controller) observeDuration(d time.Duration) {
+// estimator (bounded window of recent samples) and the RTT histograms.
+func (c *Controller) observeDuration(a *agentState, d time.Duration) {
+	c.hRTT.Observe(d.Milliseconds())
+	a.mu.Lock()
+	m := a.m
+	a.mu.Unlock()
+	if m != nil {
+		m.rtt.Observe(d.Milliseconds())
+	}
 	c.durMu.Lock()
 	defer c.durMu.Unlock()
 	if len(c.durs) >= 256 {
@@ -351,7 +510,7 @@ func (c *Controller) Campaign(ctx context.Context, sp *obs.Span, prog *obs.Progr
 	if c.LiveAgents() == 0 {
 		// Graceful degradation: no fleet, no protocol — the local engine
 		// runs the identical campaign (same chunk spans, same bytes).
-		c.opts.Log.Printf("dispatch: no live agents; running %d chunks locally", len(chunks))
+		c.opts.Log.Info("no live agents", "chunks", len(chunks), "fallback", "local")
 		c.cLocal.Add(int64(len(chunks)))
 		return p.CampaignRetryObsCtx(ctx, sp, prog, vms, targets, workers, pol, epoch, sink)
 	}
@@ -454,6 +613,10 @@ deliver:
 // and exponential-backoff re-dispatch) up to MaxAttempts times, then fall
 // back to the local prober. Only a context cancellation or a local
 // execution error is fatal; agent trouble never fails the campaign.
+//
+// Only the winning lease's captured spans import into the journal — retries
+// and hedge losers are wall-clock accidents, and journaling them would make
+// the journal schedule-dependent. They surface in logs and metrics instead.
 func (c *Controller) runChunk(ctx context.Context, sp *obs.Span, prog *obs.Progress, p *probe.Prober, wc probe.WorkChunk, targets []netblock.IP, nChunks int, pol probe.RetryPolicy, epoch uint64, lane int) ([]probe.Trace, probe.CampaignStats, error) {
 	share := probe.ChunkRetryBudget(pol.Budget, nChunks, wc.Index)
 	backoff := c.opts.RetryBackoff
@@ -465,18 +628,15 @@ func (c *Controller) runChunk(ctx context.Context, sp *obs.Span, prog *obs.Progr
 		if ag == nil {
 			break
 		}
-		traces, cs, err := c.leaseHedged(ctx, sp, ag, wc, targets, pol, share, epoch)
+		traces, cs, spans, err := c.leaseHedged(ctx, sp, ag, wc, targets, pol, share, epoch)
 		if err == nil {
+			sp.Import(spans)
 			return traces, cs, nil
 		}
 		if ctx.Err() != nil {
 			return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: campaign interrupted: %w", ctx.Err())
 		}
-		c.opts.Log.Printf("dispatch: chunk %d attempt %d/%d failed: %v; redispatching", wc.Index, attempt, c.opts.MaxAttempts, err)
-		sp.Detail("lease", "redispatch", uint64(wc.Index)<<8|uint64(attempt), obs.Attrs{
-			"chunk":   strconv.Itoa(wc.Index),
-			"attempt": strconv.Itoa(attempt),
-		})
+		c.opts.Log.Info("redispatching chunk", "chunk", wc.Index, "attempt", attempt, "max", c.opts.MaxAttempts, "err", err)
 		if attempt < c.opts.MaxAttempts {
 			select {
 			case <-time.After(backoff):
@@ -489,8 +649,7 @@ func (c *Controller) runChunk(ctx context.Context, sp *obs.Span, prog *obs.Progr
 	// Graceful degradation: the fleet could not finish this chunk; the
 	// local engine produces the identical bytes.
 	c.cLocal.Inc()
-	c.opts.Log.Printf("dispatch: chunk %d running locally", wc.Index)
-	sp.Detail("lease", "local", uint64(wc.Index), obs.Attrs{"chunk": strconv.Itoa(wc.Index)})
+	c.opts.Log.Info("chunk running locally", "chunk", wc.Index)
 	return p.RunChunkObs(ctx, sp, prog, wc, targets, pol, epoch, share, lane)
 }
 
@@ -498,10 +657,16 @@ func (c *Controller) runChunk(ctx context.Context, sp *obs.Span, prog *obs.Progr
 // outlives the hedge delay and another live agent is free, a duplicate
 // dispatches and the first valid result wins. Both executions are
 // deterministic, so discarding the loser cannot change the output.
-func (c *Controller) leaseHedged(ctx context.Context, sp *obs.Span, ag *agentState, wc probe.WorkChunk, targets []netblock.IP, pol probe.RetryPolicy, budget int64, epoch uint64) ([]probe.Trace, probe.CampaignStats, error) {
+func (c *Controller) leaseHedged(ctx context.Context, sp *obs.Span, ag *agentState, wc probe.WorkChunk, targets []netblock.IP, pol probe.RetryPolicy, budget int64, epoch uint64) ([]probe.Trace, probe.CampaignStats, *obs.JournalEvents, error) {
+	span := ""
+	if sp != nil {
+		span = sp.ID().String()
+	}
 	type res struct {
 		traces []probe.Trace
 		stats  probe.CampaignStats
+		spans  *obs.JournalEvents
+		agent  *agentState
 		err    error
 		dur    time.Duration
 	}
@@ -511,8 +676,8 @@ func (c *Controller) leaseHedged(ctx context.Context, sp *obs.Span, ag *agentSta
 	launch := func(a *agentState) {
 		go func() {
 			start := time.Now()
-			traces, stats, err := c.lease(lctx, a, wc, targets, pol, budget, epoch)
-			ch <- res{traces, stats, err, time.Since(start)}
+			traces, stats, spans, err := c.lease(lctx, a, span, wc, targets, pol, budget, epoch)
+			ch <- res{traces, stats, spans, a, err, time.Since(start)}
 		}()
 	}
 	launch(ag)
@@ -530,8 +695,8 @@ func (c *Controller) leaseHedged(ctx context.Context, sp *obs.Span, ag *agentSta
 		case r := <-ch:
 			outstanding--
 			if r.err == nil {
-				c.observeDuration(r.dur)
-				return r.traces, r.stats, nil
+				c.observeDuration(r.agent, r.dur)
+				return r.traces, r.stats, r.spans, nil
 			}
 			if firstErr == nil {
 				firstErr = r.err
@@ -540,22 +705,23 @@ func (c *Controller) leaseHedged(ctx context.Context, sp *obs.Span, ag *agentSta
 			hedgeC = nil
 			if alt := c.pickAgent(ag); alt != nil {
 				c.cRehedged.Inc()
-				c.opts.Log.Printf("dispatch: chunk %d straggling on %s; hedging to %s", wc.Index, ag.url, alt.url)
-				sp.Detail("lease", "hedge", uint64(wc.Index), obs.Attrs{"chunk": strconv.Itoa(wc.Index)})
+				ag.hedged.Add(1)
+				c.opts.Log.Info("hedging chunk", "chunk", wc.Index, "straggler", ag.url, "to", alt.url)
 				launch(alt)
 				outstanding++
 			}
 		case <-ctx.Done():
 			// In-flight goroutines drain into the buffered channel.
-			return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: campaign interrupted: %w", ctx.Err())
+			return nil, probe.CampaignStats{}, nil, fmt.Errorf("dispatch: campaign interrupted: %w", ctx.Err())
 		}
 	}
-	return nil, probe.CampaignStats{}, firstErr
+	return nil, probe.CampaignStats{}, nil, firstErr
 }
 
 // lease executes one lease RPC against one agent under the lease deadline,
-// verifying the returned tracefile frame end to end.
-func (c *Controller) lease(ctx context.Context, a *agentState, wc probe.WorkChunk, targets []netblock.IP, pol probe.RetryPolicy, budget int64, epoch uint64) ([]probe.Trace, probe.CampaignStats, error) {
+// verifying the returned tracefile frame end to end and decoding the
+// agent's captured spans and telemetry self-report.
+func (c *Controller) lease(ctx context.Context, a *agentState, span string, wc probe.WorkChunk, targets []netblock.IP, pol probe.RetryPolicy, budget int64, epoch uint64) ([]probe.Trace, probe.CampaignStats, *obs.JournalEvents, error) {
 	lease := Lease{
 		ID:          fmt.Sprintf("l%06d", c.leaseSeq.Add(1)),
 		Fingerprint: c.fingerprint,
@@ -565,22 +731,24 @@ func (c *Controller) lease(ctx context.Context, a *agentState, wc probe.WorkChun
 		Retry:       pol,
 		Budget:      budget,
 		Epoch:       epoch,
+		Span:        span,
 	}
 	body, err := json.Marshal(lease)
 	if err != nil {
-		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease encode: %w", err)
+		return nil, probe.CampaignStats{}, nil, fmt.Errorf("dispatch: lease encode: %w", err)
 	}
 	lctx, cancel := context.WithTimeout(ctx, c.opts.LeaseTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(lctx, http.MethodPost, a.url+leasePath, bytes.NewReader(body))
 	if err != nil {
-		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease request: %w", err)
+		return nil, probe.CampaignStats{}, nil, fmt.Errorf("dispatch: lease request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 
 	a.inflight.Add(1)
 	defer a.inflight.Add(-1)
 	c.cGranted.Inc()
+	a.granted.Add(1)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.cFailed.Inc()
@@ -588,12 +756,13 @@ func (c *Controller) lease(ctx context.Context, a *agentState, wc probe.WorkChun
 			// The lease deadline (not the campaign) expired: the agent
 			// straggled past its lease. Bench it until it proves healthy.
 			c.cExpired.Inc()
+			a.expired.Add(1)
 			c.markDown(a, "lease deadline exceeded")
-			return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s expired on %s after %s", lease.ID, a.url, c.opts.LeaseTimeout)
+			return nil, probe.CampaignStats{}, nil, fmt.Errorf("dispatch: lease %s expired on %s after %s", lease.ID, a.url, c.opts.LeaseTimeout)
 		}
 		// Transport failure: the agent is gone (crashed, partitioned).
 		c.markDown(a, "lease transport error")
-		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s on %s: %w", lease.ID, a.url, err)
+		return nil, probe.CampaignStats{}, nil, fmt.Errorf("dispatch: lease %s on %s: %w", lease.ID, a.url, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -603,29 +772,42 @@ func (c *Controller) lease(ctx context.Context, a *agentState, wc probe.WorkChun
 			// World mismatch: this agent can never serve us.
 			c.markDown(a, "fingerprint mismatch")
 		}
-		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s refused by %s: %s (%s)", lease.ID, a.url, resp.Status, bytes.TrimSpace(msg))
+		return nil, probe.CampaignStats{}, nil, fmt.Errorf("dispatch: lease %s refused by %s: %s (%s)", lease.ID, a.url, resp.Status, bytes.TrimSpace(msg))
 	}
 
 	var stats probe.CampaignStats
 	if err := json.Unmarshal([]byte(resp.Header.Get(hdrStats)), &stats); err != nil {
 		c.cFailed.Inc()
-		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s stats frame: %w", lease.ID, err)
+		return nil, probe.CampaignStats{}, nil, fmt.Errorf("dispatch: lease %s stats frame: %w", lease.ID, err)
+	}
+	if s := resp.Header.Get(hdrAgentStats); s != "" {
+		var ast AgentStats
+		if json.Unmarshal([]byte(s), &ast) == nil {
+			c.noteStats(a, ast)
+		}
+	}
+	spans, err := obs.DecodeJournal(resp.Header.Get(hdrSpans))
+	if err != nil {
+		// A corrupt span frame means the result cannot splice into the
+		// journal; treat the lease as failed so the chunk re-executes.
+		c.cFailed.Inc()
+		return nil, probe.CampaignStats{}, nil, fmt.Errorf("dispatch: lease %s span frame: %w", lease.ID, err)
 	}
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
 		c.cFailed.Inc()
 		c.markDown(a, "lease transport error")
-		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s body: %w", lease.ID, err)
+		return nil, probe.CampaignStats{}, nil, fmt.Errorf("dispatch: lease %s body: %w", lease.ID, err)
 	}
 	traces := make([]probe.Trace, 0, len(targets))
 	sum, err := tracefile.Replay(bytes.NewReader(payload), func(tr probe.Trace) { traces = append(traces, tr) })
 	if err != nil {
 		c.cFailed.Inc()
-		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s result frame: %w", lease.ID, err)
+		return nil, probe.CampaignStats{}, nil, fmt.Errorf("dispatch: lease %s result frame: %w", lease.ID, err)
 	}
 	if !sum.Complete || len(traces) != len(targets) {
 		c.cFailed.Inc()
-		return nil, probe.CampaignStats{}, fmt.Errorf("dispatch: lease %s returned %d/%d traces (complete=%v)", lease.ID, len(traces), len(targets), sum.Complete)
+		return nil, probe.CampaignStats{}, nil, fmt.Errorf("dispatch: lease %s returned %d/%d traces (complete=%v)", lease.ID, len(traces), len(targets), sum.Complete)
 	}
-	return traces, stats, nil
+	return traces, stats, spans, nil
 }

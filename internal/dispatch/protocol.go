@@ -16,8 +16,10 @@ const (
 
 // Response headers carrying lease metadata alongside the tracefile body.
 const (
-	hdrStats = "X-Cloudmap-Stats" // compact CampaignStats JSON
-	hdrAgent = "X-Cloudmap-Agent" // agent ID echo
+	hdrStats      = "X-Cloudmap-Stats"       // compact CampaignStats JSON
+	hdrAgent      = "X-Cloudmap-Agent"       // agent ID echo
+	hdrSpans      = "X-Cloudmap-Spans"       // captured obs journal events (obs.PackJournal)
+	hdrAgentStats = "X-Cloudmap-Agent-Stats" // AgentStats JSON self-report
 )
 
 // Lease is one CRC-framed work lease: a campaign chunk plus everything the
@@ -41,6 +43,13 @@ type Lease struct {
 	// Epoch separates the virtual fault-time schedules of the probing
 	// rounds (1 = campaign, 2 = expansion).
 	Epoch uint64 `json:"epoch"`
+	// Span is the controller's stage span ID (obs.SpanID hex), when the
+	// controller runs with tracing on. The agent executes the chunk under a
+	// child span derived from it — the exact ID a local execution would
+	// derive — and returns the captured events in the result's
+	// X-Cloudmap-Spans header, so the merged journal is byte-identical to a
+	// local run. Empty means tracing is off and nothing is captured.
+	Span string `json:"span,omitempty"`
 }
 
 // TargetsCRC computes the lease frame check: CRC32 (IEEE) over every target
@@ -55,9 +64,32 @@ func TargetsCRC(targets []netblock.IP) uint32 {
 	return h.Sum32()
 }
 
+// AgentStats is the compact telemetry block an agent self-reports in every
+// heartbeat and lease response: cumulative work done, fault classifications
+// observed, and its current execution state. The controller mirrors these
+// into per-agent gauges on its own registry, so one /metrics scrape of the
+// daemon shows the whole fleet.
+type AgentStats struct {
+	LeasesDone        int64 `json:"leases_done"`
+	TracesProbed      int64 `json:"traces_probed"`
+	Retries           int64 `json:"retries"`
+	FaultsLost        int64 `json:"faults_lost"`
+	FaultsRateLimited int64 `json:"faults_rate_limited"`
+	FaultsOutages     int64 `json:"faults_outages"`
+	FaultsFlapped     int64 `json:"faults_flapped"`
+	Inflight          int64 `json:"inflight"`
+	Draining          bool  `json:"draining,omitempty"`
+}
+
+// Faults sums the fault classifications.
+func (s AgentStats) Faults() int64 {
+	return s.FaultsLost + s.FaultsRateLimited + s.FaultsOutages + s.FaultsFlapped
+}
+
 // Health is the heartbeat document agents serve on /agent/v1/health.
 type Health struct {
-	ID          string `json:"id"`
-	Fingerprint string `json:"fingerprint"`
-	LeasesDone  int64  `json:"leases_done"`
+	ID          string     `json:"id"`
+	Fingerprint string     `json:"fingerprint"`
+	LeasesDone  int64      `json:"leases_done"`
+	Stats       AgentStats `json:"stats"`
 }

@@ -165,11 +165,15 @@ func TestWritePrometheusGolden(t *testing.T) {
 	r.Counter("service.chunks_rehedged").Add(2)
 	r.Counter("service.leases_expired").Add(3)
 	r.Counter("service.leases_granted").Add(56)
+	// Per-route HTTP telemetry as obs.Instrument registers it.
+	r.Counter("http.v1_status.requests").Add(5)
+	r.Counter("http.v1_status.status.200").Add(5)
 	r.Gauge("progress.inf").Set(math.Inf(1))
 	r.Gauge("progress.rate").Set(math.NaN())
 	r.Gauge("progress.share").Set(0.5)
 	h := r.Histogram("campaign.hops")
 	h.ObserveN(7, 3)
+	r.Histogram("http.v1_status.latency_ms").ObserveN(2, 5)
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {
@@ -179,6 +183,10 @@ func TestWritePrometheusGolden(t *testing.T) {
 campaign_traces 42
 # TYPE expansion_hops_per_trace counter
 expansion_hops_per_trace 7
+# TYPE http_v1_status_requests counter
+http_v1_status_requests 5
+# TYPE http_v1_status_status_200 counter
+http_v1_status_status_200 5
 # TYPE service_agents_lost counter
 service_agents_lost 1
 # TYPE service_chunks_rehedged counter
@@ -199,6 +207,12 @@ campaign_hops{quantile="0.95"} 7
 campaign_hops{quantile="0.99"} 7
 campaign_hops_sum 21
 campaign_hops_count 3
+# TYPE http_v1_status_latency_ms summary
+http_v1_status_latency_ms{quantile="0.5"} 2
+http_v1_status_latency_ms{quantile="0.95"} 2
+http_v1_status_latency_ms{quantile="0.99"} 2
+http_v1_status_latency_ms_sum 10
+http_v1_status_latency_ms_count 5
 `
 	if got := buf.String(); got != want {
 		t.Fatalf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)

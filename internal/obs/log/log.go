@@ -1,0 +1,208 @@
+// Package log is cloudmap's structured leveled logger: one JSON object per
+// line, with a fixed header (ts, level, component, msg) followed by the
+// call's key/value attributes marshalled with sorted keys, so log output is
+// grep-stable and machine-parseable without a log-shipping stack.
+//
+// The logger is deliberately tiny. It exists to replace the ad-hoc
+// log.Printf calls in the daemons with records that carry their fields
+// separately from their message — "agent lost" stays greppable as
+// "msg":"agent lost" no matter which agent or reason varies — and to keep a
+// bounded in-memory ring of recent records that the admin plane serves at
+// /logz, so an operator can read the last few hundred events of a remote
+// process without shell access to its stderr.
+//
+// Wall-clock timestamps are allowed here, unlike in the obs journal: log
+// records are operator telemetry and are never part of the deterministic
+// epoch record. A nil *Logger is valid and discards everything, mirroring
+// the nil-safety discipline of obs.Tracer and obs.Span.
+package log
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Level orders records by severity.
+type Level int32
+
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+// String renders the level the way records spell it.
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel parses a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return Debug, nil
+	case "info":
+		return Info, nil
+	case "warn":
+		return Warn, nil
+	case "error":
+		return Error, nil
+	}
+	return Info, fmt.Errorf("log: unknown level %q (want debug, info, warn, or error)", s)
+}
+
+// ringSize bounds the /logz record ring. 256 records cover the interesting
+// recent past of a daemon (epoch supervision, agent churn) without letting a
+// chatty debug session grow the process.
+const ringSize = 256
+
+// record is one log line. Field order is the line's header order; Attrs is
+// a map so encoding/json sorts its keys.
+type record struct {
+	TS        string            `json:"ts"`
+	Level     string            `json:"level"`
+	Component string            `json:"component,omitempty"`
+	Msg       string            `json:"msg"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+}
+
+// sink is the state shared by a logger and its With-derived components: the
+// output writer, the level gate, and the /logz ring.
+type sink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+	ring  [][]byte // rendered lines, newest at (next-1+len)%len
+	next  int
+}
+
+// Logger emits structured records at or above its sink's level. Create with
+// New; derive component-scoped views with With. All methods are safe on a
+// nil receiver (no-ops) and for concurrent use.
+type Logger struct {
+	s         *sink
+	component string
+}
+
+// New builds a logger writing JSON lines to w at the given level. A nil w
+// keeps only the /logz ring.
+func New(w io.Writer, level Level) *Logger {
+	return &Logger{s: &sink{w: w, level: level}}
+}
+
+// With returns a view of the same sink (same writer, level, and ring)
+// stamping component on every record.
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s, component: component}
+}
+
+// SetLevel changes the sink's level gate for every derived logger.
+func (l *Logger) SetLevel(level Level) {
+	if l == nil {
+		return
+	}
+	l.s.mu.Lock()
+	l.s.level = level
+	l.s.mu.Unlock()
+}
+
+// Enabled reports whether records at lv would be emitted.
+func (l *Logger) Enabled(lv Level) bool {
+	if l == nil {
+		return false
+	}
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	return lv >= l.s.level
+}
+
+// Debug, Info, Warn, and Error emit one record: a message plus alternating
+// key/value attribute pairs (values are rendered with fmt.Sprint). A
+// dangling value-less key gets an empty value rather than panicking.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(Debug, msg, kv) }
+func (l *Logger) Info(msg string, kv ...any)  { l.log(Info, msg, kv) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.log(Warn, msg, kv) }
+func (l *Logger) Error(msg string, kv ...any) { l.log(Error, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if l == nil || !l.Enabled(lv) {
+		return
+	}
+	rec := record{
+		TS:        time.Now().UTC().Format(time.RFC3339Nano),
+		Level:     lv.String(),
+		Component: l.component,
+		Msg:       msg,
+	}
+	if len(kv) > 0 {
+		rec.Attrs = make(map[string]string, (len(kv)+1)/2)
+		for i := 0; i < len(kv); i += 2 {
+			key := fmt.Sprint(kv[i])
+			val := ""
+			if i+1 < len(kv) {
+				val = fmt.Sprint(kv[i+1])
+			}
+			rec.Attrs[key] = val
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.s.mu.Lock()
+	if len(l.s.ring) < ringSize {
+		l.s.ring = append(l.s.ring, line)
+	} else {
+		l.s.ring[l.s.next] = line
+		l.s.next = (l.s.next + 1) % ringSize
+	}
+	if l.s.w != nil {
+		l.s.w.Write(line)
+	}
+	l.s.mu.Unlock()
+}
+
+// Recent returns the ring's records oldest-first (rendered lines including
+// the trailing newline).
+func (l *Logger) Recent() [][]byte {
+	if l == nil {
+		return nil
+	}
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	out := make([][]byte, 0, len(l.s.ring))
+	for i := 0; i < len(l.s.ring); i++ {
+		out = append(out, l.s.ring[(l.s.next+i)%len(l.s.ring)])
+	}
+	return out
+}
+
+// Handler serves the record ring as JSONL — the admin plane's /logz
+// endpoint. A nil logger serves an empty document.
+func (l *Logger) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		for _, line := range l.Recent() {
+			w.Write(line)
+		}
+	})
+}

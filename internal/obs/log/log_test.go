@@ -1,0 +1,124 @@
+package log
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRecordShapeAndSortedAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Info).With("dispatch")
+	l.Info("agent lost", "zeta", 9, "agent", "http://a:1", "reason", "heartbeat failures")
+
+	line := strings.TrimRight(buf.String(), "\n")
+	var rec struct {
+		TS        string            `json:"ts"`
+		Level     string            `json:"level"`
+		Component string            `json:"component"`
+		Msg       string            `json:"msg"`
+		Attrs     map[string]string `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("line not JSON: %v\n%s", err, line)
+	}
+	if rec.Level != "info" || rec.Component != "dispatch" || rec.Msg != "agent lost" {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Attrs["agent"] != "http://a:1" || rec.Attrs["zeta"] != "9" {
+		t.Fatalf("attrs = %v", rec.Attrs)
+	}
+	if rec.TS == "" {
+		t.Fatal("record has no timestamp")
+	}
+	// encoding/json sorts map keys: attrs must appear alphabetically.
+	if a, z := strings.Index(line, `"agent"`), strings.Index(line, `"zeta"`); a < 0 || z < 0 || a > z {
+		t.Fatalf("attr keys not sorted in %s", line)
+	}
+	// The message is greppable as a fixed field.
+	if !strings.Contains(line, `"msg":"agent lost"`) {
+		t.Fatalf("msg field not greppable: %s", line)
+	}
+}
+
+func TestLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Warn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("emitted %d records at level warn, want 2:\n%s", got, buf.String())
+	}
+	if l.Enabled(Info) || !l.Enabled(Error) {
+		t.Fatal("Enabled disagrees with the gate")
+	}
+	l.SetLevel(Debug)
+	l.Debug("now")
+	if !strings.Contains(buf.String(), `"msg":"now"`) {
+		t.Fatal("SetLevel did not open the gate")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": Debug, "info": Info, "warn": Warn, "error": Error} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+func TestRingAndHandler(t *testing.T) {
+	l := New(nil, Info) // ring only, no writer
+	for i := 0; i < ringSize+10; i++ {
+		l.Info("tick", "i", i)
+	}
+	recent := l.Recent()
+	if len(recent) != ringSize {
+		t.Fatalf("ring holds %d records, want %d", len(recent), ringSize)
+	}
+	if !bytes.Contains(recent[0], []byte(`"i":"10"`)) {
+		t.Fatalf("oldest ring record = %s, want i=10", recent[0])
+	}
+	if !bytes.Contains(recent[len(recent)-1], []byte(`"i":"265"`)) {
+		t.Fatalf("newest ring record = %s", recent[len(recent)-1])
+	}
+
+	rr := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/logz", nil))
+	if got := strings.Count(rr.Body.String(), "\n"); got != ringSize {
+		t.Fatalf("/logz served %d lines, want %d", got, ringSize)
+	}
+}
+
+func TestNilLoggerIsNoOp(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", "k", "v") // must not panic
+	l.SetLevel(Debug)
+	if l.With("x") != nil {
+		t.Fatal("nil.With != nil")
+	}
+	if l.Enabled(Error) {
+		t.Fatal("nil logger claims enabled")
+	}
+	rr := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/logz", nil))
+	if rr.Body.Len() != 0 {
+		t.Fatalf("nil logger served %q", rr.Body.String())
+	}
+}
+
+func TestDanglingKey(t *testing.T) {
+	var buf bytes.Buffer
+	New(&buf, Info).Info("odd", "key")
+	if !strings.Contains(buf.String(), `"key":""`) {
+		t.Fatalf("dangling key not tolerated: %s", buf.String())
+	}
+}

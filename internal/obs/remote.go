@@ -1,0 +1,127 @@
+package obs
+
+// Cross-process trace propagation for the dispatch layer. The controller
+// derives chunk-span IDs deterministically from its stage span; an agent
+// given that stage span's ID (16 hex digits in the lease frame) rebuilds an
+// equivalent parent handle with RemoteSpan, runs the chunk under it against
+// a capture tracer, and ships the captured events back. The controller
+// replays them into its own journal with Import, so the merged journal shows
+// one causally-linked tree per chunk — and, because journal lines are a pure
+// function of (span hierarchy, attrs) with map keys marshalled sorted, the
+// replayed lines are byte-identical to the ones a local execution of the
+// same chunk would have written.
+//
+// The contract that keeps this deterministic: only the chunk's own events
+// (chunk spans, fault/retry details) travel. Lease-lifecycle happenings —
+// redispatches, hedges, agent loss — depend on wall-clock scheduling and are
+// therefore metrics- and log-only, never journaled (see internal/dispatch).
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// ParseSpanID parses a span ID as rendered by SpanID.String (16 hex digits).
+func ParseSpanID(s string) (SpanID, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("obs: span id %q: want 16 hex digits", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: span id %q: %w", s, err)
+	}
+	return SpanID(v), nil
+}
+
+// RemoteSpan rebuilds a span handle from an ID propagated across a process
+// boundary. The handle emits no begin/end of its own — its lifecycle belongs
+// to the process that created it — but children derived from it get exactly
+// the IDs the originating process would derive, so a remotely executed
+// subtree splices seamlessly under its true parent. A zero id (the
+// propagating side had tracing off) returns nil.
+func (t *Tracer) RemoteSpan(id SpanID, kind, name string) *Span {
+	if t == nil || id == 0 {
+		return nil
+	}
+	return &Span{tr: t, id: id, kind: kind, name: name}
+}
+
+// PackJournal converts a capture tracer's JSONL journal buffer into a single
+// JSON array literal with no raw newlines — safe to carry in an HTTP header.
+// Empty input packs to "".
+func PackJournal(jsonl []byte) string {
+	if len(jsonl) == 0 {
+		return ""
+	}
+	out := make([]byte, 0, len(jsonl)+2)
+	out = append(out, '[')
+	first := true
+	for len(jsonl) > 0 {
+		end := len(jsonl)
+		for i, c := range jsonl {
+			if c == '\n' {
+				end = i
+				break
+			}
+		}
+		if end > 0 {
+			if !first {
+				out = append(out, ',')
+			}
+			first = false
+			out = append(out, jsonl[:end]...)
+		}
+		if end == len(jsonl) {
+			break
+		}
+		jsonl = jsonl[end+1:]
+	}
+	out = append(out, ']')
+	return string(out)
+}
+
+// JournalEvents is a decoded, validated batch of captured journal events,
+// opaque to everything outside obs.
+type JournalEvents struct {
+	evs []journalEvent
+}
+
+// Len reports the number of captured events.
+func (e *JournalEvents) Len() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.evs)
+}
+
+// DecodeJournal parses a PackJournal payload. Decoding is separate from
+// Import so a transport layer can reject a corrupt frame (and retry the work
+// elsewhere) before anything touches the journal.
+func DecodeJournal(packed string) (*JournalEvents, error) {
+	if packed == "" {
+		return nil, nil
+	}
+	var evs []journalEvent
+	if err := json.Unmarshal([]byte(packed), &evs); err != nil {
+		return nil, fmt.Errorf("obs: journal frame: %w", err)
+	}
+	return &JournalEvents{evs: evs}, nil
+}
+
+// Import replays captured events into the receiver's tracer: each event is
+// re-marshalled and appended to the journal (byte-identical to its original
+// emission — journalEvent carries only strings and a sorted-key map) and
+// counted in the tracer's span accounting, exactly as if the subtree had
+// executed locally. Chrome trace events are not replayed: remote wall-clock
+// timings belong to the remote process's timeline, not this one's.
+//
+// Import on a nil span (tracing off) or of nil events is a no-op.
+func (s *Span) Import(evs *JournalEvents) {
+	if s == nil || evs == nil {
+		return
+	}
+	for _, ev := range evs.evs {
+		s.tr.emit(ev)
+	}
+}

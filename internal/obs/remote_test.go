@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// emitChunk plays the same chunk subtree under sp: a chunk span with a fault
+// detail and end attrs, the shape RunChunkObs produces.
+func emitChunk(sp *Span) {
+	csp := sp.ChildLane("chunk", "vm0:0-16", 3, 2)
+	csp.Detail("fault", "rate-limited", 42, Attrs{"dst": "10.0.0.1", "attempt": "1"})
+	csp.Detail("retry", "attempt", 43, Attrs{"dst": "10.0.0.1"})
+	csp.End(Attrs{"targets": "16", "retries": "1"})
+}
+
+// TestRemoteCaptureByteIdentical: a chunk executed under a RemoteSpan on a
+// capture tracer, packed, decoded, and imported must reproduce the exact
+// journal bytes and span counts a local execution writes.
+func TestRemoteCaptureByteIdentical(t *testing.T) {
+	// Local reference run.
+	var local bytes.Buffer
+	ltr := NewTracer(&local, false)
+	lroot := ltr.Root("run", "pipeline", 1)
+	lstage := lroot.Child("stage", "campaign", 0)
+	emitChunk(lstage)
+
+	// Remote run: same hierarchy, but the chunk executes in a "remote
+	// process" that only knows the stage span's ID.
+	var remote bytes.Buffer
+	rtr := NewTracer(&remote, false)
+	rroot := rtr.Root("run", "pipeline", 1)
+	rstage := rroot.Child("stage", "campaign", 0)
+
+	var capture bytes.Buffer
+	agentTr := NewTracer(&capture, false)
+	id, err := ParseSpanID(rstage.ID().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitChunk(agentTr.RemoteSpan(id, "stage", "campaign"))
+
+	packed := PackJournal(capture.Bytes())
+	if strings.ContainsAny(packed, "\n\r") {
+		t.Fatal("packed journal contains raw newlines (not header-safe)")
+	}
+	evs, err := DecodeJournal(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs.Len() != 4 {
+		t.Fatalf("captured %d events, want 4", evs.Len())
+	}
+	rstage.Import(evs)
+
+	ll := strings.Split(strings.TrimRight(local.String(), "\n"), "\n")
+	rl := strings.Split(strings.TrimRight(remote.String(), "\n"), "\n")
+	sort.Strings(ll)
+	sort.Strings(rl)
+	if len(ll) != len(rl) {
+		t.Fatalf("journal lengths differ: %d local, %d remote", len(ll), len(rl))
+	}
+	for i := range ll {
+		if ll[i] != rl[i] {
+			t.Fatalf("journals diverge at sorted line %d:\nlocal:  %s\nremote: %s", i, ll[i], rl[i])
+		}
+	}
+
+	// Span accounting must agree too (the manifest's trace section).
+	lc, rc := ltr.Counts(), rtr.Counts()
+	if len(lc) != len(rc) {
+		t.Fatalf("count keys differ: %v vs %v", lc, rc)
+	}
+	for k, v := range lc {
+		if rc[k] != v {
+			t.Fatalf("counts[%s] = %d local, %d remote", k, v, rc[k])
+		}
+	}
+}
+
+func TestRemoteSpanNilAndZero(t *testing.T) {
+	var tr *Tracer
+	if tr.RemoteSpan(1, "stage", "x") != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	if NewTracer(nil, false).RemoteSpan(0, "stage", "x") != nil {
+		t.Fatal("zero id produced a span")
+	}
+	var sp *Span
+	sp.Import(&JournalEvents{}) // no-op, must not panic
+}
+
+func TestPackDecodeEmpty(t *testing.T) {
+	if PackJournal(nil) != "" {
+		t.Fatal("empty journal packed non-empty")
+	}
+	evs, err := DecodeJournal("")
+	if err != nil || evs.Len() != 0 {
+		t.Fatalf("DecodeJournal(\"\") = %v, %v", evs, err)
+	}
+	if _, err := DecodeJournal("{broken"); err == nil {
+		t.Fatal("corrupt frame decoded")
+	}
+}
+
+func TestParseSpanID(t *testing.T) {
+	id := deriveID(7, "stage", "campaign", 0)
+	got, err := ParseSpanID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("round trip = %v, %v (want %v)", got, err, id)
+	}
+	for _, bad := range []string{"", "xyz", "123", strings.Repeat("g", 16)} {
+		if _, err := ParseSpanID(bad); err == nil {
+			t.Fatalf("ParseSpanID(%q) accepted", bad)
+		}
+	}
+}

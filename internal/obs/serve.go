@@ -50,13 +50,15 @@ func ServeHandler(addr string, handler http.Handler) (*Server, error) {
 
 // NewMux builds the admin-plane routes (/metrics, /metrics.json, /progress,
 // /debug/pprof/*) on a fresh mux, which the caller may extend with its own
-// handlers before serving. reg and p may be nil.
+// handlers before serving. reg and p may be nil. Every non-pprof route is
+// wrapped in Instrument, so the admin plane observes itself; extend the mux
+// with Instrument-wrapped handlers to keep API routes in the same scheme.
 func NewMux(reg *metrics.Registry, p *Progress) *http.ServeMux {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/", Instrument(reg, "index", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
@@ -68,25 +70,81 @@ func NewMux(reg *metrics.Registry, p *Progress) *http.ServeMux {
 <li><a href="/progress">/progress</a></li>
 <li><a href="/debug/pprof/">/debug/pprof/</a></li>
 </ul></body></html>`)
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	})))
+	mux.Handle("/metrics", Instrument(reg, "metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+	})))
+	mux.Handle("/metrics.json", Instrument(reg, "metrics_json", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		reg.WriteJSON(w)
-	})
-	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+	})))
+	mux.Handle("/progress", Instrument(reg, "progress", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		p.writeJSON(w)
-	})
+	})))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// statusWriter records the response status for Instrument. It passes Flush
+// through so streaming handlers (SSE watchers) keep working behind the
+// wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Instrument wraps an HTTP handler with per-route request telemetry:
+//
+//	http.<route>.requests       — served requests (counter)
+//	http.<route>.latency_ms     — request wall time (histogram)
+//	http.<route>.status.<code>  — responses by status code (counters)
+//
+// Latency and status record after the handler returns, so a long-lived
+// streaming route shows its connection lifetime, not time-to-first-byte. A
+// nil registry returns h unwrapped.
+func Instrument(reg *metrics.Registry, route string, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	reqs := reg.Counter("http." + route + ".requests")
+	lat := reg.Histogram("http." + route + ".latency_ms")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		reqs.Inc()
+		lat.Observe(time.Since(start).Milliseconds())
+		reg.Counter(fmt.Sprintf("http.%s.status.%d", route, sw.status)).Inc()
+	})
 }
 
 // Addr returns the bound address (useful with ":0").

@@ -68,6 +68,61 @@ func TestServeHandlerMountsCustomRoutes(t *testing.T) {
 	}
 }
 
+// TestInstrumentObservesRoutes: the admin mux's middleware must count
+// requests, bucket latency, and tally status codes per route — including
+// routes the caller mounts itself via Instrument.
+func TestInstrumentObservesRoutes(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mux := NewMux(reg, NewProgress(reg))
+	mux.Handle("/v1/thing", Instrument(reg, "v1_thing", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusTeapot)
+	})))
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/metrics", "/progress", "/v1/thing"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	if got := reg.Counter("http.metrics.requests").Value(); got != 2 {
+		t.Fatalf("http.metrics.requests = %d, want 2", got)
+	}
+	if got := reg.Counter("http.metrics.status.200").Value(); got != 2 {
+		t.Fatalf("http.metrics.status.200 = %d, want 2", got)
+	}
+	if got := reg.Counter("http.v1_thing.status.418").Value(); got != 1 {
+		t.Fatalf("http.v1_thing.status.418 = %d, want 1", got)
+	}
+	if got := reg.Histogram("http.progress.latency_ms").Summary().Count; got != 1 {
+		t.Fatalf("http.progress.latency_ms count = %d, want 1", got)
+	}
+
+	// The self-observation must surface on /metrics itself.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "http_metrics_requests") {
+		t.Fatalf("/metrics does not expose route telemetry:\n%s", body)
+	}
+
+	// A wrapped writer must still present a Flusher to streaming handlers.
+	var sw http.ResponseWriter = &statusWriter{ResponseWriter: nil}
+	if _, ok := sw.(http.Flusher); !ok {
+		t.Fatal("statusWriter does not implement http.Flusher")
+	}
+}
+
 func TestShutdownDrainsInFlightRequest(t *testing.T) {
 	release := make(chan struct{})
 	entered := make(chan struct{})

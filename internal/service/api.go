@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"cloudmap/internal/dispatch"
 	"cloudmap/internal/netblock"
 	"cloudmap/internal/obs"
 )
@@ -47,15 +48,29 @@ type ResyncReply struct {
 	Epoch  uint64 `json:"epoch"`
 }
 
+// FleetReply is /v1/fleet's document: live per-agent health from the
+// dispatch controller plus the fleet-wide lease totals. Enabled is false
+// (and Agents empty) when the daemon probes in-process with no agent fleet.
+type FleetReply struct {
+	Epoch   uint64               `json:"epoch"`
+	Enabled bool                 `json:"enabled"`
+	Agents  []dispatch.AgentInfo `json:"agents"`
+	Totals  dispatch.Stats       `json:"totals"`
+}
+
 // Handler builds the daemon's full HTTP surface: the query API under /v1/
 // mounted on the obs admin plane (/metrics, /progress, /debug/pprof/), so
-// one listener serves both.
+// one listener serves both. Every API route is Instrument-wrapped, so the
+// daemon's /metrics carries per-route http.* request telemetry; /logz
+// serves the structured-log ring.
 func (d *Daemon) Handler() http.Handler {
 	mux := obs.NewMux(d.reg, d.cfg.Progress)
-	mux.HandleFunc("/v1/status", d.handleStatus)
-	mux.HandleFunc("/v1/peerings", d.handlePeerings)
-	mux.HandleFunc("/v1/deltas", d.handleDeltas)
-	mux.HandleFunc("/v1/watch", d.handleWatch)
+	mux.Handle("/v1/status", obs.Instrument(d.reg, "v1_status", http.HandlerFunc(d.handleStatus)))
+	mux.Handle("/v1/peerings", obs.Instrument(d.reg, "v1_peerings", http.HandlerFunc(d.handlePeerings)))
+	mux.Handle("/v1/deltas", obs.Instrument(d.reg, "v1_deltas", http.HandlerFunc(d.handleDeltas)))
+	mux.Handle("/v1/watch", obs.Instrument(d.reg, "v1_watch", http.HandlerFunc(d.handleWatch)))
+	mux.Handle("/v1/fleet", obs.Instrument(d.reg, "v1_fleet", http.HandlerFunc(d.handleFleet)))
+	mux.Handle("/logz", d.log.Handler())
 	return mux
 }
 
@@ -115,6 +130,26 @@ func (d *Daemon) handlePeerings(w http.ResponseWriter, r *http.Request) {
 	}
 	if reply.Peerings == nil {
 		reply.Peerings = []Peering{}
+	}
+	writeJSON(w, reply)
+}
+
+// dispatch is the daemon's dispatch controller, nil when probing runs
+// in-process (or, in tests, when the daemon has no session at all).
+func (d *Daemon) dispatch() *dispatch.Controller {
+	if d.session == nil {
+		return nil
+	}
+	return d.session.Dispatch()
+}
+
+func (d *Daemon) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	reply := FleetReply{Epoch: d.Epoch(), Agents: []dispatch.AgentInfo{}}
+	if c := d.dispatch(); c != nil {
+		reply.Enabled = true
+		fleet := c.Fleet()
+		reply.Agents = fleet.Agents
+		reply.Totals = fleet.Stats
 	}
 	writeJSON(w, reply)
 }

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cloudmap/internal/dispatch"
+)
+
+// /v1/fleet on a daemon probing in-process answers an explicit
+// disabled document, never a 404 or a panic, and FormatFleet says why.
+func TestFleetEndpointDisabled(t *testing.T) {
+	d := bareDaemon(0)
+	rr := httptest.NewRecorder()
+	d.handleFleet(rr, httptest.NewRequest("GET", "/v1/fleet", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+	var fl FleetReply
+	if err := json.Unmarshal(rr.Body.Bytes(), &fl); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Enabled || len(fl.Agents) != 0 {
+		t.Fatalf("fleet reply = %+v, want disabled and empty", fl)
+	}
+	var buf bytes.Buffer
+	FormatFleet(&buf, &fl)
+	if !strings.Contains(buf.String(), "dispatch disabled") {
+		t.Errorf("FormatFleet disabled rendering = %q", buf.String())
+	}
+}
+
+// FormatFleet renders every row of the health document, dashing out fields
+// a never-seen agent cannot have.
+func TestFormatFleetTable(t *testing.T) {
+	fl := &FleetReply{
+		Epoch:   3,
+		Enabled: true,
+		Agents: []dispatch.AgentInfo{
+			{URL: "http://a:1", ID: "agent1", State: "healthy", LastHeartbeatMS: 120,
+				Inflight: 1, LeasesGranted: 9, ThroughputTPS: 1234.5,
+				Stats: dispatch.AgentStats{LeasesDone: 9, TracesProbed: 500, FaultsLost: 2}},
+			{URL: "http://b:1", State: "lost", LastHeartbeatMS: -1, ConsecutiveFails: 7},
+		},
+		Totals: dispatch.Stats{LeasesGranted: 9, ChunksLocal: 1},
+	}
+	var buf bytes.Buffer
+	FormatFleet(&buf, fl)
+	out := buf.String()
+	for _, want := range []string{"agent1", "healthy", "120ms", "1234.5", "http://b:1", "lost", "granted 9", "local 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet table missing %q:\n%s", want, out)
+		}
+	}
+	// The never-seen agent has no ID and no heartbeat: both render as "-".
+	lost := ""
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, "http://b:1") {
+			lost = ln
+		}
+	}
+	if !strings.HasPrefix(lost, "-") || !strings.Contains(lost, " - ") {
+		t.Errorf("never-seen agent row does not dash out id/heartbeat: %q", lost)
+	}
+}

@@ -59,6 +59,31 @@ func FormatDeltas(w io.Writer, ed *EpochDeltas) {
 	tw.Flush()
 }
 
+// FormatFleet renders /v1/fleet for terminals.
+func FormatFleet(w io.Writer, fl *FleetReply) {
+	if !fl.Enabled {
+		fmt.Fprintf(w, "epoch %d: dispatch disabled (no agent fleet; probing in-process)\n", fl.Epoch)
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "epoch %d: %d agent(s)\n", fl.Epoch, len(fl.Agents))
+	fmt.Fprintln(tw, "AGENT\tURL\tSTATE\tFAILS\tBEAT\tINFLIGHT\tGRANTED\tEXPIRED\tHEDGED\tTRACES\tRETRIES\tFAULTS\tTPS")
+	for _, a := range fl.Agents {
+		beat := "-"
+		if a.LastHeartbeatMS >= 0 {
+			beat = fmt.Sprintf("%dms", a.LastHeartbeatMS)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f\n",
+			orDash(a.ID), a.URL, a.State, a.ConsecutiveFails, beat, a.Inflight,
+			a.LeasesGranted, a.LeasesExpired, a.LeasesHedged,
+			a.Stats.TracesProbed, a.Stats.Retries, a.Stats.Faults(), a.ThroughputTPS)
+	}
+	t := fl.Totals
+	fmt.Fprintf(tw, "totals\tgranted %d\texpired %d\thedged %d\tlost %d\tlocal %d\tfailed %d\n",
+		t.LeasesGranted, t.LeasesExpired, t.ChunksRehedged, t.AgentsLost, t.ChunksLocal, t.LeaseFailures)
+	tw.Flush()
+}
+
 func orDash(s string) string {
 	if s == "" {
 		return "-"

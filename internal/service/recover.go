@@ -74,8 +74,8 @@ func (d *Daemon) rehydrate() error {
 	if torn != nil {
 		d.recovery.TornTail = torn
 		d.cTornTails.Inc()
-		d.log.Printf("journal-torn-tail: journal %s ends mid-record (%s); discarding %d bytes at offset %d — that epoch was never durable and will re-run",
-			d.journalPath, torn.Reason, torn.Bytes, torn.Offset)
+		d.log.Warn("journal-torn-tail: journal ends mid-record; that epoch was never durable and will re-run",
+			"journal", d.journalPath, "reason", torn.Reason, "bytes", torn.Bytes, "offset", torn.Offset)
 	}
 	entries, err := parseJournal(payloads)
 	if err != nil {
@@ -90,7 +90,7 @@ func (d *Daemon) rehydrate() error {
 	if d.ckptDir != "" {
 		ck = loadNewestCheckpoint(d.ckptDir, func(path string, cerr error) {
 			d.recovery.RejectedCheckpoints = append(d.recovery.RejectedCheckpoints, filepath.Base(path))
-			d.log.Printf("recovery: skipping damaged checkpoint %s: %v", filepath.Base(path), cerr)
+			d.log.Warn("recovery: skipping damaged checkpoint", "checkpoint", filepath.Base(path), "err", cerr)
 		})
 		if ck != nil && ck.Epoch > last.Epoch {
 			// A checkpoint can never be newer than the journal (the journal
@@ -189,8 +189,9 @@ func parseJournal(payloads [][]byte) ([]*journalEntry, error) {
 // from Run before the epoch loop.
 func (d *Daemon) warmUp(ctx context.Context) error {
 	last := d.lastJournal
-	d.log.Printf("recovery: rehydrated %d peerings at epoch %d (checkpoint %d, %d journal records replayed); running warm-up epoch %d",
-		len(d.store.Current().Peerings), last.Epoch, d.recovery.CheckpointEpoch, d.recovery.ReplayedEntries, last.Epoch)
+	d.log.Info("recovery: rehydrated store; running warm-up epoch",
+		"peerings", len(d.store.Current().Peerings), "epoch", last.Epoch,
+		"checkpoint", d.recovery.CheckpointEpoch, "replayed", d.recovery.ReplayedEntries)
 
 	// Replay the churn sequence so the registry entering the warm-up equals
 	// the one the killed daemon computed for epoch lastEpoch (churn

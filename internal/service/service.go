@@ -5,8 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -16,6 +14,7 @@ import (
 	"cloudmap/internal/dispatch"
 	"cloudmap/internal/metrics"
 	"cloudmap/internal/obs"
+	olog "cloudmap/internal/obs/log"
 	"cloudmap/internal/pipeline"
 )
 
@@ -87,8 +86,8 @@ type Config struct {
 	Metrics  *metrics.Registry
 	Progress *obs.Progress
 	// Log receives supervision and recovery events (never journal
-	// material); nil discards.
-	Log *log.Logger
+	// material) as structured records; nil discards.
+	Log *olog.Logger
 
 	// testEpochErr, when set, injects a failure before an epoch attempt
 	// (package tests only — the deterministic pipeline cannot be made to
@@ -145,7 +144,7 @@ type Daemon struct {
 	session *cloudmap.Session
 	store   *Store
 	reg     *metrics.Registry
-	log     *log.Logger
+	log     *olog.Logger
 
 	journalPath string
 	ckptDir     string
@@ -184,9 +183,7 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Progress == nil {
 		cfg.Progress = obs.NewProgress(cfg.Metrics)
 	}
-	if cfg.Log == nil {
-		cfg.Log = log.New(io.Discard, "", 0)
-	}
+	cfg.Log = cfg.Log.With("service") // nil-safe: a nil logger discards
 	if cfg.WatchKeepalive == 0 {
 		cfg.WatchKeepalive = defaultWatchKeepalive
 	}
@@ -357,7 +354,7 @@ func (d *Daemon) Run(ctx context.Context) (err error) {
 			snap.index()
 			d.cEpochsDegraded.Inc()
 			d.cfg.Progress.EpochDegraded()
-			d.log.Printf("epoch %d degraded after %d attempts: republishing previous map", epoch, 1+d.cfg.EpochRetries)
+			d.log.Warn("epoch degraded: republishing previous map", "epoch", epoch, "attempts", 1+d.cfg.EpochRetries)
 		} else {
 			snap = SnapshotFrom(rep.Epoch, res)
 			d.cEpochsCompleted.Inc()
@@ -436,7 +433,7 @@ func (d *Daemon) superviseEpoch(ctx context.Context, epoch uint64) (res *cloudma
 			return nil, nil, false, runErr
 		}
 		d.cEpochFailures.Inc()
-		d.log.Printf("epoch %d attempt %d/%d failed: %v", epoch, attempt, 1+d.cfg.EpochRetries, runErr)
+		d.log.Warn("epoch attempt failed", "epoch", epoch, "attempt", attempt, "max", 1+d.cfg.EpochRetries, "err", runErr)
 		if d.wal != nil {
 			rec := journalFailure{Kind: journalKindFailure, Epoch: epoch, Attempt: attempt, Error: runErr.Error(), Stages: journalStages(rep)}
 			line, merr := json.Marshal(rec)

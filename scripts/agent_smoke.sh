@@ -12,18 +12,25 @@
 #     work, never the bytes,
 #   - the daemon log shows the failure handling (a lost agent and at least
 #     one re-dispatched chunk),
-#   - /metrics reports leases actually granted to the fleet.
+#   - /metrics reports leases actually granted to the fleet, plus per-agent
+#     service_agent_<id>_* series, and each agent's own /metrics shows the
+#     work it executed,
+#   - /v1/fleet reports the kill schedule: two healthy agents, one lost,
+#   - a cloudmap CLI run dispatched to the surviving agents journals the
+#     exact same events (sorted) as a local run — trace contexts propagate
+#     across the lease protocol without changing a byte.
 #
 # Usage: scripts/agent_smoke.sh [work-dir]
-# The work dir (default: a fresh mktemp -d) keeps the daemon and agent logs
-# and both peering captures for post-mortem; CI uploads it as an artifact.
+# The work dir (default: a fresh mktemp -d) keeps the daemon and agent logs,
+# both peering captures, the fleet document, and both journals for
+# post-mortem; CI uploads it as an artifact.
 set -eu
 
 cd "$(dirname "$0")/.."
 WORK="${1:-$(mktemp -d)}"
 mkdir -p "$WORK"
 
-go build -o "$WORK/" ./cmd/cloudmapd ./cmd/cloudmapctl ./cmd/cloudmapagent
+go build -o "$WORK/" ./cmd/cloudmapd ./cmd/cloudmapctl ./cmd/cloudmapagent ./cmd/cloudmap
 
 status_epoch() {
 	"$WORK/cloudmapctl" -addr "$(cat "$WORK/$1")" -json status 2>/dev/null |
@@ -117,8 +124,9 @@ cmp "$WORK/peerings-local.json" "$WORK/peerings-dist.json" || {
 	exit 1
 }
 
-# The failure handling must have actually fired and been observable.
-grep -q 'dispatch: agent .* lost' "$WORK/cloudmapd-dist.log" || {
+# The failure handling must have actually fired and been observable in the
+# structured log.
+grep -q '"msg":"agent lost"' "$WORK/cloudmapd-dist.log" || {
 	echo "daemon log never marked the killed agent lost:" >&2
 	cat "$WORK/cloudmapd-dist.log" >&2
 	exit 1
@@ -134,10 +142,73 @@ GRANTED="$(curl -fsS "http://$DIST_ADDR/metrics" | sed -n 's/^service_leases_gra
 	exit 1
 }
 
-# Clean shutdown of the daemon and the surviving agents.
+# /v1/fleet must reflect the kill schedule: the two survivors healthy, the
+# SIGKILLed victim lost. The loss takes a couple of missed heartbeats to
+# register, so poll briefly.
+FLEET_OK=0
+for _ in $(seq 1 60); do
+	curl -fsS "http://$DIST_ADDR/v1/fleet" >"$WORK/fleet.json"
+	HEALTHY="$(grep -c '"state": "healthy"' "$WORK/fleet.json" || true)"
+	LOST="$(grep -c '"state": "lost"' "$WORK/fleet.json" || true)"
+	if [ "$HEALTHY" = 2 ] && [ "$LOST" = 1 ]; then
+		FLEET_OK=1
+		break
+	fi
+	sleep 0.5
+done
+[ "$FLEET_OK" = 1 ] || {
+	echo "/v1/fleet never settled to 2 healthy + 1 lost:" >&2
+	cat "$WORK/fleet.json" >&2
+	exit 1
+}
+"$WORK/cloudmapctl" -addr "$DIST_ADDR" fleet >"$WORK/fleet.txt"
+grep -q 'agent2' "$WORK/fleet.txt" || {
+	echo "cloudmapctl fleet does not list agent2:" >&2
+	cat "$WORK/fleet.txt" >&2
+	exit 1
+}
+
+# Per-agent telemetry: the daemon exports service_agent_<id>_* series for
+# the fleet, and the surviving agents' own admin planes account the leases
+# they executed.
+curl -fsS "http://$DIST_ADDR/metrics" | grep -q '^service_agent_agent[0-9]*_up' || {
+	echo "daemon /metrics has no per-agent service_agent_* series" >&2
+	exit 1
+}
+AGENT_LEASES=0
+for a in 2 3; do
+	N="$(curl -fsS "http://$(cat "$WORK/agent$a.txt")/metrics" | sed -n 's/^agent_leases_done \([0-9]*\).*/\1/p')"
+	AGENT_LEASES=$((AGENT_LEASES + ${N:-0}))
+done
+[ "$AGENT_LEASES" -gt 0 ] || {
+	echo "surviving agents report no leases executed on their own /metrics" >&2
+	exit 1
+}
+
+# Clean shutdown of the daemon; the surviving agents stay up for the
+# journal phase below.
 kill -TERM "$DIST_PID"
 wait "$DIST_PID" || { echo "distributed cloudmapd exited dirty" >&2; cat "$WORK/cloudmapd-dist.log" >&2; exit 1; }
+
+# --- Phase 3: trace-context propagation. ---------------------------------
+# The CLI pipeline's event journal, sorted, must be byte-identical whether
+# chunks run locally or are leased to the surviving agents: span IDs derive
+# from the propagated trace context, and lease lifecycle noise never reaches
+# the journal.
+"$WORK/cloudmap" -scale small -seed 1 -journal-out "$WORK/journal-local.jsonl" \
+	>"$WORK/cloudmap-local.log" 2>&1 || { echo "local cloudmap run failed" >&2; cat "$WORK/cloudmap-local.log" >&2; exit 1; }
+"$WORK/cloudmap" -scale small -seed 1 -journal-out "$WORK/journal-dist.jsonl" \
+	-agents "http://$(cat "$WORK/agent2.txt"),http://$(cat "$WORK/agent3.txt")" \
+	>"$WORK/cloudmap-dist.log" 2>&1 || { echo "dispatched cloudmap run failed" >&2; cat "$WORK/cloudmap-dist.log" >&2; exit 1; }
+LC_ALL=C sort "$WORK/journal-local.jsonl" >"$WORK/journal-local.sorted"
+LC_ALL=C sort "$WORK/journal-dist.jsonl" >"$WORK/journal-dist.sorted"
+cmp "$WORK/journal-local.sorted" "$WORK/journal-dist.sorted" || {
+	echo "sorted journals diverged between local and dispatched runs" >&2
+	exit 1
+}
+echo "journals byte-identical across the lease protocol ($(wc -l <"$WORK/journal-local.sorted") events)"
+
 kill -TERM "$AGENT2_PID" "$AGENT3_PID" 2>/dev/null || true
 wait "$AGENT2_PID" "$AGENT3_PID" 2>/dev/null || true
 
-echo "agent smoke passed: map byte-identical under agent loss ($GRANTED leases granted)"
+echo "agent smoke passed: map byte-identical under agent loss ($GRANTED leases granted, fleet 2 healthy + 1 lost)"
